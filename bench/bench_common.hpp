@@ -1,0 +1,78 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Every bench binary regenerates one figure of the paper: it builds the
+// sweep, runs it (scenarios are deterministic; progress goes to stderr),
+// and prints the figure's series as an aligned text table on stdout,
+// followed by a short note about the paper-vs-measured shape.
+//
+// Set EPICAST_BENCH_FAST=1 to shrink measurement windows and sweeps while
+// iterating; the full (default) configuration is what EXPERIMENTS.md
+// records.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "epicast/epicast.hpp"
+
+namespace epicast::bench {
+
+inline bool fast_mode() {
+  const char* v = std::getenv("EPICAST_BENCH_FAST");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// The six curves of the paper's delivery figures, in the legend's order.
+inline const std::vector<Algorithm>& all_algorithms() {
+  static const std::vector<Algorithm> algos = {
+      Algorithm::NoRecovery,     Algorithm::RandomPull,
+      Algorithm::SubscriberPull, Algorithm::PublisherPull,
+      Algorithm::CombinedPull,   Algorithm::Push,
+  };
+  return algos;
+}
+
+/// Paper defaults (Fig. 2) with a bench-appropriate measurement window.
+inline ScenarioConfig base_config(Algorithm algorithm,
+                                  double measure_seconds) {
+  ScenarioConfig cfg = ScenarioConfig::paper_defaults(algorithm);
+  cfg.measure = Duration::seconds(fast_mode() ? std::min(1.5, measure_seconds)
+                                              : measure_seconds);
+  cfg.seed = 20040301;  // ICDCS 2004 — any fixed seed works
+  return cfg;
+}
+
+inline std::string algo_label(Algorithm a) { return to_string(a); }
+
+inline void print_header(const char* figure, const char* what) {
+  std::printf("==========================================================\n");
+  std::printf("%s — %s\n", figure, what);
+  std::printf("==========================================================\n");
+  if (fast_mode()) std::printf("(EPICAST_BENCH_FAST=1: reduced windows)\n");
+}
+
+inline void print_note(const char* note) {
+  std::printf("\npaper-shape check: %s\n\n", note);
+}
+
+/// Builds one TimeSeries per algorithm from per-(x, algorithm) results laid
+/// out row-major, extracting `extract` from each result.
+template <typename Extract>
+std::vector<TimeSeries> series_by_algorithm(
+    const std::vector<Algorithm>& algos, const std::vector<double>& xs,
+    const std::vector<LabeledResult>& results, Extract&& extract) {
+  std::vector<TimeSeries> series;
+  series.reserve(algos.size());
+  for (Algorithm a : algos) series.emplace_back(algo_label(a));
+  std::size_t idx = 0;
+  for (double x : xs) {
+    for (std::size_t s = 0; s < algos.size(); ++s) {
+      series[s].add(x, extract(results[idx++].result));
+    }
+  }
+  return series;
+}
+
+}  // namespace epicast::bench

@@ -1,0 +1,57 @@
+// Extension E1 — probabilistic cache admission (the buffer-optimization
+// direction the paper says it is investigating, §IV-C, ref [13]).
+// A subscriber caches a received event only with probability q; with
+// several subscribers per pattern plus the publisher, the event usually
+// remains buffered *somewhere*, while each node's fixed-β buffer now holds
+// a ~1/q longer history. At small β this trades a little recovery locality
+// for much longer persistence.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace epicast;
+  using namespace epicast::bench;
+
+  print_header("Extension E1",
+               "probabilistic cache admission q at small buffers "
+               "(combined pull)");
+
+  std::vector<double> qs = {1.0, 0.75, 0.5, 0.25};
+  std::vector<double> betas = {300, 500, 1500};
+  if (fast_mode()) {
+    qs = {1.0, 0.5};
+    betas = {500};
+  }
+
+  std::vector<LabeledConfig> configs;
+  for (double beta : betas) {
+    for (double q : qs) {
+      ScenarioConfig cfg = base_config(Algorithm::CombinedPull, 3.0);
+      cfg.gossip.buffer_size = static_cast<std::size_t>(beta);
+      cfg.gossip.cache_admission_probability = q;
+      configs.push_back({"beta=" + std::to_string(int(beta)) +
+                             " q=" + std::to_string(q),
+                         cfg});
+    }
+  }
+  const auto results = run_sweep(std::move(configs));
+
+  std::vector<TimeSeries> series;
+  for (double beta : betas) {
+    series.emplace_back("beta=" + std::to_string(int(beta)));
+  }
+  std::size_t idx = 0;
+  for (std::size_t b = 0; b < betas.size(); ++b) {
+    for (double q : qs) {
+      series[b].add(q, results[idx++].result.delivery_rate);
+    }
+  }
+  std::printf("\n--- delivery vs admission probability q ---\n%s",
+              render_series_table("q", series).c_str());
+
+  print_note(
+      "at starved buffers (beta=300-500) admitting fewer events per node "
+      "stretches the effective history and lifts delivery; at comfortable "
+      "buffers (beta=1500) q mostly trades away locality — the trade-off "
+      "ref [13] formalizes.");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 3(b) — event delivery over time under topological reconfiguration,
+// ρ = 0.2 s (non-overlapping) and ρ = 0.03 s (overlapping), reliable links.
+// The paper's shape: no-recovery shows deep dips at every reconfiguration
+// (down to ~70% at ρ=0.2, ~60% at ρ=0.03); push and combined pull level the
+// curve near 100%, never below ~95%.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace epicast;
+  using namespace epicast::bench;
+
+  print_header("Fig. 3(b)", "delivery rate vs time, reconfigurations");
+
+  for (const double rho_s : {0.2, 0.03}) {
+    std::vector<LabeledConfig> configs;
+    for (Algorithm a : all_algorithms()) {
+      ScenarioConfig cfg = base_config(a, 4.0);
+      cfg.link_error_rate = 0.0;  // losses come from churn alone
+      cfg.reconfiguration_interval = Duration::seconds(rho_s);
+      cfg.bucket_width = Duration::millis(100);
+      configs.push_back({std::string("rho=") + std::to_string(rho_s) + " " +
+                             algo_label(a),
+                         cfg});
+    }
+    const auto results = run_sweep(std::move(configs));
+
+    std::printf("\n--- reconfiguration interval rho = %.2f s ---\n", rho_s);
+    std::vector<TimeSeries> series;
+    for (const auto& r : results) series.push_back(r.result.delivery_series);
+    std::printf("%s", render_series_table("time [s]", series).c_str());
+
+    std::printf("\naggregate / worst bucket over the window:\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i].result;
+      std::printf("  %-16s mean %6.2f%%  min %6.2f%%  (%llu breaks)\n",
+                  algo_label(all_algorithms()[i]).c_str(),
+                  100.0 * r.delivery_rate,
+                  100.0 * r.delivery_series.min_y(),
+                  static_cast<unsigned long long>(r.reconfig_breaks));
+    }
+  }
+
+  print_note(
+      "no-recovery dips sharply at each reconfiguration while push and "
+      "combined pull keep the minimum bucket high, masking the churn as in "
+      "the paper.");
+  return 0;
+}

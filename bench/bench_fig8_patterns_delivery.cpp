@@ -1,0 +1,63 @@
+// Fig. 8 — delivery as πmax grows, under low (5 /s, top) and high (50 /s,
+// bottom) publish load, β = 4000, for the four curves the paper plots
+// (no recovery, subscriber pull, combined pull, push). The paper's shape:
+// at low load the top algorithms are flat in πmax; at high load combined
+// pull gains for small πmax while push suffers (more patterns → more rounds
+// needed per event), and beyond πmax≈6 every algorithm collapses because
+// β=4000 can no longer hold the growing per-subscriber traffic.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace epicast;
+  using namespace epicast::bench;
+
+  print_header("Fig. 8", "delivery vs pi_max under low and high load");
+
+  const std::vector<Algorithm> algos = {
+      Algorithm::NoRecovery, Algorithm::SubscriberPull,
+      Algorithm::CombinedPull, Algorithm::Push};
+  std::vector<double> pis = {2, 4, 6, 10, 20, 30};
+  if (fast_mode()) pis = {2, 6, 20};
+
+  for (const double rate : {5.0, 50.0}) {
+    std::vector<LabeledConfig> configs;
+    for (double pi : pis) {
+      for (Algorithm a : algos) {
+        ScenarioConfig cfg = base_config(a, 2.0);
+        cfg.publish_rate_hz = rate;
+        cfg.patterns_per_subscriber = static_cast<std::uint32_t>(pi);
+        cfg.gossip.buffer_size = 4000;  // the paper's fixed choice here
+        if (rate <= 5.0) {
+          // Pull detects losses from sequence gaps; at low load the next
+          // event on a (source, pattern) stream is ~5 s away, so the
+          // recovery horizon must cover several gaps (the paper's
+          // receive-time-windowed metric has no horizon at all).
+          cfg.recovery_horizon = Duration::seconds(20.0);
+          cfg.gossip.lost_entry_ttl = Duration::seconds(20.0);
+          // ...and the per-(source,pattern) streams must be initialized
+          // before measuring: a loss before the first-ever received event
+          // on a stream is undetectable (§III-B), and at 5 publish/s first
+          // contact takes ~9 s per stream.
+          cfg.warmup = Duration::seconds(20.0);
+        }
+        configs.push_back({"rate=" + std::to_string(int(rate)) +
+                               " pi=" + std::to_string(int(pi)) + " " +
+                               algo_label(a),
+                           cfg});
+      }
+    }
+    const auto results = run_sweep(std::move(configs));
+    const auto series = series_by_algorithm(
+        algos, pis, results,
+        [](const ScenarioResult& r) { return r.delivery_rate; });
+    std::printf("\n--- publish rate %.0f /s per dispatcher ---\n%s",
+                rate, render_series_table("pi_max", series).c_str());
+  }
+
+  print_note(
+      "low load: top algorithms flat in pi_max; high load: delivery decays "
+      "once beta=4000 stops covering the growing traffic, with push "
+      "suffering at small pi_max where combined pull still gains — the "
+      "paper's Fig. 8 behaviour.");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Example: a dispatching overlay under mobility-induced reconfiguration.
+//
+// A fleet of vehicles relays events through an overlay whose links keep
+// breaking and re-forming as vehicles move — the paper's original
+// motivation. Links are otherwise reliable: every loss in this example
+// comes from the windows in which a broken link has not been replaced yet
+// and stale routes drop events.
+//
+// The example runs the same churn twice — best-effort only, then with push
+// recovery — and prints a per-interval delivery timeline so the "negative
+// spikes" of Fig. 3(b), and their disappearance under gossip, are visible
+// directly in the terminal.
+#include <cstdio>
+#include <vector>
+
+#include "epicast/epicast.hpp"
+
+namespace {
+
+using namespace epicast;
+
+struct Timeline {
+  double delivery_rate = 0.0;
+  double worst_bucket = 0.0;
+  std::vector<SeriesPoint> buckets;
+  std::uint64_t breaks = 0;
+  std::uint64_t stale_drops = 0;
+};
+
+Timeline run(Algorithm algorithm) {
+  ScenarioConfig cfg = ScenarioConfig::paper_defaults(algorithm);
+  cfg.seed = 77;
+  cfg.nodes = 60;
+  cfg.link_error_rate = 0.0;                          // reliable links...
+  cfg.reconfiguration_interval = Duration::millis(150);  // ...but churn
+  cfg.repair_time = Duration::millis(100);
+  cfg.measure = Duration::seconds(4.0);
+  cfg.bucket_width = Duration::millis(100);
+  const ScenarioResult r = run_scenario(cfg);
+
+  Timeline t;
+  t.delivery_rate = r.delivery_rate;
+  t.worst_bucket = r.delivery_series.min_y();
+  t.buckets = r.delivery_series.points();
+  t.breaks = r.reconfig_breaks;
+  t.stale_drops = r.drops_no_link;
+  return t;
+}
+
+void print_timeline(const char* title, const Timeline& t) {
+  std::printf("\n%s\n", title);
+  std::printf("  links broken: %llu, events dropped on stale routes: %llu\n",
+              static_cast<unsigned long long>(t.breaks),
+              static_cast<unsigned long long>(t.stale_drops));
+  std::printf("  mean delivery %.2f%%, worst 100 ms interval %.2f%%\n",
+              100.0 * t.delivery_rate, 100.0 * t.worst_bucket);
+  std::printf("  timeline (each bar is 100 ms of publications):\n");
+  for (const SeriesPoint& p : t.buckets) {
+    const int width = static_cast<int>(p.y * 50.0 + 0.5);
+    std::printf("  %6.2fs |%-50.*s| %5.1f%%\n", p.x, width,
+                "##################################################",
+                100.0 * p.y);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("mobile fleet: overlay reconfigures every 150 ms "
+              "(repair takes 100 ms)\n");
+
+  const Timeline best_effort = run(Algorithm::NoRecovery);
+  const Timeline with_push = run(Algorithm::Push);
+
+  print_timeline("--- best effort ---", best_effort);
+  print_timeline("--- with push epidemic recovery ---", with_push);
+
+  std::printf("\npush recovery lifted the worst interval from %.1f%% to "
+              "%.1f%% and the mean from %.1f%% to %.1f%%.\n",
+              100.0 * best_effort.worst_bucket, 100.0 * with_push.worst_bucket,
+              100.0 * best_effort.delivery_rate,
+              100.0 * with_push.delivery_rate);
+  return 0;
+}

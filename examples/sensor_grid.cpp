@@ -1,0 +1,71 @@
+// Example: low-rate telemetry and the adaptive gossip interval.
+//
+// A building-automation grid publishes sensor readings a few times per
+// second over a mostly healthy network (ε = 1%). At this duty cycle,
+// proactive push gossip is almost pure waste — the paper observes exactly
+// this in Fig. 10 and suggests adapting the gossip interval to the system
+// state (§IV-E). This example measures three configurations:
+//
+//   1. push with the fixed default interval,
+//   2. combined pull (reactive: rounds skip while nothing is lost),
+//   3. push with the adaptive-interval extension enabled,
+//
+// and prints delivery vs gossip cost for each.
+#include <cstdio>
+
+#include "epicast/epicast.hpp"
+
+namespace {
+
+using namespace epicast;
+
+ScenarioConfig grid_config() {
+  ScenarioConfig cfg = ScenarioConfig::paper_defaults(Algorithm::Push);
+  cfg.seed = 5150;
+  cfg.nodes = 80;
+  cfg.publish_rate_hz = 4.0;    // a reading every 250 ms per node
+  cfg.link_error_rate = 0.01;   // healthy wiring, occasional loss
+  cfg.event_payload_bytes = 96; // compact readings
+  cfg.gossip.gossip_message_bytes = 96;
+  cfg.measure = Duration::seconds(6.0);
+  return cfg;
+}
+
+void report(const char* label, const ScenarioResult& r) {
+  std::printf("%-28s delivery %6.2f%%   gossip/node %8.1f   "
+              "gossip/reading ratio %.3f\n",
+              label, 100.0 * r.delivery_rate, r.gossip_msgs_per_dispatcher,
+              r.gossip_event_ratio);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("sensor grid: 80 nodes, 4 readings/s each, eps = 1%%\n\n");
+
+  ScenarioConfig fixed_push = grid_config();
+  const ScenarioResult push = run_scenario(fixed_push);
+
+  ScenarioConfig pull = grid_config();
+  pull.algorithm = Algorithm::CombinedPull;
+  const ScenarioResult combined = run_scenario(pull);
+
+  ScenarioConfig adaptive_push = grid_config();
+  adaptive_push.gossip.adaptive.enabled = true;
+  adaptive_push.gossip.adaptive.min_interval = Duration::millis(15);
+  adaptive_push.gossip.adaptive.max_interval = Duration::millis(250);
+  const ScenarioResult adaptive = run_scenario(adaptive_push);
+
+  report("push, fixed T = 30 ms", push);
+  report("combined pull (reactive)", combined);
+  report("push, adaptive T", adaptive);
+
+  std::printf("\nreactive pull and the adaptive extension keep delivery "
+              "while cutting gossip by %.0f%% and %.0f%% versus fixed "
+              "push — the Fig. 10 effect.\n",
+              100.0 * (1.0 - combined.gossip_msgs_per_dispatcher /
+                                 push.gossip_msgs_per_dispatcher),
+              100.0 * (1.0 - adaptive.gossip_msgs_per_dispatcher /
+                                 push.gossip_msgs_per_dispatcher));
+  return 0;
+}

@@ -1,0 +1,36 @@
+// epicast — contract-checking assertions.
+//
+// The library follows the C++ Core Guidelines (I.6/I.8: state preconditions
+// and postconditions). EPICAST_ASSERT is active in all build types: the
+// simulator is the test oracle for the paper's experiments, so silently
+// corrupted state would invalidate results. Failures print the expression,
+// location, and an optional formatted message, then abort.
+#pragma once
+
+#include <string_view>
+
+namespace epicast::detail {
+
+/// Prints a diagnostic for a failed contract and aborts. Never returns.
+[[noreturn]] void assert_fail(std::string_view expr, std::string_view file,
+                              int line, std::string_view msg);
+
+}  // namespace epicast::detail
+
+#define EPICAST_ASSERT(expr)                                              \
+  do {                                                                    \
+    if (!(expr)) [[unlikely]] {                                           \
+      ::epicast::detail::assert_fail(#expr, __FILE__, __LINE__, {});      \
+    }                                                                     \
+  } while (false)
+
+#define EPICAST_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                    \
+    if (!(expr)) [[unlikely]] {                                           \
+      ::epicast::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                     \
+  } while (false)
+
+/// Marks an unreachable code path; aborts if ever executed.
+#define EPICAST_UNREACHABLE(msg)                                          \
+  ::epicast::detail::assert_fail("unreachable", __FILE__, __LINE__, (msg))

@@ -1,0 +1,48 @@
+// epicast — minimal leveled logging.
+//
+// Simulation runs are large (millions of events); logging therefore defaults
+// to Warn and formats lazily. Intended for debugging scenarios and examples,
+// not for metric output (see epicast/metrics).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace epicast {
+
+enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+
+namespace log {
+
+/// Returns the current global threshold (default Warn).
+LogLevel level();
+
+/// Sets the global threshold. Not thread-safe by design: the simulator is
+/// single-threaded and tests set the level up front.
+void set_level(LogLevel level);
+
+/// True if a message at `level` would be emitted.
+bool enabled(LogLevel level);
+
+/// Emits one line to stderr: "[level] message".
+void write(LogLevel level, std::string_view message);
+
+}  // namespace log
+
+/// Stream-style log statement; the stream body is not evaluated when the
+/// level is disabled.
+#define EPICAST_LOG(lvl, body)                                   \
+  do {                                                           \
+    if (::epicast::log::enabled(lvl)) {                          \
+      std::ostringstream epicast_log_os;                         \
+      epicast_log_os << body;                                    \
+      ::epicast::log::write(lvl, epicast_log_os.str());          \
+    }                                                            \
+  } while (false)
+
+#define EPICAST_DEBUG(body) EPICAST_LOG(::epicast::LogLevel::Debug, body)
+#define EPICAST_INFO(body) EPICAST_LOG(::epicast::LogLevel::Info, body)
+#define EPICAST_WARN(body) EPICAST_LOG(::epicast::LogLevel::Warn, body)
+
+}  // namespace epicast

@@ -1,0 +1,134 @@
+// epicast — pure-gossip dissemination comparator (paper §V).
+//
+// The paper contrasts its approach with hpcast, where gossip is not a
+// recovery add-on but the *only* routing mechanism: full events (not
+// digests) hop between nodes probabilistically, with no subscription
+// routes. The paper lists the drawbacks: events reach non-interested
+// nodes, the same node can receive an event several times, gossip
+// messages carry entire event contents, and delivery is not guaranteed
+// even without faults.
+//
+// This module implements that style of dissemination on the same overlay,
+// transport, and workload, so `bench_compare_pure_gossip` can quantify the
+// §V claims: how much more traffic pure gossip needs for comparable
+// delivery, and how much of it lands on nodes that never wanted the event.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "epicast/common/ids.hpp"
+#include "epicast/common/rng.hpp"
+#include "epicast/net/transport.hpp"
+#include "epicast/pubsub/event.hpp"
+#include "epicast/pubsub/subscription_table.hpp"
+#include "epicast/sim/simulator.hpp"
+
+namespace epicast {
+
+struct PureGossipConfig {
+  /// Neighbours each node forwards a fresh event to (its "infection"
+  /// fan-out). Capped by the node's degree.
+  std::uint32_t fanout = 2;
+  /// Hop TTL; bounds how far an infection travels.
+  std::uint32_t max_hops = 16;
+};
+
+/// A full event riding a gossip hop (hpcast-style: content, not digest).
+class PureGossipMessage final : public Message {
+ public:
+  PureGossipMessage(EventPtr event, std::uint32_t hops)
+      : event_(std::move(event)), hops_(hops) {}
+
+  [[nodiscard]] MessageClass message_class() const override {
+    return MessageClass::Event;  // it *is* the event traffic
+  }
+  [[nodiscard]] std::size_t size_bytes() const override {
+    return event_->payload_bytes();
+  }
+  [[nodiscard]] const EventPtr& event() const { return event_; }
+  [[nodiscard]] std::uint32_t hops() const { return hops_; }
+
+ private:
+  EventPtr event_;
+  std::uint32_t hops_;
+};
+
+class PureGossipNode final : public TransportReceiver {
+ public:
+  PureGossipNode(NodeId id, Simulator& sim, Transport& transport,
+                 PureGossipConfig config);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+
+  /// Local subscription only — there is no subscription forwarding in this
+  /// scheme; interest lives at the edge.
+  void subscribe(Pattern p) { table_.add_local(p); }
+  [[nodiscard]] const SubscriptionTable& table() const { return table_; }
+
+  /// Publishes an event: delivers locally if interested and starts the
+  /// infection towards `fanout` random neighbours.
+  EventPtr publish(const std::vector<Pattern>& content,
+                   std::size_t payload_bytes);
+
+  using DeliveryListener =
+      std::function<void(NodeId node, const EventPtr& event)>;
+  void set_delivery_listener(DeliveryListener listener) {
+    on_delivery_ = std::move(listener);
+  }
+
+  void on_overlay_message(NodeId from, const MessagePtr& msg) override;
+  void on_direct_message(NodeId from, const MessagePtr& msg) override;
+
+  struct Stats {
+    std::uint64_t published = 0;
+    std::uint64_t delivered = 0;       ///< interested first receptions
+    std::uint64_t uninterested = 0;    ///< first receptions nobody wanted
+    std::uint64_t duplicates = 0;      ///< repeat receptions (§V drawback)
+    std::uint64_t forwarded = 0;       ///< copies sent onward
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void infect(const EventPtr& event, std::uint32_t hops, NodeId exclude);
+
+  NodeId id_;
+  Simulator& sim_;
+  Transport& transport_;
+  PureGossipConfig cfg_;
+  Rng rng_;
+  SubscriptionTable table_;
+  std::unordered_set<EventId> seen_;
+  std::uint64_t next_source_seq_ = 0;
+  std::unordered_map<Pattern, std::uint64_t> next_pattern_seq_;
+  DeliveryListener on_delivery_;
+  Stats stats_;
+};
+
+/// One PureGossipNode per topology node, attached to the transport.
+class PureGossipNetwork {
+ public:
+  PureGossipNetwork(Simulator& sim, Transport& transport,
+                    PureGossipConfig config);
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] PureGossipNode& node(NodeId id);
+
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& n : nodes_) fn(*n);
+  }
+
+  void set_delivery_listener(PureGossipNode::DeliveryListener listener);
+
+  /// Sums the per-node statistics.
+  [[nodiscard]] PureGossipNode::Stats total_stats() const;
+
+ private:
+  std::vector<std::unique_ptr<PureGossipNode>> nodes_;
+};
+
+}  // namespace epicast

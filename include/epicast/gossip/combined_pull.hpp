@@ -1,0 +1,25 @@
+// epicast — the Combined Pull algorithm (§IV).
+//
+// Each gossip round runs the publisher-based variant with probability
+// P_source and the subscriber-based variant otherwise. The two complement
+// each other — publisher steering wins when a pattern has few subscribers,
+// subscriber steering when it has many — and the paper finds the mix
+// performs on par with push while gossiping only on demand.
+#pragma once
+
+#include "epicast/gossip/pull_base.hpp"
+
+namespace epicast {
+
+class CombinedPullProtocol final : public PullProtocolBase {
+ public:
+  CombinedPullProtocol(Dispatcher& dispatcher, GossipConfig config)
+      : PullProtocolBase(dispatcher, config) {}
+
+  [[nodiscard]] const char* name() const override { return "combined-pull"; }
+
+ protected:
+  bool on_round() override;
+};
+
+}  // namespace epicast

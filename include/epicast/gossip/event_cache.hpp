@@ -1,0 +1,97 @@
+// epicast — the retransmission buffer (β in the paper).
+//
+// Each dispatcher keeps a bounded cache of events "for which it is either
+// the publisher or a subscriber" (§IV-A); retransmission requests are served
+// from it. The paper uses FIFO eviction; LRU and random eviction are
+// provided for the cache-policy ablation.
+//
+// Lookup paths (all O(1) expected):
+//   * by event id        — serves push requests;
+//   * by (source, pattern, seq) — serves pull digests;
+//   * ids matching a pattern    — builds push digests (amortized via a
+//     per-pattern index with lazy purge of evicted entries).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "epicast/common/ids.hpp"
+#include "epicast/common/rng.hpp"
+#include "epicast/gossip/config.hpp"
+#include "epicast/pubsub/event.hpp"
+
+namespace epicast {
+
+class EventCache {
+ public:
+  EventCache(std::size_t capacity, CachePolicy policy, Rng rng);
+
+  /// Inserts an event, evicting per policy if full. Returns false (and does
+  /// nothing) if the event is already cached. Precondition: capacity > 0.
+  bool insert(const EventPtr& event);
+
+  [[nodiscard]] bool contains(const EventId& id) const;
+
+  /// Event by id, or nullptr. Counts a hit/miss; refreshes recency for LRU.
+  [[nodiscard]] EventPtr get(const EventId& id);
+
+  /// Event that the source tagged with (pattern, seq), or nullptr.
+  [[nodiscard]] EventPtr find(NodeId source, Pattern pattern, SeqNo seq);
+
+  /// Ids of cached events matching `pattern`, oldest first; at most
+  /// `max_entries` (0 = all).
+  [[nodiscard]] std::vector<EventId> ids_matching(Pattern pattern,
+                                                  std::size_t max_entries);
+
+  [[nodiscard]] std::size_t size() const { return by_id_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] CachePolicy policy() const { return policy_; }
+
+  struct Stats {
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct SpKey {
+    NodeId source;
+    Pattern pattern;
+    SeqNo seq;
+    friend constexpr auto operator<=>(const SpKey&, const SpKey&) = default;
+  };
+  struct SpKeyHash {
+    std::size_t operator()(const SpKey& k) const noexcept;
+  };
+
+  void evict_one();
+  void drop(const EventId& id);
+  void index_patterns(const EventPtr& event);
+  void unindex_patterns(const EventData& event);
+
+  std::size_t capacity_;
+  CachePolicy policy_;
+  Rng rng_;
+  Stats stats_;
+
+  /// Eviction order. FIFO: push_back on insert, evict front. LRU: also
+  /// splice-to-back on access. Random: evict a uniformly random element
+  /// (found via by_id_ → iterator).
+  std::list<EventPtr> order_;
+  std::unordered_map<EventId, std::list<EventPtr>::iterator> by_id_;
+  /// For Random eviction: dense id vector enabling O(1) uniform sampling.
+  std::vector<EventId> random_pool_;
+  std::unordered_map<EventId, std::size_t> random_pos_;
+
+  std::unordered_map<SpKey, EventId, SpKeyHash> by_source_pattern_;
+  /// Per-pattern id index, insertion-ordered; entries are lazily purged when
+  /// the event has been evicted.
+  std::unordered_map<Pattern, std::deque<EventId>> by_pattern_;
+};
+
+}  // namespace epicast

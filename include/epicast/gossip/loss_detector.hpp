@@ -1,0 +1,60 @@
+// epicast — sequence-gap loss detection (§III-B, Pull).
+//
+// Content-based systems have no per-subject sequence numbers, so the paper
+// tags every event, at its source, with a per-(source, pattern) sequence
+// number. A subscriber of pattern p observes the stream of sequence numbers
+// for each (source, p) it hears from; a jump reveals exactly which events
+// were lost.
+//
+// The first event heard from a (source, pattern) initializes the expectation
+// — losses before that point are undetectable, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "epicast/common/ids.hpp"
+
+namespace epicast {
+
+class LossDetector {
+ public:
+  /// Gaps larger than `max_gap_report` yield only the newest entries, so a
+  /// long partition cannot flood the Lost buffer with unrecoverable history.
+  explicit LossDetector(std::uint64_t max_gap_report);
+
+  /// Records the reception of sequence number `seq` for (source, pattern)
+  /// and returns the sequence numbers now known to be missing (possibly
+  /// empty). Out-of-order receipt of an old number is not a loss.
+  [[nodiscard]] std::vector<SeqNo> observe(NodeId source, Pattern pattern,
+                                           SeqNo seq);
+
+  /// Highest sequence number seen for (source, pattern), or SeqNo{0}.
+  [[nodiscard]] SeqNo high_watermark(NodeId source, Pattern pattern) const;
+
+  [[nodiscard]] std::uint64_t gaps_detected() const { return gaps_detected_; }
+  [[nodiscard]] std::uint64_t streams_tracked() const {
+    return static_cast<std::uint64_t>(high_.size());
+  }
+
+ private:
+  struct Key {
+    NodeId source;
+    Pattern pattern;
+    friend constexpr auto operator<=>(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(k.source.value()) << 32) ^
+          k.pattern.value());
+    }
+  };
+
+  std::uint64_t max_gap_report_;
+  std::unordered_map<Key, std::uint64_t, KeyHash> high_;
+  std::uint64_t gaps_detected_ = 0;
+};
+
+}  // namespace epicast

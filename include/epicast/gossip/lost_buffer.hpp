@@ -1,0 +1,100 @@
+// epicast — the Lost buffer (§III-B, Pull).
+//
+// Holds the (source, pattern, seq) triples of events known to be missing.
+// Pull gossip rounds draw digests from it; entries disappear when the event
+// is finally received, when they exceed the recovery TTL, or when the
+// buffer overflows (oldest first).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "epicast/common/ids.hpp"
+#include "epicast/gossip/messages.hpp"
+#include "epicast/sim/time.hpp"
+
+namespace epicast {
+
+class LostBuffer {
+ public:
+  LostBuffer(std::size_t capacity, Duration ttl);
+
+  /// Registers a missing event. Returns false if already present.
+  bool add(const LostEntryInfo& entry, SimTime now);
+
+  /// Removes one entry (typically because the event arrived).
+  /// Returns true if it was present.
+  bool remove(const LostEntryInfo& entry);
+
+  /// Drops entries older than the TTL. Returns how many expired.
+  std::size_t expire(SimTime now);
+
+  [[nodiscard]] bool contains(const LostEntryInfo& entry) const;
+  [[nodiscard]] std::size_t size() const { return by_key_.size(); }
+  [[nodiscard]] bool empty() const { return by_key_.empty(); }
+
+  /// Entries whose pattern is `p` (subscriber-based digests), oldest first,
+  /// at most `max_entries` (0 = all).
+  [[nodiscard]] std::vector<LostEntryInfo> entries_for_pattern(
+      Pattern p, std::size_t max_entries) const;
+
+  /// Entries whose source is `s` (publisher-based digests), oldest first.
+  [[nodiscard]] std::vector<LostEntryInfo> entries_for_source(
+      NodeId s, std::size_t max_entries) const;
+
+  /// All entries, oldest first (random pull digests).
+  [[nodiscard]] std::vector<LostEntryInfo> all_entries(
+      std::size_t max_entries) const;
+
+  /// Distinct patterns with at least one entry, sorted.
+  [[nodiscard]] std::vector<Pattern> patterns_with_losses() const;
+
+  /// Distinct sources with at least one entry, sorted.
+  [[nodiscard]] std::vector<NodeId> sources_with_losses() const;
+
+  /// Distinct sources ordered by the age of their oldest pending entry
+  /// (oldest first), keeping only those accepted by `pred`; at most
+  /// `max_sources`.
+  [[nodiscard]] std::vector<NodeId> oldest_sources(
+      std::size_t max_sources,
+      const std::function<bool(NodeId)>& pred) const;
+
+  struct Stats {
+    std::uint64_t added = 0;
+    std::uint64_t recovered = 0;  ///< removed because the event arrived
+    std::uint64_t expired = 0;
+    std::uint64_t overflowed = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Node {
+    LostEntryInfo info;
+    SimTime detected_at;
+  };
+  struct KeyHash {
+    std::size_t operator()(const LostEntryInfo& k) const noexcept {
+      std::uint64_t x = (static_cast<std::uint64_t>(k.source.value()) << 32) ^
+                        k.pattern.value();
+      x ^= k.seq.value() * 0x9e3779b97f4a7c15ULL;
+      x ^= x >> 31;
+      return static_cast<std::size_t>(x);
+    }
+  };
+
+  template <typename Pred>
+  [[nodiscard]] std::vector<LostEntryInfo> collect(
+      Pred&& pred, std::size_t max_entries) const;
+
+  std::size_t capacity_;
+  Duration ttl_;
+  std::list<Node> order_;  // oldest first
+  std::unordered_map<LostEntryInfo, std::list<Node>::iterator, KeyHash>
+      by_key_;
+  Stats stats_;
+};
+
+}  // namespace epicast

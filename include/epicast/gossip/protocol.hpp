@@ -1,0 +1,126 @@
+// epicast — common machinery of the epidemic recovery protocols (§III-B).
+//
+// All algorithms share: a gossip-round timer (interval T, desynchronized
+// across dispatchers), the retransmission buffer (EventCache, size β), the
+// P_forward fan-out rule, and the out-of-band request/reply exchange.
+// Concrete algorithms implement on_round() and handle_digest().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "epicast/gossip/adaptive_interval.hpp"
+#include "epicast/gossip/config.hpp"
+#include "epicast/gossip/event_cache.hpp"
+#include "epicast/gossip/messages.hpp"
+#include "epicast/pubsub/dispatcher.hpp"
+#include "epicast/pubsub/recovery.hpp"
+
+namespace epicast {
+
+class GossipProtocolBase : public RecoveryProtocol {
+ public:
+  GossipProtocolBase(Dispatcher& dispatcher, GossipConfig config);
+
+  void start() override;
+  void stop() override;
+
+  /// Default behaviour: cache the event iff this dispatcher is responsible
+  /// for it — it is the publisher or a local subscriber (§IV-A). Pull
+  /// protocols extend this with loss detection and route recording.
+  void on_event(const EventPtr& event, const EventContext& ctx) override;
+
+  /// Dispatches by GossipKind to handle_digest / handle_request /
+  /// handle_reply.
+  void on_gossip(NodeId from, const MessagePtr& msg) final;
+
+  [[nodiscard]] EventCache& cache() { return cache_; }
+  [[nodiscard]] const GossipConfig& config() const { return cfg_; }
+  [[nodiscard]] Duration current_interval() const {
+    return adaptive_.enabled() ? adaptive_.current() : cfg_.interval;
+  }
+
+  struct Stats {
+    std::uint64_t rounds = 0;
+    /// Rounds with no recovery demand: for pulls, no pending losses; for
+    /// push, no requests received since the previous round.
+    std::uint64_t rounds_skipped = 0;
+    std::uint64_t digests_originated = 0;
+    std::uint64_t digests_forwarded = 0;
+    std::uint64_t requests_sent = 0;
+    std::uint64_t replies_sent = 0;
+    std::uint64_t events_served = 0;     ///< events retransmitted to others
+    std::uint64_t events_recovered = 0;  ///< new events obtained via gossip
+    std::uint64_t reply_duplicates = 0;  ///< replies carrying known events
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ protected:
+  /// One gossip round. Return true if the round did useful work (drives the
+  /// adaptive-interval extension); return false for skipped rounds.
+  virtual bool on_round() = 0;
+
+  /// A digest arrived (push or pull flavours).
+  virtual void handle_digest(NodeId from, const GossipMessage& msg) = 0;
+
+  /// A request for cached events arrived; default serves from the cache.
+  virtual void handle_request(NodeId from, const RecoveryRequestMessage& msg);
+
+  /// A reply arrived; injects its events into the dispatcher.
+  void handle_reply(const RecoveryReplyMessage& msg);
+
+  /// Serves a negative digest from the cache: replies out-of-band to the
+  /// gossiper with every wanted event found, returns the remainder. Shared
+  /// by the pull digest handlers and by cross-protocol tolerance (a node
+  /// running a different algorithm can still serve what it holds).
+  std::vector<LostEntryInfo> serve_from_cache(
+      NodeId gossiper, const std::vector<LostEntryInfo>& wanted);
+
+  /// Keeps each candidate independently with probability P_forward.
+  /// With `ensure_progress` (used when a digest is "propagated along the
+  /// dispatching tree as if it were a normal event message", §III-B), a
+  /// non-empty candidate set never yields an empty subset: P_forward thins
+  /// the fan-out at branches but cannot stall the digest on a chain.
+  [[nodiscard]] std::vector<NodeId> fanout(std::vector<NodeId> candidates,
+                                           bool ensure_progress);
+
+  void send_digest(NodeId to, MessagePtr msg, bool originated);
+  void send_request(NodeId to, std::vector<EventId> ids);
+  void send_reply(NodeId to, std::vector<EventPtr> events);
+
+  /// True if this dispatcher must cache the event (publisher or subscriber).
+  [[nodiscard]] bool responsible_for(const EventData& event,
+                                     bool local_publish) const;
+
+  Dispatcher& d_;
+  GossipConfig cfg_;
+  EventCache cache_;
+  Stats stats_;
+
+ private:
+  void run_round();
+
+  AdaptiveIntervalController adaptive_;
+  PeriodicTimer timer_;
+};
+
+/// The baseline: plain best-effort dispatching, no recovery (§IV's
+/// "no recovery" curves).
+class NoRecoveryProtocol final : public RecoveryProtocol {
+ public:
+  void on_event(const EventPtr&, const EventContext&) override {}
+  void on_gossip(NodeId, const MessagePtr&) override {}
+  [[nodiscard]] const char* name() const override { return "no-recovery"; }
+};
+
+/// Creates the protocol implementing `algorithm` for `dispatcher`.
+[[nodiscard]] std::unique_ptr<RecoveryProtocol> make_recovery(
+    Algorithm algorithm, Dispatcher& dispatcher, const GossipConfig& config);
+
+/// True if the algorithm needs event messages to record their routes
+/// (publisher-based and combined pull); the scenario layer uses this to set
+/// DispatcherConfig::record_routes.
+[[nodiscard]] bool algorithm_needs_routes(Algorithm algorithm);
+
+}  // namespace epicast

@@ -1,0 +1,27 @@
+// epicast — the Publisher-Based Pull algorithm (§III-B).
+//
+// Reactive gossip steered towards the event *source*: the gossiper keeps,
+// for every publisher, the reverse of the most recent route an event from it
+// travelled (RoutesBuffer) and sends the negative digest back along that
+// route. Any dispatcher on the way may short-circuit the request from its
+// own cache; the publisher — which caches everything it publishes — is the
+// backstop. Complements subscriber-based pull precisely when a pattern has
+// very few subscribers.
+#pragma once
+
+#include "epicast/gossip/pull_base.hpp"
+
+namespace epicast {
+
+class PublisherPullProtocol final : public PullProtocolBase {
+ public:
+  PublisherPullProtocol(Dispatcher& dispatcher, GossipConfig config)
+      : PullProtocolBase(dispatcher, config) {}
+
+  [[nodiscard]] const char* name() const override { return "publisher-pull"; }
+
+ protected:
+  bool on_round() override { return round_publisher(); }
+};
+
+}  // namespace epicast

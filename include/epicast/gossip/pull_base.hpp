@@ -1,0 +1,67 @@
+// epicast — shared machinery of the pull algorithms (§III-B).
+//
+// All pull variants are reactive: they detect losses from per-(source,
+// pattern) sequence gaps, keep the missing triples in the Lost buffer, and
+// gossip negative digests. They differ only in how a round *steers* the
+// digest — towards subscribers, towards the publisher, randomly, or a
+// probabilistic mix — so the detection, bookkeeping, and digest handling
+// live here and every variant implements just its round.
+//
+// A dispatcher receiving any pull digest serves what it can from its cache
+// (replying out-of-band directly to the gossiper) and forwards only the
+// still-unresolved remainder — the "short-circuit" effect the paper credits
+// for pull's low overhead (§IV-E).
+#pragma once
+
+#include "epicast/gossip/loss_detector.hpp"
+#include "epicast/gossip/lost_buffer.hpp"
+#include "epicast/gossip/protocol.hpp"
+#include "epicast/gossip/routes_buffer.hpp"
+
+namespace epicast {
+
+class PullProtocolBase : public GossipProtocolBase {
+ public:
+  PullProtocolBase(Dispatcher& dispatcher, GossipConfig config);
+
+  /// Extends caching with loss detection (locally subscribed patterns
+  /// only), Lost-buffer reconciliation, and route recording.
+  void on_event(const EventPtr& event, const EventContext& ctx) override;
+
+  [[nodiscard]] const LostBuffer& lost() const { return lost_; }
+  [[nodiscard]] const LossDetector& detector() const { return detector_; }
+  [[nodiscard]] const RoutesBuffer& routes() const { return routes_; }
+
+ protected:
+  /// One subscriber-based round: a digest of losses for one locally
+  /// subscribed pattern, routed along that pattern's subscription routes.
+  /// Returns false if there was nothing to ask for.
+  bool round_subscriber();
+
+  /// One publisher-based round: a digest of losses from one source, routed
+  /// back along the recorded route towards that publisher.
+  bool round_publisher();
+
+  /// Handles all pull digest kinds (subscriber, publisher, random): serve
+  /// from cache, reply, forward the remainder.
+  void handle_digest(NodeId from, const GossipMessage& msg) override;
+
+  LossDetector detector_;
+  LostBuffer lost_;
+  RoutesBuffer routes_;
+
+ private:
+  void handle_subscriber_digest(NodeId from,
+                                const SubscriberPullDigestMessage& msg);
+  void handle_publisher_digest(const PublisherPullDigestMessage& msg);
+  void handle_random_digest(NodeId from, const RandomPullDigestMessage& msg);
+
+  /// Sends a publisher-bound digest to the next hop of its route: over the
+  /// overlay if still a neighbour, out-of-band otherwise (the recorded
+  /// route may predate a reconfiguration).
+  void forward_towards_publisher(NodeId gossiper, NodeId source,
+                                 std::vector<LostEntryInfo> wanted,
+                                 std::vector<NodeId> route, bool originated);
+};
+
+}  // namespace epicast

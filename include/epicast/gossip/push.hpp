@@ -1,0 +1,35 @@
+// epicast — the Push algorithm (§III-B).
+//
+// Proactive gossip with positive digests. Each round the gossiper picks a
+// random pattern p from its *whole* subscription table (local subscriptions
+// and routes alike — being on a route towards a subscriber is enough), puts
+// the ids of all cached events matching p in a digest, and sends it along
+// the dispatching tree as if it were an event matching p, except that each
+// hop forwards only to a P_forward-random subset of the neighbours
+// subscribed to p. A receiver subscribed to p requests the ids it has never
+// seen over the out-of-band channel; the gossiper replies with the events.
+#pragma once
+
+#include "epicast/gossip/protocol.hpp"
+
+namespace epicast {
+
+class PushProtocol final : public GossipProtocolBase {
+ public:
+  PushProtocol(Dispatcher& dispatcher, GossipConfig config)
+      : GossipProtocolBase(dispatcher, config) {}
+
+  [[nodiscard]] const char* name() const override { return "push"; }
+
+ protected:
+  bool on_round() override;
+  void handle_digest(NodeId from, const GossipMessage& msg) override;
+  void handle_request(NodeId from, const RecoveryRequestMessage& msg) override;
+
+ private:
+  /// Requests received since the previous round — the adaptive-interval
+  /// activity signal for a proactive protocol.
+  bool saw_request_since_round_ = false;
+};
+
+}  // namespace epicast

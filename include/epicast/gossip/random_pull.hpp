@@ -1,0 +1,25 @@
+// epicast — the Random Pull control (§IV).
+//
+// Identical loss detection and digests as the other pulls, but the digest
+// is forwarded to uniformly random neighbours with no steering at all. The
+// paper uses it to show that deciding *where* to route gossip messages is
+// worth the effort ("random push" is omitted, as in the paper, because its
+// performance is extremely poor).
+#pragma once
+
+#include "epicast/gossip/pull_base.hpp"
+
+namespace epicast {
+
+class RandomPullProtocol final : public PullProtocolBase {
+ public:
+  RandomPullProtocol(Dispatcher& dispatcher, GossipConfig config)
+      : PullProtocolBase(dispatcher, config) {}
+
+  [[nodiscard]] const char* name() const override { return "random-pull"; }
+
+ protected:
+  bool on_round() override;
+};
+
+}  // namespace epicast

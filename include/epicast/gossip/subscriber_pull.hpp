@@ -1,0 +1,25 @@
+// epicast — the Subscriber-Based Pull algorithm (§III-B).
+//
+// Reactive gossip with negative digests, steered towards other subscribers:
+// the gossiper picks a locally subscribed pattern with pending losses and
+// routes the digest along that pattern's subscription routes. Weak exactly
+// where the paper says: when a pattern has few subscribers there is almost
+// no one to gossip with.
+#pragma once
+
+#include "epicast/gossip/pull_base.hpp"
+
+namespace epicast {
+
+class SubscriberPullProtocol final : public PullProtocolBase {
+ public:
+  SubscriberPullProtocol(Dispatcher& dispatcher, GossipConfig config)
+      : PullProtocolBase(dispatcher, config) {}
+
+  [[nodiscard]] const char* name() const override { return "subscriber-pull"; }
+
+ protected:
+  bool on_round() override { return round_subscriber(); }
+};
+
+}  // namespace epicast

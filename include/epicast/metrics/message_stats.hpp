@@ -1,0 +1,68 @@
+// epicast — traffic accounting for the paper's overhead figures (§IV-E).
+//
+// Counts every send per message class, per node. "Gossip messages" are all
+// recovery-layer sends (digest hops + requests + replies); "event messages"
+// are per-hop event forwards — exactly the two quantities whose ratio the
+// paper plots in Fig. 9. Snapshots allow measuring only inside the
+// measurement window (warmup excluded).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "epicast/net/transport.hpp"
+
+namespace epicast {
+
+class MessageStats final : public TransportObserver {
+ public:
+  static constexpr std::size_t kClassCount = 5;
+
+  explicit MessageStats(std::uint32_t node_count);
+
+  void on_send(NodeId from, NodeId to, const Message& msg,
+               bool overlay) override;
+  void on_loss(NodeId from, NodeId to, const Message& msg,
+               bool overlay) override;
+  void on_drop_no_link(NodeId from, NodeId to, const Message& msg) override;
+
+  /// Aggregate counters at one instant; subtract two snapshots to get the
+  /// traffic of a window.
+  struct Snapshot {
+    std::array<std::uint64_t, kClassCount> sends{};
+    std::array<std::uint64_t, kClassCount> losses{};
+    std::uint64_t drops_no_link = 0;
+    std::uint64_t overlay_sends = 0;
+    std::uint64_t direct_sends = 0;
+
+    [[nodiscard]] std::uint64_t sends_of(MessageClass c) const {
+      return sends[static_cast<std::size_t>(c)];
+    }
+    [[nodiscard]] std::uint64_t losses_of(MessageClass c) const {
+      return losses[static_cast<std::size_t>(c)];
+    }
+    /// Digest + request + reply sends.
+    [[nodiscard]] std::uint64_t gossip_sends() const;
+    [[nodiscard]] std::uint64_t event_sends() const {
+      return sends_of(MessageClass::Event);
+    }
+    /// Gossip sends ÷ event sends (0 if no events flowed).
+    [[nodiscard]] double gossip_event_ratio() const;
+
+    friend Snapshot operator-(Snapshot a, const Snapshot& b);
+  };
+
+  [[nodiscard]] Snapshot snapshot() const { return totals_; }
+
+  /// Gossip sends originated or forwarded by one node (all classes).
+  [[nodiscard]] std::uint64_t gossip_sends_by(NodeId node) const;
+  [[nodiscard]] std::uint64_t event_sends_by(NodeId node) const;
+
+ private:
+  Snapshot totals_;
+  /// per node × class
+  std::vector<std::array<std::uint64_t, kClassCount>> by_node_;
+};
+
+}  // namespace epicast

@@ -1,0 +1,45 @@
+// epicast — tiny series container used by reports and benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace epicast {
+
+struct SeriesPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// An (x, y) series with a name — e.g. "delivery rate vs time" for one
+/// algorithm. Deliberately minimal: benches print these as aligned columns.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void add(double x, double y) { points_.push_back(SeriesPoint{x, y}); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<SeriesPoint>& points() const {
+    return points_;
+  }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+  [[nodiscard]] double mean_y() const;
+  [[nodiscard]] double min_y() const;
+  [[nodiscard]] double max_y() const;
+
+ private:
+  std::string name_;
+  std::vector<SeriesPoint> points_;
+};
+
+/// Renders several series sharing an x-axis as an aligned text table:
+/// one row per x value, one column per series (the paper-figure format).
+[[nodiscard]] std::string render_series_table(
+    const std::string& x_label, const std::vector<TimeSeries>& series);
+
+}  // namespace epicast

@@ -1,0 +1,93 @@
+// epicast — event tracing for debugging and analysis.
+//
+// A TraceLog records what happened and when: every transport send / loss /
+// stale-route drop (it is a TransportObserver), plus deliveries and
+// reconfigurations fed in through explicit hooks. The log is bounded (a
+// ring of the most recent records), renders to a human-readable listing,
+// and supports simple filtering — enough to answer "what happened to event
+// (7, 142) around t=2.3s?" without a debugger.
+//
+// Tracing is strictly opt-in: nothing in the library records traces unless
+// a TraceLog is attached (see examples/trace_debug.cpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "epicast/common/ids.hpp"
+#include "epicast/net/topology.hpp"
+#include "epicast/net/transport.hpp"
+#include "epicast/sim/simulator.hpp"
+
+namespace epicast {
+
+enum class TraceKind {
+  Send,        ///< a message left a node (overlay or direct)
+  Loss,        ///< a message was lost in transit
+  StaleDrop,   ///< a message hit a missing link
+  Delivery,    ///< an event was delivered to a local subscriber
+  LinkChange,  ///< a topology link appeared or disappeared
+};
+
+[[nodiscard]] const char* to_string(TraceKind kind);
+
+struct TraceRecord {
+  SimTime at;
+  TraceKind kind = TraceKind::Send;
+  NodeId from;                       ///< acting node
+  NodeId to;                         ///< peer (invalid when n/a)
+  MessageClass message_class = MessageClass::Event;  ///< Send/Loss/StaleDrop
+  bool overlay = true;               ///< Send/Loss: channel used
+  std::optional<EventId> event;      ///< Delivery (and Send/Loss of events)
+  bool flag = false;                 ///< Delivery: recovered; LinkChange: added
+};
+
+class TraceLog final : public TransportObserver {
+ public:
+  /// Keeps at most `capacity` most-recent records.
+  explicit TraceLog(Simulator& sim, std::size_t capacity = 65536);
+
+  // -- TransportObserver ------------------------------------------------------
+  void on_send(NodeId from, NodeId to, const Message& msg,
+               bool overlay) override;
+  void on_loss(NodeId from, NodeId to, const Message& msg,
+               bool overlay) override;
+  void on_drop_no_link(NodeId from, NodeId to, const Message& msg) override;
+
+  // -- explicit hooks -----------------------------------------------------------
+  /// Wire as (or inside) a Dispatcher delivery listener.
+  void record_delivery(NodeId node, const EventId& event, bool recovered);
+  /// Wire as a Topology change listener.
+  void record_link_change(const Link& link, bool added);
+
+  // -- access -------------------------------------------------------------------
+  [[nodiscard]] const std::deque<TraceRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t dropped_records() const { return dropped_; }
+  void clear();
+
+  /// Records of one kind, oldest first.
+  [[nodiscard]] std::vector<TraceRecord> of_kind(TraceKind kind) const;
+
+  /// Everything that mentions `event` — its send/loss/delivery history.
+  [[nodiscard]] std::vector<TraceRecord> history_of(const EventId& id) const;
+
+  /// Human-readable listing; at most `max_lines` (0 = all).
+  void dump(std::ostream& os, std::size_t max_lines = 0) const;
+
+ private:
+  void push(TraceRecord record);
+  /// Event id carried by a message, if its concrete type exposes one.
+  static std::optional<EventId> event_of(const Message& msg);
+
+  Simulator& sim_;
+  std::size_t capacity_;
+  std::deque<TraceRecord> records_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace epicast

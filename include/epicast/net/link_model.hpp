@@ -1,0 +1,55 @@
+// epicast — physical behaviour of one overlay hop.
+//
+// Each overlay link behaves as a full-duplex 10 Mbit/s Ethernet-like channel
+// (paper §IV-A): per-direction FIFO serialization (a message must wait for
+// the previous one to finish transmitting), a fixed propagation delay, and
+// independent Bernoulli loss with rate ε applied per message.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "epicast/common/ids.hpp"
+#include "epicast/common/rng.hpp"
+#include "epicast/sim/time.hpp"
+
+namespace epicast {
+
+struct LinkParams {
+  double bandwidth_bps = 10e6;                       ///< 10 Mbit/s default
+  Duration propagation = Duration::micros(50);       ///< per-hop latency
+  double loss_rate = 0.0;                            ///< ε, per message
+};
+
+class LinkModel {
+ public:
+  LinkModel(LinkParams params, Rng rng);
+
+  struct Outcome {
+    Duration delay;  ///< queueing + transmission + propagation
+    bool lost;       ///< message corrupted in transit
+  };
+
+  /// Accounts for transmitting `bytes` from `from` to `to` starting no
+  /// earlier than `now`, and draws the loss trial. `lossless` suppresses the
+  /// loss draw (reliable control channel) but still occupies the link.
+  Outcome transmit(NodeId from, NodeId to, std::size_t bytes, SimTime now,
+                   bool lossless);
+
+  /// Transmission time of `bytes` at the configured bandwidth.
+  [[nodiscard]] Duration serialization_time(std::size_t bytes) const;
+
+  [[nodiscard]] const LinkParams& params() const { return params_; }
+
+  /// Forgets per-link queue state (e.g., between scenario phases).
+  void reset();
+
+ private:
+  LinkParams params_;
+  Rng rng_;
+  /// Key = directed link (from << 32 | to); value = when the sender side of
+  /// that direction becomes free.
+  std::unordered_map<std::uint64_t, SimTime> next_free_;
+};
+
+}  // namespace epicast

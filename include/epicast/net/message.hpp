@@ -1,0 +1,51 @@
+// epicast — wire message abstraction.
+//
+// The transport layer is agnostic of message content: it sees only a class
+// tag (used for loss policy and accounting) and a size (used for
+// serialization delay). Concrete message types live in the pubsub and gossip
+// modules and derive from `Message`.
+//
+// Messages are immutable once sent and shared by pointer, so a fan-out of an
+// event to many neighbours costs no copies.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace epicast {
+
+/// Traffic classes, used for (a) per-class accounting in the paper's
+/// overhead figures and (b) loss policy (control traffic may be configured
+/// reliable, modelling a TCP-backed control channel).
+enum class MessageClass {
+  Event,          ///< published event propagating along subscription routes
+  Control,        ///< subscribe / unsubscribe propagation
+  GossipDigest,   ///< a gossip round's digest travelling the tree
+  GossipRequest,  ///< out-of-band retransmission request
+  GossipReply,    ///< out-of-band retransmitted events
+};
+
+[[nodiscard]] constexpr bool is_gossip(MessageClass c) {
+  return c == MessageClass::GossipDigest || c == MessageClass::GossipRequest ||
+         c == MessageClass::GossipReply;
+}
+
+[[nodiscard]] const char* to_string(MessageClass c);
+
+/// Base class of everything the transport can carry.
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Traffic class for accounting and loss policy.
+  [[nodiscard]] virtual MessageClass message_class() const = 0;
+
+  /// Serialized size used to compute link occupancy. The paper assumes event
+  /// and gossip messages have equal size (§IV-E); the scenario layer follows
+  /// suit but the model supports any size.
+  [[nodiscard]] virtual std::size_t size_bytes() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+}  // namespace epicast

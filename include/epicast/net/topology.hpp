@@ -1,0 +1,117 @@
+// epicast — the overlay network topology.
+//
+// The paper's dispatching network is a single *unrooted tree* of dispatchers
+// with at most four neighbours each (§IV-A). `Topology` maintains that
+// adjacency, generates random degree-capped trees, and supports the
+// reconfiguration primitive of §IV-A: remove one link (splitting the tree in
+// two) and later add a replacement that reconnects the components.
+//
+// The structure tolerates being temporarily a two-component forest — that is
+// precisely the state during a repair window — and checks the tree invariant
+// (N-1 edges, acyclic) on demand.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "epicast/common/ids.hpp"
+#include "epicast/common/rng.hpp"
+
+namespace epicast {
+
+/// An undirected overlay link, stored with endpoints in ascending order.
+struct Link {
+  NodeId a;
+  NodeId b;
+
+  Link(NodeId x, NodeId y) : a(x < y ? x : y), b(x < y ? y : x) {}
+  friend auto operator<=>(const Link&, const Link&) = default;
+};
+
+class Topology {
+ public:
+  /// An edgeless topology over `node_count` nodes.
+  Topology(std::uint32_t node_count, std::uint32_t max_degree);
+
+  /// Builds a uniform random degree-capped tree: nodes are joined in random
+  /// order, each new node attaching to a uniformly chosen node that still
+  /// has degree headroom. Requires max_degree >= 2 for node_count > 2.
+  static Topology random_tree(std::uint32_t node_count,
+                              std::uint32_t max_degree, Rng& rng);
+
+  /// A path (line) topology; handy in tests where hop counts must be exact.
+  static Topology line(std::uint32_t node_count);
+
+  /// A star with node 0 at the centre (requires max_degree >= N-1).
+  static Topology star(std::uint32_t node_count);
+
+  [[nodiscard]] std::uint32_t node_count() const {
+    return static_cast<std::uint32_t>(adj_.size());
+  }
+  [[nodiscard]] std::uint32_t max_degree() const { return max_degree_; }
+  [[nodiscard]] std::size_t link_count() const { return link_count_; }
+
+  [[nodiscard]] bool has_link(NodeId a, NodeId b) const;
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId n) const;
+  [[nodiscard]] std::uint32_t degree(NodeId n) const;
+
+  /// Adds a link. Preconditions: distinct valid endpoints, link absent,
+  /// both degrees below the cap.
+  void add_link(NodeId a, NodeId b);
+
+  /// Removes a link. Precondition: the link exists.
+  void remove_link(NodeId a, NodeId b);
+
+  /// All links, each reported once, in deterministic (sorted) order.
+  [[nodiscard]] std::vector<Link> links() const;
+
+  /// True if every node is reachable from node 0 (vacuously true for N=0).
+  [[nodiscard]] bool connected() const;
+
+  /// True if the graph is a single tree: connected with exactly N-1 links.
+  [[nodiscard]] bool is_tree() const;
+
+  /// Shortest path from `from` to `to` (inclusive of both endpoints), or
+  /// nullopt if unreachable. On a tree this is the unique path.
+  [[nodiscard]] std::optional<std::vector<NodeId>> path(NodeId from,
+                                                        NodeId to) const;
+
+  /// Hop distance, or nullopt if unreachable.
+  [[nodiscard]] std::optional<std::uint32_t> distance(NodeId from,
+                                                      NodeId to) const;
+
+  /// Nodes in the connected component containing `n`.
+  [[nodiscard]] std::vector<NodeId> component_of(NodeId n) const;
+
+  /// Mean hop distance over all unordered node pairs (components only);
+  /// used for calibration reports.
+  [[nodiscard]] double mean_pairwise_distance() const;
+
+  /// Called after every add_link/remove_link with the affected link.
+  /// Observers must not mutate the topology re-entrantly.
+  using ChangeListener = std::function<void(const Link&, bool added)>;
+  void add_change_listener(ChangeListener listener);
+
+  /// Monotone counter bumped on every structural change; lets caches detect
+  /// staleness cheaply.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  /// Graphviz rendering of the current overlay (debugging, examples):
+  /// `dot -Tpng` turns it into a picture of the dispatching tree.
+  [[nodiscard]] std::string to_dot() const;
+
+ private:
+  void check_node(NodeId n) const;
+
+  std::vector<std::vector<NodeId>> adj_;
+  std::uint32_t max_degree_;
+  std::size_t link_count_ = 0;
+  std::uint64_t version_ = 0;
+  std::vector<ChangeListener> listeners_;
+};
+
+}  // namespace epicast

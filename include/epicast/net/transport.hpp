@@ -1,0 +1,126 @@
+// epicast — message delivery over the overlay and out-of-band channels.
+//
+// Two channels, mirroring the paper's model (§III-B):
+//
+//  * the **overlay channel** carries event, control, and gossip-digest
+//    traffic hop-by-hop along tree links, subject to the link model
+//    (serialization, propagation, Bernoulli loss ε). A send over a link that
+//    no longer exists — stale routes during a reconfiguration — is dropped,
+//    as is a message in flight when its link breaks.
+//
+//  * the **direct channel** is the out-of-band unicast transport ("not
+//    necessarily reliable, e.g. UDP-based") used for retransmission
+//    requests and replies. It is independent of the overlay topology and
+//    has its own latency band and loss rate.
+//
+// Control traffic (subscriptions) defaults to lossless, modelling the
+// TCP-backed control connections real dispatching networks use.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "epicast/common/ids.hpp"
+#include "epicast/net/link_model.hpp"
+#include "epicast/net/message.hpp"
+#include "epicast/net/topology.hpp"
+#include "epicast/sim/simulator.hpp"
+
+namespace epicast {
+
+/// Where incoming messages are handed to. One receiver per node, typically
+/// the node's Dispatcher.
+class TransportReceiver {
+ public:
+  virtual ~TransportReceiver() = default;
+
+  /// A message arrived over an overlay link from neighbour `from`.
+  virtual void on_overlay_message(NodeId from, const MessagePtr& msg) = 0;
+
+  /// A message arrived over the out-of-band channel from `from`.
+  virtual void on_direct_message(NodeId from, const MessagePtr& msg) = 0;
+};
+
+/// Observes transport activity; implemented by the metrics layer.
+class TransportObserver {
+ public:
+  virtual ~TransportObserver() = default;
+
+  virtual void on_send(NodeId from, NodeId to, const Message& msg,
+                       bool overlay) = 0;
+  virtual void on_loss(NodeId from, NodeId to, const Message& msg,
+                       bool overlay) = 0;
+  /// A send attempted over a missing overlay link (stale route), or whose
+  /// link broke mid-flight.
+  virtual void on_drop_no_link(NodeId from, NodeId to,
+                               const Message& msg) = 0;
+};
+
+struct TransportConfig {
+  LinkParams link;                    ///< overlay link behaviour
+  bool control_lossless = true;       ///< subscriptions ride a reliable channel
+  Duration direct_latency_min = Duration::micros(500);
+  Duration direct_latency_max = Duration::millis(2);
+  double direct_loss_rate = 0.0;      ///< out-of-band loss
+};
+
+class Transport {
+ public:
+  /// The transport keeps references to `sim` and `topology`; both must
+  /// outlive it.
+  Transport(Simulator& sim, Topology& topology, TransportConfig config);
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Registers the receiver for `node`. Must be called for every node
+  /// before traffic addressed to it arrives.
+  void attach(NodeId node, TransportReceiver& receiver);
+
+  /// Registers an additional observer (metrics, tracing); all registered
+  /// observers see every send/loss/drop, in registration order.
+  void add_observer(TransportObserver& observer) {
+    observers_.push_back(&observer);
+  }
+
+  /// Legacy single-observer setter: nullptr clears all observers,
+  /// otherwise equivalent to add_observer.
+  void set_observer(TransportObserver* observer) {
+    observers_.clear();
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+
+  /// Deterministic fault injection (tests, failure-injection examples):
+  /// return false to drop that send. Evaluated before the stochastic loss
+  /// draw; dropped sends are reported to the observer as losses.
+  using FaultFilter =
+      std::function<bool(NodeId from, NodeId to, const Message& msg)>;
+  void set_fault_filter(FaultFilter filter) { fault_ = std::move(filter); }
+
+  /// Sends over the overlay link (from → to). If the link does not exist
+  /// the message is dropped (stale-route drop).
+  void send_overlay(NodeId from, NodeId to, MessagePtr msg);
+
+  /// Sends over the out-of-band channel. `from == to` is a programming
+  /// error — recovery never gossips with itself.
+  void send_direct(NodeId from, NodeId to, MessagePtr msg);
+
+  [[nodiscard]] const TransportConfig& config() const { return config_; }
+  [[nodiscard]] Topology& topology() { return topology_; }
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+
+ private:
+  TransportReceiver& receiver_for(NodeId node) const;
+
+  Simulator& sim_;
+  Topology& topology_;
+  TransportConfig config_;
+  LinkModel link_model_;
+  Rng direct_rng_;
+  std::vector<TransportReceiver*> receivers_;
+  std::vector<TransportObserver*> observers_;
+  FaultFilter fault_;
+};
+
+}  // namespace epicast

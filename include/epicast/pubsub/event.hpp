@@ -1,0 +1,67 @@
+// epicast — events and their identifiers.
+//
+// Following the paper's model (§IV-A), an event's content is a short
+// sequence of distinct numbers, each denoting one pattern; an event matches
+// a subscription iff its content contains the subscribed number.
+//
+// The identifier carries everything the epidemic algorithms need (§III-B):
+//   * (source, source_seq) — globally unique id (footnote 3), used by push
+//     digests and for duplicate suppression;
+//   * for every matched pattern, the per-(source, pattern) sequence number
+//     assigned at the source — the information that makes loss *detectable*
+//     in a content-based system, enabling the pull algorithms.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "epicast/common/ids.hpp"
+#include "epicast/sim/time.hpp"
+
+namespace epicast {
+
+/// One (pattern, per-(source,pattern) sequence number) element of an event.
+struct PatternSeq {
+  Pattern pattern;
+  SeqNo seq;
+
+  friend constexpr auto operator<=>(const PatternSeq&,
+                                    const PatternSeq&) = default;
+};
+
+/// An immutable published event. Shared by pointer throughout the system so
+/// that tree fan-out, caching, and retransmission never copy the payload.
+class EventData {
+ public:
+  EventData(EventId id, std::vector<PatternSeq> patterns,
+            std::size_t payload_bytes, SimTime published_at);
+
+  [[nodiscard]] const EventId& id() const { return id_; }
+  [[nodiscard]] NodeId source() const { return id_.source; }
+
+  /// The matched patterns with their sequence numbers. Sorted by pattern,
+  /// at most a few entries (the paper assumes ≤ 3).
+  [[nodiscard]] const std::vector<PatternSeq>& patterns() const {
+    return patterns_;
+  }
+
+  [[nodiscard]] bool matches(Pattern p) const;
+
+  /// The per-(source, p) sequence number, if the event matches p.
+  [[nodiscard]] std::optional<SeqNo> seq_for(Pattern p) const;
+
+  [[nodiscard]] std::size_t payload_bytes() const { return payload_bytes_; }
+  [[nodiscard]] SimTime published_at() const { return published_at_; }
+
+ private:
+  EventId id_;
+  std::vector<PatternSeq> patterns_;  // sorted by pattern
+  std::size_t payload_bytes_;
+  SimTime published_at_;
+};
+
+using EventPtr = std::shared_ptr<const EventData>;
+
+}  // namespace epicast

@@ -1,0 +1,62 @@
+// epicast — concrete wire messages of the pub-sub layer.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "epicast/common/ids.hpp"
+#include "epicast/net/message.hpp"
+#include "epicast/pubsub/event.hpp"
+
+namespace epicast {
+
+/// An event travelling the dispatching tree. The payload is shared; the
+/// per-hop `route` (used by publisher-based pull, §III-B) is copied and
+/// extended at each hop when route recording is enabled.
+class EventMessage final : public Message {
+ public:
+  EventMessage(EventPtr event, std::vector<NodeId> route)
+      : event_(std::move(event)), route_(std::move(route)) {}
+
+  [[nodiscard]] MessageClass message_class() const override {
+    return MessageClass::Event;
+  }
+  [[nodiscard]] std::size_t size_bytes() const override {
+    return event_->payload_bytes();
+  }
+
+  [[nodiscard]] const EventPtr& event() const { return event_; }
+
+  /// Dispatchers traversed so far, publisher first. Empty when route
+  /// recording is disabled.
+  [[nodiscard]] const std::vector<NodeId>& route() const { return route_; }
+
+ private:
+  EventPtr event_;
+  std::vector<NodeId> route_;
+};
+
+/// Subscription-forwarding control message (subscribe or unsubscribe).
+class SubscribeMessage final : public Message {
+ public:
+  static constexpr std::size_t kWireBytes = 64;
+
+  SubscribeMessage(Pattern pattern, bool subscribe)
+      : pattern_(pattern), subscribe_(subscribe) {}
+
+  [[nodiscard]] MessageClass message_class() const override {
+    return MessageClass::Control;
+  }
+  [[nodiscard]] std::size_t size_bytes() const override { return kWireBytes; }
+
+  [[nodiscard]] Pattern pattern() const { return pattern_; }
+  [[nodiscard]] bool is_subscribe() const { return subscribe_; }
+
+ private:
+  Pattern pattern_;
+  bool subscribe_;
+};
+
+}  // namespace epicast

@@ -1,0 +1,43 @@
+// epicast — the pattern universe.
+//
+// The paper draws all patterns from a fixed universe of Π numbers (Π = 70 in
+// the evaluation). `PatternUniverse` provides uniform sampling of distinct
+// patterns — used both for subscriptions (πmax patterns per dispatcher) and
+// for event content (up to 3 patterns per event).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "epicast/common/ids.hpp"
+#include "epicast/common/rng.hpp"
+
+namespace epicast {
+
+class PatternUniverse {
+ public:
+  explicit PatternUniverse(std::uint32_t count);
+
+  [[nodiscard]] std::uint32_t count() const { return count_; }
+
+  [[nodiscard]] Pattern at(std::uint32_t index) const;
+
+  /// `k` distinct patterns, uniform over the universe, in sorted order.
+  /// Precondition: k <= count().
+  [[nodiscard]] std::vector<Pattern> sample_distinct(std::uint32_t k,
+                                                     Rng& rng) const;
+
+  /// All patterns in the universe, ascending.
+  [[nodiscard]] std::vector<Pattern> all() const;
+
+  /// Probability that a random subscriber (with `subs` distinct patterns)
+  /// matches a random event (with `event_patterns` distinct patterns) —
+  /// the closed form behind the paper's Fig. 7 discussion.
+  [[nodiscard]] double match_probability(std::uint32_t subs,
+                                         std::uint32_t event_patterns) const;
+
+ private:
+  std::uint32_t count_;
+};
+
+}  // namespace epicast

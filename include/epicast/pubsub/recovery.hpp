@@ -1,0 +1,54 @@
+// epicast — interface between the best-effort dispatcher and an epidemic
+// recovery protocol.
+//
+// The paper's algorithms sit *on top of* a best-effort content-based
+// publish-subscribe system (§III): the dispatcher notifies its recovery
+// protocol of every accepted event (so it can cache and detect losses) and
+// hands it every gossip-class message; the protocol injects recovered events
+// back via Dispatcher::accept_recovered. Concrete implementations live in
+// epicast/gossip.
+#pragma once
+
+#include <vector>
+
+#include "epicast/common/ids.hpp"
+#include "epicast/net/message.hpp"
+#include "epicast/pubsub/event.hpp"
+
+namespace epicast {
+
+class RecoveryProtocol {
+ public:
+  virtual ~RecoveryProtocol() = default;
+
+  /// How an event reached this dispatcher.
+  struct EventContext {
+    /// Upstream neighbour, or invalid() for a local publish or a recovery.
+    NodeId from;
+    /// Dispatchers traversed (publisher first, sender last); empty unless
+    /// route recording is enabled and the event arrived via the overlay.
+    std::vector<NodeId> route;
+    /// The dispatcher itself published this event.
+    bool local_publish = false;
+    /// The event arrived via the recovery machinery, not normal routing.
+    bool recovered = false;
+  };
+
+  /// Begins periodic activity (gossip rounds). Called once after wiring.
+  virtual void start() {}
+
+  /// Stops periodic activity.
+  virtual void stop() {}
+
+  /// A new (never seen before) event was accepted by the dispatcher.
+  virtual void on_event(const EventPtr& event, const EventContext& ctx) = 0;
+
+  /// A gossip-class message arrived (digest over the overlay, or
+  /// request/reply over the out-of-band channel).
+  virtual void on_gossip(NodeId from, const MessagePtr& msg) = 0;
+
+  /// Human-readable protocol name for reports.
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+}  // namespace epicast

@@ -1,0 +1,85 @@
+// epicast — per-dispatcher subscription table.
+//
+// For every pattern the table records (a) whether this dispatcher is itself
+// a subscriber ("local", i.e., one of its clients subscribed) and (b) the
+// set of neighbour next-hops behind which subscribers live — the routes laid
+// down by subscription forwarding (paper §II, Fig. 1).
+//
+// The push algorithm draws its gossip pattern from the *whole* table (local
+// + routes), the pull algorithms only from local subscriptions (§III-B) —
+// hence the separate enumeration helpers.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "epicast/common/ids.hpp"
+#include "epicast/pubsub/event.hpp"
+
+namespace epicast {
+
+class SubscriptionTable {
+ public:
+  /// Marks this dispatcher as a subscriber for `p`.
+  /// Returns false if it already was.
+  bool add_local(Pattern p);
+
+  /// Clears the local-subscriber mark. Returns false if it was not set.
+  bool remove_local(Pattern p);
+
+  /// Records that events matching `p` must be forwarded to `next_hop`.
+  /// Returns false if that route was already present.
+  bool add_route(Pattern p, NodeId next_hop);
+
+  /// Removes one route. Returns false if it was not present.
+  bool remove_route(Pattern p, NodeId next_hop);
+
+  /// Drops every route through `neighbor` (e.g., its link broke).
+  void remove_neighbor(NodeId neighbor);
+
+  /// Drops all routes, keeping local subscriptions (used when routes are
+  /// rebuilt after a reconfiguration).
+  void clear_routes();
+
+  [[nodiscard]] bool has_local(Pattern p) const;
+  [[nodiscard]] bool has_route(Pattern p, NodeId next_hop) const;
+  /// True if the table has any entry (local or route) for p.
+  [[nodiscard]] bool knows(Pattern p) const;
+
+  /// True if this dispatcher is locally subscribed to any of the event's
+  /// patterns — i.e., the event must be delivered here.
+  [[nodiscard]] bool matches_local(const EventData& event) const;
+
+  /// Union of next-hops for all the event's patterns, minus `exclude`
+  /// (the neighbour the event arrived from). Deterministic order.
+  [[nodiscard]] std::vector<NodeId> route_targets(const EventData& event,
+                                                  NodeId exclude) const;
+
+  /// Next-hops for a single pattern, minus `exclude`.
+  [[nodiscard]] std::vector<NodeId> route_targets(Pattern p,
+                                                  NodeId exclude) const;
+
+  /// Patterns with any entry — the push algorithm's sampling population.
+  [[nodiscard]] std::vector<Pattern> known_patterns() const;
+
+  /// Patterns with a local subscription — the pull sampling population.
+  [[nodiscard]] std::vector<Pattern> local_patterns() const;
+
+  [[nodiscard]] std::size_t entry_count() const;
+
+ private:
+  struct Entry {
+    bool local = false;
+    std::vector<NodeId> next_hops;  // sorted, unique
+
+    [[nodiscard]] bool empty() const { return !local && next_hops.empty(); }
+  };
+
+  /// Erases `p` if its entry became empty (keeps known_patterns() exact).
+  void prune(Pattern p);
+
+  std::unordered_map<Pattern, Entry> entries_;
+};
+
+}  // namespace epicast

@@ -1,0 +1,64 @@
+// epicast — end-to-end scenario execution.
+//
+// Builds the full stack (topology → transport → dispatchers → recovery →
+// workload → metrics) from a ScenarioConfig, runs the simulation timeline,
+// and returns every quantity the paper's figures need.
+//
+// Timeline:
+//   0 ……………………… subscription floods settle (verified against the oracle)
+//   publish_start … Poisson publishing + gossip rounds (+ churn) begin
+//   window_start …… measurement window opens (warmup excluded)
+//   window_end ……… window closes; publishing continues so late gaps are
+//                    still detectable
+//   end_time ………… recovery horizon past the window; simulation stops
+#pragma once
+
+#include <cstdint>
+
+#include "epicast/gossip/protocol.hpp"
+#include "epicast/metrics/message_stats.hpp"
+#include "epicast/metrics/time_series.hpp"
+#include "epicast/scenario/config.hpp"
+
+namespace epicast {
+
+struct ScenarioResult {
+  // -- delivery (§IV-B) -------------------------------------------------------
+  double delivery_rate = 0.0;           ///< within the recovery horizon
+  double eventual_delivery_rate = 0.0;  ///< ignoring the horizon
+  double receivers_per_event = 0.0;     ///< Fig. 7 metric
+  double mean_recovery_latency_s = 0.0;
+  double recovery_latency_p50_s = 0.0;
+  double recovery_latency_p90_s = 0.0;
+  double recovery_latency_p99_s = 0.0;
+  std::uint64_t events_published = 0;   ///< whole run
+  std::uint64_t events_tracked = 0;     ///< inside the window
+  std::uint64_t expected_pairs = 0;
+  std::uint64_t delivered_pairs = 0;
+  std::uint64_t recovered_pairs = 0;
+  TimeSeries delivery_series;           ///< delivery rate vs publish time
+
+  // -- overhead (§IV-E), measured inside the window ----------------------------
+  double gossip_msgs_per_dispatcher = 0.0;
+  double gossip_event_ratio = 0.0;
+  MessageStats::Snapshot traffic;
+
+  // -- recovery-protocol internals, whole run, summed over dispatchers ---------
+  GossipProtocolBase::Stats gossip_totals;
+
+  // -- environment --------------------------------------------------------------
+  double mean_pairwise_distance = 0.0;  ///< of the initial tree
+  std::uint64_t reconfig_breaks = 0;
+  std::uint64_t reconfig_repairs = 0;
+  std::uint64_t drops_no_link = 0;      ///< stale-route drops, whole run
+
+  // -- bookkeeping ----------------------------------------------------------------
+  std::uint64_t sim_events_executed = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Runs one scenario to completion. Deterministic in (config, seed);
+/// thread-safe (no shared state), so sweeps may run scenarios in parallel.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& config);
+
+}  // namespace epicast

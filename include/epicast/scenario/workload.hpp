@@ -1,0 +1,62 @@
+// epicast — workload generation (§IV-A).
+//
+// Two responsibilities:
+//   * subscriptions — each dispatcher subscribes to exactly πmax distinct
+//     patterns drawn uniformly from the universe Π (stable for the whole
+//     run, as in the paper);
+//   * publications — every dispatcher publishes as a Poisson process with
+//     the configured rate; each event's content is `patterns_per_event`
+//     distinct uniform patterns.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "epicast/common/rng.hpp"
+#include "epicast/pubsub/network.hpp"
+#include "epicast/pubsub/pattern.hpp"
+#include "epicast/scenario/config.hpp"
+#include "epicast/sim/simulator.hpp"
+
+namespace epicast {
+
+class Workload {
+ public:
+  Workload(Simulator& sim, PubSubNetwork& network,
+           const ScenarioConfig& config);
+
+  /// Draws each dispatcher's πmax patterns and issues the subscriptions
+  /// (the subscription-forwarding floods start immediately).
+  void issue_subscriptions();
+
+  /// Called right after each publish with the event just created.
+  using PublishListener = std::function<void(const EventPtr&)>;
+  void set_publish_listener(PublishListener listener) {
+    on_publish_ = std::move(listener);
+  }
+
+  /// Starts every dispatcher's Poisson publishing at `at`, until `until`.
+  void start_publishing(SimTime at, SimTime until);
+
+  [[nodiscard]] std::uint64_t events_published() const { return published_; }
+
+  /// The patterns node `n` was subscribed to (valid after
+  /// issue_subscriptions).
+  [[nodiscard]] const std::vector<Pattern>& subscriptions_of(NodeId n) const;
+
+ private:
+  void schedule_next_publish(NodeId node, SimTime until);
+
+  Simulator& sim_;
+  PubSubNetwork& network_;
+  const ScenarioConfig& cfg_;
+  PatternUniverse universe_;
+  Rng rng_;
+  std::vector<Rng> node_rngs_;  // one stream per publisher
+  std::vector<std::vector<Pattern>> subscriptions_;
+  PublishListener on_publish_;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace epicast

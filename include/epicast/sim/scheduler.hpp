@@ -1,0 +1,100 @@
+// epicast — the event queue at the heart of the discrete-event engine.
+//
+// A binary heap of (time, tie-break sequence, callback). Two properties the
+// rest of the library depends on:
+//   * determinism — events at equal times fire in scheduling order
+//     (FIFO tie-break), so a run is a pure function of config + seed;
+//   * O(log n) cancellation — timers (gossip rounds, reconfigurations) are
+//     cancelled lazily via shared tombstone flags.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "epicast/sim/time.hpp"
+
+namespace epicast {
+
+/// Handle to a scheduled callback; allows cancellation. Default-constructed
+/// handles refer to nothing and are safely cancellable no-ops.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevents the callback from running if it has not fired yet.
+  /// Idempotent. Returns true if this call actually cancelled it.
+  bool cancel();
+
+  /// True if the callback is still scheduled to fire.
+  [[nodiscard]] bool pending() const;
+
+ private:
+  friend class Scheduler;
+  explicit EventHandle(std::shared_ptr<bool> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+/// Priority queue of timestamped callbacks.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulation time: the timestamp of the event being executed, or
+  /// of the last executed event when idle.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `at`. Precondition: at >= now().
+  EventHandle schedule_at(SimTime at, Callback cb);
+
+  /// Schedules `cb` after `delay` from now. Precondition: delay >= 0.
+  EventHandle schedule_after(Duration delay, Callback cb);
+
+  /// Runs the earliest pending event. Returns false when the queue is empty
+  /// (cancelled entries are skipped transparently).
+  bool step();
+
+  /// Runs events until the queue is empty.
+  void run();
+
+  /// Runs events with timestamp <= deadline; afterwards now() == deadline
+  /// even if the queue drained early.
+  void run_until(SimTime deadline);
+
+  /// Number of scheduled entries, including not-yet-collected cancellations.
+  [[nodiscard]] std::size_t queued() const { return heap_.size(); }
+
+  /// Total events executed so far (cancelled entries excluded).
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    Callback cb;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops entries until a live one is found; returns false if none.
+  bool pop_live(Entry& out);
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace epicast

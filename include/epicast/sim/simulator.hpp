@@ -1,0 +1,109 @@
+// epicast — simulation context.
+//
+// `Simulator` bundles the scheduler with the root RNG and a few utilities
+// (periodic timers, run bookkeeping). All model components receive a
+// `Simulator&` and must draw time from it and randomness from streams forked
+// off it — never from wall-clock or global state — which is what makes every
+// scenario a deterministic function of (config, seed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "epicast/common/rng.hpp"
+#include "epicast/sim/scheduler.hpp"
+#include "epicast/sim/time.hpp"
+
+namespace epicast {
+
+/// A repeating timer. Owns its scheduling; cancelled on destruction, so a
+/// component holding one by value cannot leave callbacks dangling
+/// (RAII per Core Guidelines R.1).
+class PeriodicTimer {
+ public:
+  PeriodicTimer() = default;
+  ~PeriodicTimer() { stop(); }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+  PeriodicTimer(PeriodicTimer&&) = default;
+  PeriodicTimer& operator=(PeriodicTimer&& other) noexcept {
+    if (this != &other) {
+      stop();
+      state_ = std::move(other.state_);
+    }
+    return *this;
+  }
+
+  /// True while ticking.
+  [[nodiscard]] bool running() const { return state_ != nullptr; }
+
+  /// Stops future ticks. Idempotent.
+  void stop();
+
+  /// Changes the interval; takes effect from the next tick.
+  void set_interval(Duration interval);
+
+ private:
+  friend class Simulator;
+  struct State {
+    Scheduler* scheduler = nullptr;
+    Duration interval;
+    std::function<void()> on_tick;
+    EventHandle handle;
+  };
+  static void arm(const std::shared_ptr<State>& state);
+
+  std::shared_ptr<State> state_;
+};
+
+/// The simulation context: scheduler + deterministic randomness.
+class Simulator {
+ public:
+  /// Creates a simulator whose entire stochastic behaviour derives from
+  /// `seed`.
+  explicit Simulator(std::uint64_t seed);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] SimTime now() const { return scheduler_.now(); }
+
+  /// Schedules a one-shot callback after `delay`.
+  EventHandle after(Duration delay, Scheduler::Callback cb) {
+    return scheduler_.schedule_after(delay, std::move(cb));
+  }
+
+  /// Schedules a one-shot callback at absolute time `at`.
+  EventHandle at(SimTime at, Scheduler::Callback cb) {
+    return scheduler_.schedule_at(at, std::move(cb));
+  }
+
+  /// Starts a periodic timer with the first tick after `first_delay` and
+  /// subsequent ticks every `interval`.
+  PeriodicTimer every(Duration first_delay, Duration interval,
+                      std::function<void()> on_tick);
+
+  /// Derives an independent RNG stream for a component. Call order matters
+  /// (and is deterministic); components should fork their streams during
+  /// construction.
+  Rng fork_rng() { return root_rng_.fork(); }
+
+  /// Runs until no events remain.
+  void run() { scheduler_.run(); }
+
+  /// Runs until the given simulation time.
+  void run_until(SimTime deadline) { scheduler_.run_until(deadline); }
+
+  /// Seed this simulator was constructed with (for reports).
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  Scheduler scheduler_;
+  Rng root_rng_;
+};
+
+}  // namespace epicast

@@ -1,0 +1,99 @@
+// epicast — simulation clock.
+//
+// Simulation time is an integer count of nanoseconds. Integers (rather than
+// doubles) make event ordering exact and runs bit-reproducible; nanosecond
+// resolution comfortably covers the paper's scales (gossip intervals of
+// 10–55 ms, link serialization of ~0.8 ms, runs of tens of seconds).
+#pragma once
+
+#include <compare>
+#include <concepts>
+#include <cstdint>
+#include <string>
+
+namespace epicast {
+
+/// A duration in simulation time. Signed so differences are representable.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration nanos(std::int64_t ns) {
+    return Duration{ns};
+  }
+  [[nodiscard]] static constexpr Duration micros(std::int64_t us) {
+    return Duration{us * 1000};
+  }
+  [[nodiscard]] static constexpr Duration millis(std::int64_t ms) {
+    return Duration{ms * 1'000'000};
+  }
+  /// From (possibly fractional) seconds; rounds to the nearest nanosecond.
+  [[nodiscard]] static Duration seconds(double s);
+
+  [[nodiscard]] constexpr std::int64_t count_nanos() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return ns_ * 1e-9; }
+
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+  [[nodiscard]] constexpr bool is_zero() const { return ns_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return ns_ < 0; }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.ns_ + b.ns_};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.ns_ - b.ns_};
+  }
+  template <std::integral I>
+  friend constexpr Duration operator*(Duration a, I k) {
+    return Duration{a.ns_ * static_cast<std::int64_t>(k)};
+  }
+  friend Duration operator*(Duration a, double k) {
+    return Duration::seconds(a.to_seconds() * k);
+  }
+  constexpr Duration& operator+=(Duration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute instant on the simulation clock. Time zero is the start of
+/// the simulation.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{}; }
+  [[nodiscard]] static SimTime seconds(double s) {
+    return SimTime{} + Duration::seconds(s);
+  }
+
+  [[nodiscard]] constexpr std::int64_t nanos_since_start() const {
+    return ns_;
+  }
+  [[nodiscard]] constexpr double to_seconds() const { return ns_ * 1e-9; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  friend constexpr SimTime operator+(SimTime t, Duration d) {
+    return SimTime{t.ns_ + d.count_nanos()};
+  }
+  friend constexpr Duration operator-(SimTime a, SimTime b) {
+    return Duration::nanos(a.ns_ - b.ns_);
+  }
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// "12.345s"-style rendering for logs and reports.
+std::string to_string(Duration d);
+std::string to_string(SimTime t);
+
+}  // namespace epicast

@@ -1,0 +1,21 @@
+#include "epicast/common/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace epicast::detail {
+
+void assert_fail(std::string_view expr, std::string_view file, int line,
+                 std::string_view msg) {
+  std::fprintf(stderr, "epicast: contract violation: %.*s at %.*s:%d",
+               static_cast<int>(expr.size()), expr.data(),
+               static_cast<int>(file.size()), file.data(), line);
+  if (!msg.empty()) {
+    std::fprintf(stderr, " — %.*s", static_cast<int>(msg.size()), msg.data());
+  }
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace epicast::detail

@@ -1,0 +1,37 @@
+#include "epicast/common/logging.hpp"
+
+#include <cstdio>
+
+namespace epicast::log {
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+
+const char* name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "trace";
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel level() { return g_level; }
+
+void set_level(LogLevel level) { g_level = level; }
+
+bool enabled(LogLevel level) {
+  return level >= g_level && g_level != LogLevel::Off;
+}
+
+void write(LogLevel level, std::string_view message) {
+  std::fprintf(stderr, "[%s] %.*s\n", name(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace epicast::log

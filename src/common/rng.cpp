@@ -1,0 +1,88 @@
+#include "epicast/common/rng.hpp"
+
+#include <cmath>
+
+#include "epicast/common/assert.hpp"
+
+namespace epicast {
+namespace {
+
+// splitmix64: seeds the xoshiro state from a single 64-bit value, as
+// recommended by the xoshiro authors.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  EPICAST_ASSERT_MSG(bound > 0, "next_below requires a positive bound");
+  // Lemire 2019: unbiased bounded integers without division in the fast path.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() {
+  // 53 random bits → [0,1) with full double precision.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::uniform(double lo, double hi) {
+  EPICAST_ASSERT(lo <= hi);
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::exponential(double mean) {
+  EPICAST_ASSERT_MSG(mean > 0.0, "exponential requires a positive mean");
+  // Inverse CDF; 1 - U avoids log(0).
+  return -mean * std::log(1.0 - next_double());
+}
+
+Rng Rng::fork() {
+  // A fresh seed drawn from this stream fully determines the child; the
+  // splitmix scramble in the constructor decorrelates parent and child.
+  return Rng{next()};
+}
+
+}  // namespace epicast

@@ -1,0 +1,122 @@
+#include "epicast/compare/pure_gossip.hpp"
+
+#include <algorithm>
+
+#include "epicast/common/assert.hpp"
+
+namespace epicast {
+
+PureGossipNode::PureGossipNode(NodeId id, Simulator& sim, Transport& transport,
+                               PureGossipConfig config)
+    : id_(id),
+      sim_(sim),
+      transport_(transport),
+      cfg_(config),
+      rng_(sim.fork_rng()) {
+  EPICAST_ASSERT(cfg_.fanout >= 1);
+  transport_.attach(id_, *this);
+}
+
+EventPtr PureGossipNode::publish(const std::vector<Pattern>& content,
+                                 std::size_t payload_bytes) {
+  EPICAST_ASSERT(!content.empty());
+  std::vector<PatternSeq> patterns;
+  patterns.reserve(content.size());
+  for (Pattern p : content) {
+    patterns.push_back(PatternSeq{p, SeqNo{++next_pattern_seq_[p]}});
+  }
+  auto event = std::make_shared<EventData>(
+      EventId{id_, next_source_seq_++}, std::move(patterns), payload_bytes,
+      sim_.now());
+  ++stats_.published;
+
+  seen_.insert(event->id());
+  if (table_.matches_local(*event)) {
+    ++stats_.delivered;
+    if (on_delivery_) on_delivery_(id_, event);
+  }
+  infect(event, /*hops=*/0, NodeId::invalid());
+  return event;
+}
+
+void PureGossipNode::infect(const EventPtr& event, std::uint32_t hops,
+                            NodeId exclude) {
+  if (hops >= cfg_.max_hops) return;
+  // Pick `fanout` distinct random neighbours (minus the one we got the
+  // event from): partial Fisher–Yates over a scratch copy.
+  std::vector<NodeId> candidates;
+  for (NodeId n : transport_.topology().neighbors(id_)) {
+    if (n != exclude) candidates.push_back(n);
+  }
+  const std::size_t picks =
+      std::min<std::size_t>(cfg_.fanout, candidates.size());
+  for (std::size_t i = 0; i < picks; ++i) {
+    const std::size_t j = i + rng_.next_below(candidates.size() - i);
+    std::swap(candidates[i], candidates[j]);
+    ++stats_.forwarded;
+    transport_.send_overlay(
+        id_, candidates[i],
+        std::make_shared<PureGossipMessage>(event, hops + 1));
+  }
+}
+
+void PureGossipNode::on_overlay_message(NodeId from, const MessagePtr& msg) {
+  EPICAST_ASSERT_MSG(msg->message_class() == MessageClass::Event,
+                     "pure gossip carries only event messages");
+  const auto& gm = static_cast<const PureGossipMessage&>(*msg);
+  const EventPtr& event = gm.event();
+
+  if (!seen_.insert(event->id()).second) {
+    // §V: "events ... can ... be sent more than once to the same node".
+    ++stats_.duplicates;
+    return;
+  }
+  if (table_.matches_local(*event)) {
+    ++stats_.delivered;
+    if (on_delivery_) on_delivery_(id_, event);
+  } else {
+    // §V: "they can reach also non-interested nodes".
+    ++stats_.uninterested;
+  }
+  infect(event, gm.hops(), from);
+}
+
+void PureGossipNode::on_direct_message(NodeId /*from*/,
+                                       const MessagePtr& /*msg*/) {
+  EPICAST_UNREACHABLE("pure gossip uses no out-of-band channel");
+}
+
+PureGossipNetwork::PureGossipNetwork(Simulator& sim, Transport& transport,
+                                     PureGossipConfig config) {
+  const std::uint32_t n = transport.topology().node_count();
+  nodes_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    nodes_.push_back(
+        std::make_unique<PureGossipNode>(NodeId{i}, sim, transport, config));
+  }
+}
+
+PureGossipNode& PureGossipNetwork::node(NodeId id) {
+  EPICAST_ASSERT(id.valid() && id.value() < nodes_.size());
+  return *nodes_[id.value()];
+}
+
+void PureGossipNetwork::set_delivery_listener(
+    PureGossipNode::DeliveryListener listener) {
+  for (auto& n : nodes_) n->set_delivery_listener(listener);
+}
+
+PureGossipNode::Stats PureGossipNetwork::total_stats() const {
+  PureGossipNode::Stats total;
+  for (const auto& n : nodes_) {
+    const auto& s = n->stats();
+    total.published += s.published;
+    total.delivered += s.delivered;
+    total.uninterested += s.uninterested;
+    total.duplicates += s.duplicates;
+    total.forwarded += s.forwarded;
+  }
+  return total;
+}
+
+}  // namespace epicast

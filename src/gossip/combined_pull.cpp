@@ -1,0 +1,16 @@
+#include "epicast/gossip/combined_pull.hpp"
+
+namespace epicast {
+
+bool CombinedPullProtocol::on_round() {
+  // Which steering to use this round is decided probabilistically via
+  // P_source (§IV-A). If the chosen variant has nothing to do (e.g., no
+  // route known back to any relevant publisher), fall through to the other
+  // rather than wasting the round.
+  if (d_.rng().chance(cfg_.source_probability)) {
+    return round_publisher() || round_subscriber();
+  }
+  return round_subscriber() || round_publisher();
+}
+
+}  // namespace epicast

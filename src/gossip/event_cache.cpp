@@ -1,0 +1,140 @@
+#include "epicast/gossip/event_cache.hpp"
+
+#include <algorithm>
+
+#include "epicast/common/assert.hpp"
+
+namespace epicast {
+
+std::size_t EventCache::SpKeyHash::operator()(const SpKey& k) const noexcept {
+  std::uint64_t x = (static_cast<std::uint64_t>(k.source.value()) << 32) ^
+                    k.pattern.value();
+  x ^= k.seq.value() + 0x9e3779b97f4a7c15ULL + (x << 6) + (x >> 2);
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 29;
+  return static_cast<std::size_t>(x);
+}
+
+EventCache::EventCache(std::size_t capacity, CachePolicy policy, Rng rng)
+    : capacity_(capacity), policy_(policy), rng_(rng) {
+  EPICAST_ASSERT_MSG(capacity > 0, "cache capacity must be positive");
+}
+
+bool EventCache::insert(const EventPtr& event) {
+  EPICAST_ASSERT(event != nullptr);
+  if (by_id_.contains(event->id())) return false;
+  while (by_id_.size() >= capacity_) evict_one();
+
+  order_.push_back(event);
+  by_id_.emplace(event->id(), std::prev(order_.end()));
+  if (policy_ == CachePolicy::Random) {
+    random_pos_.emplace(event->id(), random_pool_.size());
+    random_pool_.push_back(event->id());
+  }
+  index_patterns(event);
+  ++stats_.insertions;
+  return true;
+}
+
+void EventCache::index_patterns(const EventPtr& event) {
+  for (const PatternSeq& ps : event->patterns()) {
+    by_source_pattern_[SpKey{event->source(), ps.pattern, ps.seq}] =
+        event->id();
+    by_pattern_[ps.pattern].push_back(event->id());
+  }
+}
+
+void EventCache::unindex_patterns(const EventData& event) {
+  for (const PatternSeq& ps : event.patterns()) {
+    by_source_pattern_.erase(SpKey{event.source(), ps.pattern, ps.seq});
+    // by_pattern_ entries are purged lazily in ids_matching().
+  }
+}
+
+void EventCache::evict_one() {
+  EPICAST_ASSERT(!order_.empty());
+  EventId victim;
+  if (policy_ == CachePolicy::Random) {
+    victim = random_pool_[rng_.next_below(random_pool_.size())];
+  } else {
+    victim = order_.front()->id();  // FIFO and LRU both evict the front
+  }
+  drop(victim);
+  ++stats_.evictions;
+}
+
+void EventCache::drop(const EventId& id) {
+  auto it = by_id_.find(id);
+  EPICAST_ASSERT(it != by_id_.end());
+  unindex_patterns(**it->second);
+  order_.erase(it->second);
+  by_id_.erase(it);
+  if (policy_ == CachePolicy::Random) {
+    // Swap-pop keeps the sampling pool dense.
+    const std::size_t pos = random_pos_.at(id);
+    const EventId last = random_pool_.back();
+    random_pool_[pos] = last;
+    random_pos_[last] = pos;
+    random_pool_.pop_back();
+    random_pos_.erase(id);
+  }
+}
+
+bool EventCache::contains(const EventId& id) const {
+  return by_id_.contains(id);
+}
+
+EventPtr EventCache::get(const EventId& id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  if (policy_ == CachePolicy::Lru) {
+    order_.splice(order_.end(), order_, it->second);  // refresh recency
+  }
+  return *it->second;
+}
+
+EventPtr EventCache::find(NodeId source, Pattern pattern, SeqNo seq) {
+  auto it = by_source_pattern_.find(SpKey{source, pattern, seq});
+  if (it == by_source_pattern_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  return get(it->second);
+}
+
+std::vector<EventId> EventCache::ids_matching(Pattern pattern,
+                                              std::size_t max_entries) {
+  std::vector<EventId> out;
+  auto bucket = by_pattern_.find(pattern);
+  if (bucket == by_pattern_.end()) return out;
+
+  std::deque<EventId>& ids = bucket->second;
+  // Lazy purge: evicted ids are dropped as they are encountered. Under FIFO
+  // they cluster at the front, making the purge amortized O(1) per insert.
+  std::size_t live = 0;
+  for (const EventId& id : ids) {
+    if (!by_id_.contains(id)) continue;
+    out.push_back(id);
+    ++live;
+  }
+  if (live * 2 < ids.size()) {
+    // Compact when more than half the bucket is stale (LRU/random scatter).
+    std::deque<EventId> fresh(out.begin(), out.end());
+    ids.swap(fresh);
+  } else {
+    while (!ids.empty() && !by_id_.contains(ids.front())) ids.pop_front();
+  }
+  if (max_entries != 0 && out.size() > max_entries) {
+    // Keep the newest entries: they are the ones receivers most likely miss
+    // and the ones that will survive longest in our own buffer.
+    out.erase(out.begin(),
+              out.end() - static_cast<std::ptrdiff_t>(max_entries));
+  }
+  return out;
+}
+
+}  // namespace epicast

@@ -1,0 +1,45 @@
+#include "epicast/gossip/loss_detector.hpp"
+
+#include "epicast/common/assert.hpp"
+
+namespace epicast {
+
+LossDetector::LossDetector(std::uint64_t max_gap_report)
+    : max_gap_report_(max_gap_report) {
+  EPICAST_ASSERT(max_gap_report >= 1);
+}
+
+std::vector<SeqNo> LossDetector::observe(NodeId source, Pattern pattern,
+                                         SeqNo seq) {
+  EPICAST_ASSERT_MSG(seq.value() >= 1, "sequence numbers start at 1");
+  std::vector<SeqNo> missing;
+
+  auto [it, first_contact] = high_.try_emplace(Key{source, pattern}, 0);
+  std::uint64_t& high = it->second;
+  if (first_contact) {
+    // Expectation starts here; earlier history is unknowable (§III-B).
+    high = seq.value();
+    return missing;
+  }
+  if (seq.value() <= high) return missing;  // old or recovered copy
+
+  const std::uint64_t gap_begin = high + 1;
+  const std::uint64_t gap_end = seq.value();  // exclusive
+  std::uint64_t from = gap_begin;
+  if (gap_end - gap_begin > max_gap_report_) {
+    from = gap_end - max_gap_report_;  // clamp: report newest only
+  }
+  for (std::uint64_t s = from; s < gap_end; ++s) {
+    missing.emplace_back(s);
+  }
+  gaps_detected_ += missing.size();
+  high = seq.value();
+  return missing;
+}
+
+SeqNo LossDetector::high_watermark(NodeId source, Pattern pattern) const {
+  auto it = high_.find(Key{source, pattern});
+  return it == high_.end() ? SeqNo{0} : SeqNo{it->second};
+}
+
+}  // namespace epicast

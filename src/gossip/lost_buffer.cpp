@@ -1,0 +1,112 @@
+#include "epicast/gossip/lost_buffer.hpp"
+
+#include <algorithm>
+
+#include "epicast/common/assert.hpp"
+
+namespace epicast {
+
+LostBuffer::LostBuffer(std::size_t capacity, Duration ttl)
+    : capacity_(capacity), ttl_(ttl) {
+  EPICAST_ASSERT(capacity > 0);
+  EPICAST_ASSERT(ttl > Duration::zero());
+}
+
+bool LostBuffer::add(const LostEntryInfo& entry, SimTime now) {
+  if (by_key_.contains(entry)) return false;
+  if (by_key_.size() >= capacity_) {
+    // Overflow: the oldest entry is the least likely to still be cached
+    // anywhere, so it is the right one to abandon.
+    by_key_.erase(order_.front().info);
+    order_.pop_front();
+    ++stats_.overflowed;
+  }
+  order_.push_back(Node{entry, now});
+  by_key_.emplace(entry, std::prev(order_.end()));
+  ++stats_.added;
+  return true;
+}
+
+bool LostBuffer::remove(const LostEntryInfo& entry) {
+  auto it = by_key_.find(entry);
+  if (it == by_key_.end()) return false;
+  order_.erase(it->second);
+  by_key_.erase(it);
+  ++stats_.recovered;
+  return true;
+}
+
+std::size_t LostBuffer::expire(SimTime now) {
+  std::size_t n = 0;
+  while (!order_.empty() && now - order_.front().detected_at > ttl_) {
+    by_key_.erase(order_.front().info);
+    order_.pop_front();
+    ++n;
+  }
+  stats_.expired += n;
+  return n;
+}
+
+bool LostBuffer::contains(const LostEntryInfo& entry) const {
+  return by_key_.contains(entry);
+}
+
+template <typename Pred>
+std::vector<LostEntryInfo> LostBuffer::collect(Pred&& pred,
+                                               std::size_t max_entries) const {
+  std::vector<LostEntryInfo> out;
+  for (const Node& node : order_) {
+    if (!pred(node.info)) continue;
+    out.push_back(node.info);
+    if (max_entries != 0 && out.size() >= max_entries) break;
+  }
+  return out;
+}
+
+std::vector<LostEntryInfo> LostBuffer::entries_for_pattern(
+    Pattern p, std::size_t max_entries) const {
+  return collect([p](const LostEntryInfo& e) { return e.pattern == p; },
+                 max_entries);
+}
+
+std::vector<LostEntryInfo> LostBuffer::entries_for_source(
+    NodeId s, std::size_t max_entries) const {
+  return collect([s](const LostEntryInfo& e) { return e.source == s; },
+                 max_entries);
+}
+
+std::vector<LostEntryInfo> LostBuffer::all_entries(
+    std::size_t max_entries) const {
+  return collect([](const LostEntryInfo&) { return true; }, max_entries);
+}
+
+std::vector<Pattern> LostBuffer::patterns_with_losses() const {
+  std::vector<Pattern> out;
+  for (const Node& node : order_) out.push_back(node.info.pattern);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<NodeId> LostBuffer::oldest_sources(
+    std::size_t max_sources, const std::function<bool(NodeId)>& pred) const {
+  std::vector<NodeId> out;
+  for (const Node& node : order_) {  // order_ is oldest first
+    const NodeId s = node.info.source;
+    if (std::find(out.begin(), out.end(), s) != out.end()) continue;
+    if (!pred(s)) continue;
+    out.push_back(s);
+    if (out.size() >= max_sources) break;
+  }
+  return out;
+}
+
+std::vector<NodeId> LostBuffer::sources_with_losses() const {
+  std::vector<NodeId> out;
+  for (const Node& node : order_) out.push_back(node.info.source);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace epicast

@@ -1,0 +1,216 @@
+#include "epicast/gossip/protocol.hpp"
+
+#include <utility>
+
+#include "epicast/common/assert.hpp"
+#include "epicast/gossip/combined_pull.hpp"
+#include "epicast/gossip/publisher_pull.hpp"
+#include "epicast/gossip/push.hpp"
+#include "epicast/gossip/random_pull.hpp"
+#include "epicast/gossip/subscriber_pull.hpp"
+
+namespace epicast {
+
+const char* to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::NoRecovery: return "no-recovery";
+    case Algorithm::Push: return "push";
+    case Algorithm::SubscriberPull: return "subscriber-pull";
+    case Algorithm::PublisherPull: return "publisher-pull";
+    case Algorithm::CombinedPull: return "combined-pull";
+    case Algorithm::RandomPull: return "random-pull";
+  }
+  return "?";
+}
+
+const char* to_string(CachePolicy p) {
+  switch (p) {
+    case CachePolicy::Fifo: return "fifo";
+    case CachePolicy::Lru: return "lru";
+    case CachePolicy::Random: return "random";
+  }
+  return "?";
+}
+
+GossipProtocolBase::GossipProtocolBase(Dispatcher& dispatcher,
+                                       GossipConfig config)
+    : d_(dispatcher),
+      cfg_(config),
+      cache_(config.buffer_size, config.cache_policy, dispatcher.rng().fork()),
+      adaptive_(config.adaptive, config.interval) {
+  EPICAST_ASSERT(cfg_.interval > Duration::zero());
+  EPICAST_ASSERT(cfg_.forward_probability >= 0.0 &&
+                 cfg_.forward_probability <= 1.0);
+  EPICAST_ASSERT(cfg_.source_probability >= 0.0 &&
+                 cfg_.source_probability <= 1.0);
+}
+
+void GossipProtocolBase::start() {
+  EPICAST_ASSERT_MSG(!timer_.running(), "protocol already started");
+  const Duration first =
+      cfg_.start_jitter
+          ? Duration::seconds(d_.rng().uniform(0.0, cfg_.interval.to_seconds()))
+          : cfg_.interval;
+  timer_ = d_.simulator().every(first, current_interval(),
+                                [this]() { run_round(); });
+}
+
+void GossipProtocolBase::stop() { timer_.stop(); }
+
+void GossipProtocolBase::run_round() {
+  ++stats_.rounds;
+  const bool had_activity = on_round();
+  if (!had_activity) ++stats_.rounds_skipped;
+  if (adaptive_.enabled()) {
+    timer_.set_interval(adaptive_.next(had_activity));
+  }
+}
+
+void GossipProtocolBase::on_event(const EventPtr& event,
+                                  const EventContext& ctx) {
+  if (!responsible_for(*event, ctx.local_publish)) return;
+  // Publishers always cache their own events (publisher-based pull relies
+  // on the source as the recovery backstop, §III-B); subscribers are
+  // subject to the admission probability.
+  if (!ctx.local_publish &&
+      !d_.rng().chance(cfg_.cache_admission_probability)) {
+    return;
+  }
+  cache_.insert(event);
+}
+
+bool GossipProtocolBase::responsible_for(const EventData& event,
+                                         bool local_publish) const {
+  return local_publish || d_.table().matches_local(event);
+}
+
+void GossipProtocolBase::on_gossip(NodeId from, const MessagePtr& msg) {
+  const auto& gmsg = static_cast<const GossipMessage&>(*msg);
+  switch (gmsg.kind()) {
+    case GossipKind::Request:
+      handle_request(from, static_cast<const RecoveryRequestMessage&>(gmsg));
+      return;
+    case GossipKind::Reply:
+      handle_reply(static_cast<const RecoveryReplyMessage&>(gmsg));
+      return;
+    default:
+      handle_digest(from, gmsg);
+      return;
+  }
+}
+
+void GossipProtocolBase::handle_request(NodeId from,
+                                        const RecoveryRequestMessage& msg) {
+  std::vector<EventPtr> found;
+  for (const EventId& id : msg.ids()) {
+    if (EventPtr event = cache_.get(id)) found.push_back(std::move(event));
+  }
+  if (!found.empty()) {
+    stats_.events_served += found.size();
+    send_reply(from, std::move(found));
+  }
+}
+
+std::vector<LostEntryInfo> GossipProtocolBase::serve_from_cache(
+    NodeId gossiper, const std::vector<LostEntryInfo>& wanted) {
+  std::vector<EventPtr> found;
+  std::vector<LostEntryInfo> remaining;
+  for (const LostEntryInfo& w : wanted) {
+    if (EventPtr event = cache_.find(w.source, w.pattern, w.seq)) {
+      found.push_back(std::move(event));
+    } else {
+      remaining.push_back(w);
+    }
+  }
+  if (!found.empty()) {
+    // The same event can satisfy several wanted entries (it matches several
+    // patterns); send each copy once.
+    std::sort(found.begin(), found.end(),
+              [](const EventPtr& a, const EventPtr& b) {
+                return a->id() < b->id();
+              });
+    found.erase(std::unique(found.begin(), found.end(),
+                            [](const EventPtr& a, const EventPtr& b) {
+                              return a->id() == b->id();
+                            }),
+                found.end());
+    stats_.events_served += found.size();
+    send_reply(gossiper, std::move(found));
+  }
+  return remaining;
+}
+
+void GossipProtocolBase::handle_reply(const RecoveryReplyMessage& msg) {
+  for (const EventPtr& event : msg.events()) {
+    if (d_.accept_recovered(event)) {
+      ++stats_.events_recovered;
+    } else {
+      ++stats_.reply_duplicates;
+    }
+  }
+}
+
+std::vector<NodeId> GossipProtocolBase::fanout(std::vector<NodeId> candidates,
+                                               bool ensure_progress) {
+  std::vector<NodeId> out;
+  out.reserve(candidates.size());
+  for (NodeId n : candidates) {
+    if (d_.rng().chance(cfg_.forward_probability)) out.push_back(n);
+  }
+  if (out.empty() && ensure_progress && !candidates.empty()) {
+    out.push_back(candidates[d_.rng().next_below(candidates.size())]);
+  }
+  return out;
+}
+
+void GossipProtocolBase::send_digest(NodeId to, MessagePtr msg,
+                                     bool originated) {
+  if (originated) {
+    ++stats_.digests_originated;
+  } else {
+    ++stats_.digests_forwarded;
+  }
+  d_.send_overlay(to, std::move(msg));
+}
+
+void GossipProtocolBase::send_request(NodeId to, std::vector<EventId> ids) {
+  EPICAST_ASSERT(!ids.empty());
+  ++stats_.requests_sent;
+  d_.send_direct(to, std::make_shared<RecoveryRequestMessage>(
+                         d_.id(), cfg_.gossip_message_bytes, std::move(ids)));
+}
+
+void GossipProtocolBase::send_reply(NodeId to, std::vector<EventPtr> events) {
+  EPICAST_ASSERT(!events.empty());
+  ++stats_.replies_sent;
+  d_.send_direct(to, std::make_shared<RecoveryReplyMessage>(
+                         d_.id(), cfg_.gossip_message_bytes,
+                         std::move(events)));
+}
+
+std::unique_ptr<RecoveryProtocol> make_recovery(Algorithm algorithm,
+                                                Dispatcher& dispatcher,
+                                                const GossipConfig& config) {
+  switch (algorithm) {
+    case Algorithm::NoRecovery:
+      return std::make_unique<NoRecoveryProtocol>();
+    case Algorithm::Push:
+      return std::make_unique<PushProtocol>(dispatcher, config);
+    case Algorithm::SubscriberPull:
+      return std::make_unique<SubscriberPullProtocol>(dispatcher, config);
+    case Algorithm::PublisherPull:
+      return std::make_unique<PublisherPullProtocol>(dispatcher, config);
+    case Algorithm::CombinedPull:
+      return std::make_unique<CombinedPullProtocol>(dispatcher, config);
+    case Algorithm::RandomPull:
+      return std::make_unique<RandomPullProtocol>(dispatcher, config);
+  }
+  EPICAST_UNREACHABLE("unknown algorithm");
+}
+
+bool algorithm_needs_routes(Algorithm algorithm) {
+  return algorithm == Algorithm::PublisherPull ||
+         algorithm == Algorithm::CombinedPull;
+}
+
+}  // namespace epicast

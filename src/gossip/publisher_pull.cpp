@@ -1,0 +1,4 @@
+// Intentionally almost empty: PublisherPullProtocol is fully expressed via
+// PullProtocolBase (see pull_base.cpp). This translation unit anchors the
+// class for the build system.
+#include "epicast/gossip/publisher_pull.hpp"

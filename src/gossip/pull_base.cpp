@@ -1,0 +1,213 @@
+#include "epicast/gossip/pull_base.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "epicast/common/assert.hpp"
+
+namespace epicast {
+
+PullProtocolBase::PullProtocolBase(Dispatcher& dispatcher, GossipConfig config)
+    : GossipProtocolBase(dispatcher, config),
+      detector_(config.max_gap_report),
+      lost_(config.lost_capacity, config.lost_entry_ttl) {}
+
+void PullProtocolBase::on_event(const EventPtr& event,
+                                const EventContext& ctx) {
+  GossipProtocolBase::on_event(event, ctx);  // caching
+
+  const NodeId source = event->source();
+  for (const PatternSeq& ps : event->patterns()) {
+    // Whatever way the event arrived, it is no longer lost.
+    lost_.remove(LostEntryInfo{source, ps.pattern, ps.seq});
+
+    // Gap detection runs only on locally subscribed patterns: those are the
+    // streams this dispatcher is guaranteed to receive in full (§III-B).
+    if (!d_.table().has_local(ps.pattern)) continue;
+    for (SeqNo missing : detector_.observe(source, ps.pattern, ps.seq)) {
+      lost_.add(LostEntryInfo{source, ps.pattern, missing},
+                d_.simulator().now());
+    }
+  }
+
+  // Remember the way back to the publisher (publisher-based pull). Routes
+  // come only from normally-routed events; recoveries carry none.
+  if (!ctx.recovered && !ctx.route.empty()) {
+    routes_.update(source, ctx.route);
+  }
+}
+
+bool PullProtocolBase::round_subscriber() {
+  lost_.expire(d_.simulator().now());
+  // The pull gossiper draws p from subscriptions issued *locally* — the
+  // goal is retrieving events relevant to itself, not dissemination
+  // (§III-B). Lost entries only ever involve local patterns, so the
+  // buffer's pattern set is exactly that population.
+  const std::vector<Pattern> patterns = lost_.patterns_with_losses();
+  if (patterns.empty()) return false;
+  const Pattern p = patterns[d_.rng().next_below(patterns.size())];
+
+  std::vector<LostEntryInfo> wanted =
+      lost_.entries_for_pattern(p, cfg_.max_digest_entries);
+  EPICAST_ASSERT(!wanted.empty());
+
+  for (NodeId to : fanout(d_.table().route_targets(p, NodeId::invalid()), true)) {
+    send_digest(to,
+                std::make_shared<SubscriberPullDigestMessage>(
+                    d_.id(), cfg_.gossip_message_bytes, p, wanted, /*hops=*/0),
+                /*originated=*/true);
+  }
+  return true;
+}
+
+bool PullProtocolBase::round_publisher() {
+  lost_.expire(d_.simulator().now());
+  // Candidate sources: losses we can actually steer towards — a route back
+  // to the publisher must be known. Oldest pending loss first, so no source
+  // starves while the buffer churns (cf. GossipConfig's
+  // publisher_sources_per_round rationale).
+  const std::vector<NodeId> sources = lost_.oldest_sources(
+      std::max<std::size_t>(1, cfg_.publisher_sources_per_round),
+      [this](NodeId s) { return routes_.knows(s); });
+  if (sources.empty()) return false;
+
+  for (NodeId source : sources) {
+    std::vector<LostEntryInfo> wanted =
+        lost_.entries_for_source(source, cfg_.max_digest_entries);
+    EPICAST_ASSERT(!wanted.empty());
+
+    // Visit only the first publisher_route_hops of the stored route (the
+    // part most likely still valid and most likely to short-circuit), then
+    // go straight for the publisher.
+    std::vector<NodeId> route = routes_.route_to(source);
+    if (cfg_.publisher_route_hops > 0 &&
+        route.size() > cfg_.publisher_route_hops + 1) {
+      route.erase(route.begin() +
+                      static_cast<std::ptrdiff_t>(cfg_.publisher_route_hops),
+                  route.end() - 1);
+    }
+    forward_towards_publisher(d_.id(), source, std::move(wanted),
+                              std::move(route), /*originated=*/true);
+  }
+  return true;
+}
+
+void PullProtocolBase::forward_towards_publisher(
+    NodeId gossiper, NodeId source, std::vector<LostEntryInfo> wanted,
+    std::vector<NodeId> route, bool originated) {
+  // Drop leading hops equal to self (defensive: routes never include the
+  // local node, but a stale route could).
+  while (!route.empty() && route.front() == d_.id()) {
+    route.erase(route.begin());
+  }
+  if (route.empty()) return;  // reached the recorded end of the route
+
+  const NodeId next = route.front();
+  route.erase(route.begin());
+  auto msg = std::make_shared<PublisherPullDigestMessage>(
+      gossiper, cfg_.gossip_message_bytes, source, std::move(wanted),
+      std::move(route));
+
+  if (d_.transport().topology().has_link(d_.id(), next)) {
+    send_digest(next, std::move(msg), originated);
+  } else {
+    // The recorded route predates a reconfiguration; the next hop is no
+    // longer adjacent. Fall back to the out-of-band channel so the digest
+    // still makes progress towards the publisher.
+    if (originated) {
+      ++stats_.digests_originated;
+    } else {
+      ++stats_.digests_forwarded;
+    }
+    d_.send_direct(next, std::move(msg));
+  }
+}
+
+void PullProtocolBase::handle_digest(NodeId from, const GossipMessage& msg) {
+  switch (msg.kind()) {
+    case GossipKind::SubscriberPullDigest:
+      handle_subscriber_digest(
+          from, static_cast<const SubscriberPullDigestMessage&>(msg));
+      return;
+    case GossipKind::PublisherPullDigest:
+      handle_publisher_digest(
+          static_cast<const PublisherPullDigestMessage&>(msg));
+      return;
+    case GossipKind::RandomPullDigest:
+      handle_random_digest(from,
+                           static_cast<const RandomPullDigestMessage&>(msg));
+      return;
+    case GossipKind::PushDigest: {
+      // Heterogeneous deployment tolerance: a neighbour running push
+      // advertised its cache. Behave like a push receiver — request what we
+      // are subscribed to and missing — but do not forward (we cannot know
+      // push's fan-out discipline is wanted here).
+      const auto& digest = static_cast<const PushDigestMessage&>(msg);
+      if (d_.table().has_local(digest.pattern()) &&
+          digest.gossiper() != d_.id()) {
+        std::vector<EventId> missing;
+        for (const EventId& id : digest.ids()) {
+          if (!d_.has_seen(id)) missing.push_back(id);
+        }
+        if (!missing.empty()) {
+          send_request(digest.gossiper(), std::move(missing));
+        }
+      }
+      return;
+    }
+    default:
+      EPICAST_UNREACHABLE("pull received a foreign digest");
+  }
+}
+
+void PullProtocolBase::handle_subscriber_digest(
+    NodeId from, const SubscriberPullDigestMessage& msg) {
+  if (msg.gossiper() == d_.id()) return;  // defensive; trees have no cycles
+  // This dispatcher may not subscribe to msg.pattern() at all — it can sit
+  // on the route and still own the events because they also match one of
+  // its own patterns p' != p (§III-B).
+  std::vector<LostEntryInfo> remaining =
+      serve_from_cache(msg.gossiper(), msg.wanted());
+  if (remaining.empty()) return;  // fully short-circuited
+  if (msg.hops() + 1 > cfg_.max_hops) return;
+  for (NodeId to : fanout(d_.table().route_targets(msg.pattern(), from), true)) {
+    send_digest(to,
+                std::make_shared<SubscriberPullDigestMessage>(
+                    msg.gossiper(), cfg_.gossip_message_bytes, msg.pattern(),
+                    remaining, msg.hops() + 1),
+                /*originated=*/false);
+  }
+}
+
+void PullProtocolBase::handle_publisher_digest(
+    const PublisherPullDigestMessage& msg) {
+  if (msg.gossiper() == d_.id()) return;
+  std::vector<LostEntryInfo> remaining =
+      serve_from_cache(msg.gossiper(), msg.wanted());
+  if (remaining.empty()) return;
+  forward_towards_publisher(msg.gossiper(), msg.source(),
+                            std::move(remaining), msg.route(),
+                            /*originated=*/false);
+}
+
+void PullProtocolBase::handle_random_digest(
+    NodeId from, const RandomPullDigestMessage& msg) {
+  if (msg.gossiper() == d_.id()) return;
+  std::vector<LostEntryInfo> remaining =
+      serve_from_cache(msg.gossiper(), msg.wanted());
+  if (remaining.empty()) return;
+  if (msg.hops() + 1 > cfg_.max_hops) return;
+  std::vector<NodeId> candidates;
+  for (NodeId n : d_.neighbors()) {
+    if (n != from) candidates.push_back(n);
+  }
+  for (NodeId to : fanout(std::move(candidates), false)) {
+    send_digest(to,
+                std::make_shared<RandomPullDigestMessage>(
+                    msg.gossiper(), cfg_.gossip_message_bytes, remaining,
+                    msg.hops() + 1),
+                /*originated=*/false);
+  }
+}
+
+}  // namespace epicast

@@ -1,0 +1,92 @@
+#include "epicast/gossip/push.hpp"
+
+#include <utility>
+
+#include "epicast/common/assert.hpp"
+
+namespace epicast {
+
+bool PushProtocol::on_round() {
+  const bool activity = saw_request_since_round_;
+  saw_request_since_round_ = false;
+
+  // p is drawn from the whole table: patterns the dispatcher subscribes to
+  // *or* routes for. This widens dissemination and speeds up convergence
+  // (§III-B).
+  const std::vector<Pattern> patterns = d_.table().known_patterns();
+  if (patterns.empty()) return activity;
+  const Pattern p = patterns[d_.rng().next_below(patterns.size())];
+
+  std::vector<EventId> ids = cache_.ids_matching(p, cfg_.max_digest_entries);
+  if (ids.empty()) return activity;  // nothing worth advertising
+
+  const std::vector<NodeId> targets =
+      fanout(d_.table().route_targets(p, NodeId::invalid()), true);
+  for (NodeId to : targets) {
+    send_digest(to,
+                std::make_shared<PushDigestMessage>(
+                    d_.id(), cfg_.gossip_message_bytes, p, ids, /*hops=*/0),
+                /*originated=*/true);
+  }
+  // Proactive sends are not "activity": only observed demand (requests)
+  // keeps the adaptive interval at its minimum.
+  return activity;
+}
+
+void PushProtocol::handle_digest(NodeId from, const GossipMessage& msg) {
+  if (msg.kind() != GossipKind::PushDigest) {
+    // Heterogeneous deployment tolerance: a neighbour running a pull
+    // variant asked for missing events. Serve what the cache holds; the
+    // pull node's own gossip handles any remainder.
+    switch (msg.kind()) {
+      case GossipKind::SubscriberPullDigest:
+        (void)serve_from_cache(
+            msg.gossiper(),
+            static_cast<const SubscriberPullDigestMessage&>(msg).wanted());
+        return;
+      case GossipKind::PublisherPullDigest:
+        (void)serve_from_cache(
+            msg.gossiper(),
+            static_cast<const PublisherPullDigestMessage&>(msg).wanted());
+        return;
+      case GossipKind::RandomPullDigest:
+        (void)serve_from_cache(
+            msg.gossiper(),
+            static_cast<const RandomPullDigestMessage&>(msg).wanted());
+        return;
+      default:
+        EPICAST_UNREACHABLE("unexpected gossip kind in push");
+    }
+  }
+  const auto& digest = static_cast<const PushDigestMessage&>(msg);
+  const Pattern p = digest.pattern();
+
+  // Only dispatchers actually subscribed to p compare the digest against
+  // their own event history (§III-B).
+  if (d_.table().has_local(p) && digest.gossiper() != d_.id()) {
+    std::vector<EventId> missing;
+    for (const EventId& id : digest.ids()) {
+      if (!d_.has_seen(id)) missing.push_back(id);
+    }
+    if (!missing.empty()) send_request(digest.gossiper(), std::move(missing));
+  }
+
+  // Propagate along the tree like an event matching p, with P_forward
+  // subsetting at every hop.
+  if (digest.hops() + 1 > cfg_.max_hops) return;
+  for (NodeId to : fanout(d_.table().route_targets(p, from), true)) {
+    send_digest(to,
+                std::make_shared<PushDigestMessage>(
+                    digest.gossiper(), cfg_.gossip_message_bytes, p,
+                    digest.ids(), digest.hops() + 1),
+                /*originated=*/false);
+  }
+}
+
+void PushProtocol::handle_request(NodeId from,
+                                  const RecoveryRequestMessage& msg) {
+  saw_request_since_round_ = true;
+  GossipProtocolBase::handle_request(from, msg);
+}
+
+}  // namespace epicast

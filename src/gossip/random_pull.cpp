@@ -1,0 +1,26 @@
+#include "epicast/gossip/random_pull.hpp"
+
+#include <utility>
+
+namespace epicast {
+
+bool RandomPullProtocol::on_round() {
+  lost_.expire(d_.simulator().now());
+  if (lost_.empty()) return false;
+
+  // Same per-round scope as the steered pulls — losses of one randomly
+  // chosen pattern — so the only difference under test is the routing.
+  const std::vector<Pattern> patterns = lost_.patterns_with_losses();
+  const Pattern p = patterns[d_.rng().next_below(patterns.size())];
+  std::vector<LostEntryInfo> wanted =
+      lost_.entries_for_pattern(p, cfg_.max_digest_entries);
+  for (NodeId to : fanout(d_.neighbors(), false)) {
+    send_digest(to,
+                std::make_shared<RandomPullDigestMessage>(
+                    d_.id(), cfg_.gossip_message_bytes, wanted, /*hops=*/0),
+                /*originated=*/true);
+  }
+  return true;
+}
+
+}  // namespace epicast

@@ -1,0 +1,4 @@
+// Intentionally almost empty: SubscriberPullProtocol is fully expressed via
+// PullProtocolBase (see pull_base.cpp). This translation unit anchors the
+// class for the build system.
+#include "epicast/gossip/subscriber_pull.hpp"

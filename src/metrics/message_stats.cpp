@@ -1,0 +1,70 @@
+#include "epicast/metrics/message_stats.hpp"
+
+#include "epicast/common/assert.hpp"
+
+namespace epicast {
+
+MessageStats::MessageStats(std::uint32_t node_count) : by_node_(node_count) {}
+
+void MessageStats::on_send(NodeId from, NodeId /*to*/, const Message& msg,
+                           bool overlay) {
+  const auto cls = static_cast<std::size_t>(msg.message_class());
+  ++totals_.sends[cls];
+  if (overlay) {
+    ++totals_.overlay_sends;
+  } else {
+    ++totals_.direct_sends;
+  }
+  EPICAST_ASSERT(from.value() < by_node_.size());
+  ++by_node_[from.value()][cls];
+}
+
+void MessageStats::on_loss(NodeId /*from*/, NodeId /*to*/, const Message& msg,
+                           bool /*overlay*/) {
+  ++totals_.losses[static_cast<std::size_t>(msg.message_class())];
+}
+
+void MessageStats::on_drop_no_link(NodeId /*from*/, NodeId /*to*/,
+                                   const Message& /*msg*/) {
+  ++totals_.drops_no_link;
+}
+
+std::uint64_t MessageStats::Snapshot::gossip_sends() const {
+  return sends_of(MessageClass::GossipDigest) +
+         sends_of(MessageClass::GossipRequest) +
+         sends_of(MessageClass::GossipReply);
+}
+
+double MessageStats::Snapshot::gossip_event_ratio() const {
+  const std::uint64_t events = event_sends();
+  return events == 0 ? 0.0
+                     : static_cast<double>(gossip_sends()) /
+                           static_cast<double>(events);
+}
+
+MessageStats::Snapshot operator-(MessageStats::Snapshot a,
+                                 const MessageStats::Snapshot& b) {
+  for (std::size_t i = 0; i < MessageStats::kClassCount; ++i) {
+    a.sends[i] -= b.sends[i];
+    a.losses[i] -= b.losses[i];
+  }
+  a.drops_no_link -= b.drops_no_link;
+  a.overlay_sends -= b.overlay_sends;
+  a.direct_sends -= b.direct_sends;
+  return a;
+}
+
+std::uint64_t MessageStats::gossip_sends_by(NodeId node) const {
+  EPICAST_ASSERT(node.value() < by_node_.size());
+  const auto& row = by_node_[node.value()];
+  return row[static_cast<std::size_t>(MessageClass::GossipDigest)] +
+         row[static_cast<std::size_t>(MessageClass::GossipRequest)] +
+         row[static_cast<std::size_t>(MessageClass::GossipReply)];
+}
+
+std::uint64_t MessageStats::event_sends_by(NodeId node) const {
+  EPICAST_ASSERT(node.value() < by_node_.size());
+  return by_node_[node.value()][static_cast<std::size_t>(MessageClass::Event)];
+}
+
+}  // namespace epicast

@@ -1,0 +1,75 @@
+#include "epicast/metrics/time_series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "epicast/common/assert.hpp"
+
+namespace epicast {
+
+double TimeSeries::mean_y() const {
+  if (points_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const SeriesPoint& p : points_) sum += p.y;
+  return sum / static_cast<double>(points_.size());
+}
+
+double TimeSeries::min_y() const {
+  EPICAST_ASSERT(!points_.empty());
+  return std::min_element(points_.begin(), points_.end(),
+                          [](const SeriesPoint& a, const SeriesPoint& b) {
+                            return a.y < b.y;
+                          })
+      ->y;
+}
+
+double TimeSeries::max_y() const {
+  EPICAST_ASSERT(!points_.empty());
+  return std::max_element(points_.begin(), points_.end(),
+                          [](const SeriesPoint& a, const SeriesPoint& b) {
+                            return a.y < b.y;
+                          })
+      ->y;
+}
+
+std::string render_series_table(const std::string& x_label,
+                                const std::vector<TimeSeries>& series) {
+  // Collect the union of x values (series may be sparse), keyed with a
+  // tolerance-free exact match: producers use identical sweep values.
+  std::map<double, std::vector<double>> rows;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    for (const SeriesPoint& p : series[i].points()) {
+      auto& row = rows[p.x];
+      row.resize(series.size(), std::nan(""));
+      row[i] = p.y;
+    }
+  }
+
+  std::string out;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%-14s", x_label.c_str());
+  out += buf;
+  for (const TimeSeries& s : series) {
+    std::snprintf(buf, sizeof buf, " %18s", s.name().c_str());
+    out += buf;
+  }
+  out += '\n';
+  for (const auto& [x, row] : rows) {
+    std::snprintf(buf, sizeof buf, "%-14.4f", x);
+    out += buf;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (i < row.size() && !std::isnan(row[i])) {
+        std::snprintf(buf, sizeof buf, " %18.4f", row[i]);
+      } else {
+        std::snprintf(buf, sizeof buf, " %18s", "-");
+      }
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace epicast

@@ -1,0 +1,129 @@
+#include "epicast/metrics/trace.hpp"
+
+#include <ostream>
+
+#include "epicast/common/assert.hpp"
+#include "epicast/pubsub/messages.hpp"
+
+namespace epicast {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::Send: return "send";
+    case TraceKind::Loss: return "loss";
+    case TraceKind::StaleDrop: return "stale-drop";
+    case TraceKind::Delivery: return "delivery";
+    case TraceKind::LinkChange: return "link-change";
+  }
+  return "?";
+}
+
+TraceLog::TraceLog(Simulator& sim, std::size_t capacity)
+    : sim_(sim), capacity_(capacity) {
+  EPICAST_ASSERT(capacity > 0);
+}
+
+void TraceLog::push(TraceRecord record) {
+  if (records_.size() >= capacity_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+  records_.push_back(record);
+}
+
+std::optional<EventId> TraceLog::event_of(const Message& msg) {
+  if (msg.message_class() == MessageClass::Event) {
+    // Both the dispatching EventMessage and the pure-gossip message expose
+    // their event; only the former is traced here (the common case).
+    if (const auto* em = dynamic_cast<const EventMessage*>(&msg)) {
+      return em->event()->id();
+    }
+  }
+  return std::nullopt;
+}
+
+void TraceLog::on_send(NodeId from, NodeId to, const Message& msg,
+                       bool overlay) {
+  push(TraceRecord{sim_.now(), TraceKind::Send, from, to,
+                   msg.message_class(), overlay, event_of(msg), false});
+}
+
+void TraceLog::on_loss(NodeId from, NodeId to, const Message& msg,
+                       bool overlay) {
+  push(TraceRecord{sim_.now(), TraceKind::Loss, from, to,
+                   msg.message_class(), overlay, event_of(msg), false});
+}
+
+void TraceLog::on_drop_no_link(NodeId from, NodeId to, const Message& msg) {
+  push(TraceRecord{sim_.now(), TraceKind::StaleDrop, from, to,
+                   msg.message_class(), true, event_of(msg), false});
+}
+
+void TraceLog::record_delivery(NodeId node, const EventId& event,
+                               bool recovered) {
+  push(TraceRecord{sim_.now(), TraceKind::Delivery, node, NodeId::invalid(),
+                   MessageClass::Event, true, event, recovered});
+}
+
+void TraceLog::record_link_change(const Link& link, bool added) {
+  push(TraceRecord{sim_.now(), TraceKind::LinkChange, link.a, link.b,
+                   MessageClass::Control, true, std::nullopt, added});
+}
+
+void TraceLog::clear() {
+  records_.clear();
+  dropped_ = 0;
+}
+
+std::vector<TraceRecord> TraceLog::of_kind(TraceKind kind) const {
+  std::vector<TraceRecord> out;
+  for (const TraceRecord& r : records_) {
+    if (r.kind == kind) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<TraceRecord> TraceLog::history_of(const EventId& id) const {
+  std::vector<TraceRecord> out;
+  for (const TraceRecord& r : records_) {
+    if (r.event && *r.event == id) out.push_back(r);
+  }
+  return out;
+}
+
+void TraceLog::dump(std::ostream& os, std::size_t max_lines) const {
+  std::size_t emitted = 0;
+  for (const TraceRecord& r : records_) {
+    if (max_lines != 0 && emitted >= max_lines) {
+      os << "... (" << records_.size() - emitted << " more)\n";
+      return;
+    }
+    os << to_string(r.at) << "  " << to_string(r.kind) << "  ";
+    switch (r.kind) {
+      case TraceKind::Send:
+      case TraceKind::Loss:
+        os << r.from.value() << (r.overlay ? " -> " : " ~> ") << r.to.value()
+           << "  " << to_string(r.message_class);
+        break;
+      case TraceKind::StaleDrop:
+        os << r.from.value() << " -x " << r.to.value() << "  "
+           << to_string(r.message_class);
+        break;
+      case TraceKind::Delivery:
+        os << "node " << r.from.value() << (r.flag ? "  (recovered)" : "");
+        break;
+      case TraceKind::LinkChange:
+        os << r.from.value() << " -- " << r.to.value()
+           << (r.flag ? "  added" : "  removed");
+        break;
+    }
+    if (r.event) {
+      os << "  event(" << r.event->source.value() << ","
+         << r.event->source_seq << ")";
+    }
+    os << '\n';
+    ++emitted;
+  }
+}
+
+}  // namespace epicast

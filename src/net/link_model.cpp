@@ -1,0 +1,46 @@
+#include "epicast/net/link_model.hpp"
+
+#include <algorithm>
+
+#include "epicast/common/assert.hpp"
+
+namespace epicast {
+namespace {
+
+std::uint64_t directed_key(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(from.value()) << 32) | to.value();
+}
+
+}  // namespace
+
+LinkModel::LinkModel(LinkParams params, Rng rng)
+    : params_(params), rng_(rng) {
+  EPICAST_ASSERT(params_.bandwidth_bps > 0);
+  EPICAST_ASSERT(params_.loss_rate >= 0.0 && params_.loss_rate <= 1.0);
+}
+
+Duration LinkModel::serialization_time(std::size_t bytes) const {
+  const double bits = static_cast<double>(bytes) * 8.0;
+  return Duration::seconds(bits / params_.bandwidth_bps);
+}
+
+LinkModel::Outcome LinkModel::transmit(NodeId from, NodeId to,
+                                       std::size_t bytes, SimTime now,
+                                       bool lossless) {
+  SimTime& free_at = next_free_[directed_key(from, to)];
+  const SimTime start = std::max(free_at, now);
+  const SimTime done = start + serialization_time(bytes);
+  free_at = done;
+
+  Outcome out;
+  out.delay = (done + params_.propagation) - now;
+  // The loss trial is drawn even for lossless sends so that toggling
+  // reliability does not shift the RNG stream of subsequent messages.
+  const bool corrupted = rng_.chance(params_.loss_rate);
+  out.lost = corrupted && !lossless;
+  return out;
+}
+
+void LinkModel::reset() { next_free_.clear(); }
+
+}  // namespace epicast

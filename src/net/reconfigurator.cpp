@@ -1,0 +1,84 @@
+#include "epicast/net/reconfigurator.hpp"
+
+#include <utility>
+
+#include "epicast/common/assert.hpp"
+#include "epicast/common/logging.hpp"
+
+namespace epicast {
+
+Reconfigurator::Reconfigurator(Simulator& sim, Topology& topology,
+                               ReconfigConfig config)
+    : sim_(sim), topology_(topology), config_(config), rng_(sim.fork_rng()) {
+  EPICAST_ASSERT(config_.interval > Duration::zero());
+  EPICAST_ASSERT(!config_.repair_time.is_negative());
+}
+
+void Reconfigurator::start() {
+  EPICAST_ASSERT_MSG(!timer_.running(), "reconfigurator already started");
+  Duration first = config_.start_at - sim_.now();
+  if (first.is_negative()) first = Duration::zero();
+  timer_ = sim_.every(first, config_.interval, [this]() {
+    if (config_.stop_at && sim_.now() > *config_.stop_at) {
+      timer_.stop();
+      return;
+    }
+    break_one();
+  });
+}
+
+void Reconfigurator::stop() { timer_.stop(); }
+
+void Reconfigurator::force_reconfiguration() { break_one(); }
+
+void Reconfigurator::break_one() {
+  const auto links = topology_.links();
+  if (links.empty()) {
+    EPICAST_WARN("reconfigurator: no link left to break");
+    return;
+  }
+  const Link victim = links[rng_.next_below(links.size())];
+  topology_.remove_link(victim.a, victim.b);
+  ++breaks_;
+  ++pending_;
+  EPICAST_DEBUG("reconfig: broke link " << victim.a.value() << "-"
+                                        << victim.b.value() << " at "
+                                        << to_string(sim_.now()));
+  if (on_break_) on_break_(victim);
+  sim_.after(config_.repair_time, [this, victim]() { repair(victim); });
+}
+
+std::optional<NodeId> Reconfigurator::pick_attachable(NodeId anchor) {
+  std::vector<NodeId> candidates;
+  for (NodeId n : topology_.component_of(anchor)) {
+    if (topology_.degree(n) < topology_.max_degree()) candidates.push_back(n);
+  }
+  if (candidates.empty()) return std::nullopt;
+  return candidates[rng_.next_below(candidates.size())];
+}
+
+void Reconfigurator::repair(Link removed) {
+  EPICAST_ASSERT(pending_ > 0);
+  --pending_;
+  ++repairs_;
+
+  Repair result{removed, std::nullopt};
+  if (topology_.distance(removed.a, removed.b).has_value()) {
+    // A concurrent repair already reconnected the two sides.
+    ++skipped_repairs_;
+  } else {
+    const auto left = pick_attachable(removed.a);
+    const auto right = pick_attachable(removed.b);
+    // Tree components always contain a node below the degree cap (any leaf),
+    // so both picks must succeed.
+    EPICAST_ASSERT_MSG(left && right, "no attachable node in a component");
+    topology_.add_link(*left, *right);
+    result.added = Link{*left, *right};
+    EPICAST_DEBUG("reconfig: repaired with link "
+                  << left->value() << "-" << right->value() << " at "
+                  << to_string(sim_.now()));
+  }
+  if (on_repair_) on_repair_(result);
+}
+
+}  // namespace epicast

@@ -1,0 +1,116 @@
+#include "epicast/net/transport.hpp"
+
+#include <utility>
+
+#include "epicast/common/assert.hpp"
+
+namespace epicast {
+
+const char* to_string(MessageClass c) {
+  switch (c) {
+    case MessageClass::Event: return "event";
+    case MessageClass::Control: return "control";
+    case MessageClass::GossipDigest: return "gossip-digest";
+    case MessageClass::GossipRequest: return "gossip-request";
+    case MessageClass::GossipReply: return "gossip-reply";
+  }
+  return "?";
+}
+
+Transport::Transport(Simulator& sim, Topology& topology,
+                     TransportConfig config)
+    : sim_(sim),
+      topology_(topology),
+      config_(config),
+      link_model_(config.link, sim.fork_rng()),
+      direct_rng_(sim.fork_rng()),
+      receivers_(topology.node_count(), nullptr) {
+  EPICAST_ASSERT(config_.direct_latency_min <= config_.direct_latency_max);
+  EPICAST_ASSERT(config_.direct_loss_rate >= 0.0 &&
+                 config_.direct_loss_rate <= 1.0);
+}
+
+void Transport::attach(NodeId node, TransportReceiver& receiver) {
+  EPICAST_ASSERT(node.value() < receivers_.size());
+  EPICAST_ASSERT_MSG(receivers_[node.value()] == nullptr,
+                     "node already has a receiver");
+  receivers_[node.value()] = &receiver;
+}
+
+TransportReceiver& Transport::receiver_for(NodeId node) const {
+  EPICAST_ASSERT(node.value() < receivers_.size());
+  TransportReceiver* r = receivers_[node.value()];
+  EPICAST_ASSERT_MSG(r != nullptr, "no receiver attached for node");
+  return *r;
+}
+
+void Transport::send_overlay(NodeId from, NodeId to, MessagePtr msg) {
+  EPICAST_ASSERT(msg != nullptr);
+  EPICAST_ASSERT(from != to);
+  for (TransportObserver* o : observers_) o->on_send(from, to, *msg, /*overlay=*/true);
+
+  if (!topology_.has_link(from, to)) {
+    // Stale route: the forwarding table still points at a broken link.
+    for (TransportObserver* o : observers_) o->on_drop_no_link(from, to, *msg);
+    return;
+  }
+
+  if (fault_ && !fault_(from, to, *msg)) {
+    for (TransportObserver* o : observers_) {
+      o->on_loss(from, to, *msg, /*overlay=*/true);
+    }
+    return;
+  }
+
+  const bool lossless =
+      config_.control_lossless && msg->message_class() == MessageClass::Control;
+  const LinkModel::Outcome tx =
+      link_model_.transmit(from, to, msg->size_bytes(), sim_.now(), lossless);
+  if (tx.lost) {
+    for (TransportObserver* o : observers_) {
+      o->on_loss(from, to, *msg, /*overlay=*/true);
+    }
+    return;
+  }
+
+  // The topology version guards in-flight messages: if the link breaks (or
+  // is replaced) while the message is on the wire, it never arrives.
+  const std::uint64_t version = topology_.version();
+  sim_.after(tx.delay, [this, from, to, msg = std::move(msg), version]() {
+    if (topology_.version() != version && !topology_.has_link(from, to)) {
+      for (TransportObserver* o : observers_) {
+        o->on_drop_no_link(from, to, *msg);
+      }
+      return;
+    }
+    receiver_for(to).on_overlay_message(from, msg);
+  });
+}
+
+void Transport::send_direct(NodeId from, NodeId to, MessagePtr msg) {
+  EPICAST_ASSERT(msg != nullptr);
+  EPICAST_ASSERT_MSG(from != to, "direct send to self");
+  for (TransportObserver* o : observers_) o->on_send(from, to, *msg, /*overlay=*/false);
+
+  if (fault_ && !fault_(from, to, *msg)) {
+    for (TransportObserver* o : observers_) {
+      o->on_loss(from, to, *msg, /*overlay=*/false);
+    }
+    return;
+  }
+
+  if (direct_rng_.chance(config_.direct_loss_rate)) {
+    for (TransportObserver* o : observers_) {
+      o->on_loss(from, to, *msg, /*overlay=*/false);
+    }
+    return;
+  }
+  const Duration latency = Duration::seconds(
+      direct_rng_.uniform(config_.direct_latency_min.to_seconds(),
+                          config_.direct_latency_max.to_seconds()));
+  sim_.after(latency, [this, from, to, msg = std::move(msg)]() {
+    receiver_for(to).on_direct_message(from, msg);
+  });
+}
+
+}  // namespace epicast

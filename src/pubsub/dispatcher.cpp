@@ -1,0 +1,255 @@
+#include "epicast/pubsub/dispatcher.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "epicast/common/assert.hpp"
+#include "epicast/common/logging.hpp"
+
+namespace epicast {
+
+Dispatcher::Dispatcher(NodeId id, Simulator& sim, Transport& transport,
+                       DispatcherConfig config)
+    : id_(id),
+      sim_(sim),
+      transport_(transport),
+      config_(config),
+      rng_(sim.fork_rng()) {
+  transport_.attach(id_, *this);
+}
+
+void Dispatcher::set_recovery(std::unique_ptr<RecoveryProtocol> recovery) {
+  recovery_ = std::move(recovery);
+}
+
+// ---------------------------------------------------------------------------
+// Subscription forwarding (paper §II)
+
+bool Dispatcher::sub_sent(Pattern p, NodeId neighbor) const {
+  auto it = sub_sent_.find(p);
+  if (it == sub_sent_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), neighbor) !=
+         it->second.end();
+}
+
+void Dispatcher::note_sub_sent(Pattern p, NodeId neighbor) {
+  auto& sent = sub_sent_[p];
+  if (std::find(sent.begin(), sent.end(), neighbor) == sent.end()) {
+    sent.push_back(neighbor);
+  }
+}
+
+void Dispatcher::clear_sub_sent() { sub_sent_.clear(); }
+
+void Dispatcher::subscribe(Pattern p) {
+  table_.add_local(p);
+  // Flood towards every direction not already covered by a previous
+  // propagation of the same pattern ("avoid forwarding the same event
+  // pattern in the same direction").
+  for (NodeId m : neighbors()) {
+    if (sub_sent(p, m)) continue;
+    note_sub_sent(p, m);
+    send_overlay(m, std::make_shared<SubscribeMessage>(p, /*subscribe=*/true));
+  }
+}
+
+void Dispatcher::unsubscribe(Pattern p) {
+  if (!table_.remove_local(p)) return;
+  maybe_propagate_unsub(p, NodeId::invalid());
+}
+
+void Dispatcher::maybe_propagate_unsub(Pattern p, NodeId skip) {
+  // Retract sub(p) from every direction m for which no subscriber remains
+  // reachable through us: we are not local, and no route entry arrives from
+  // a neighbour other than m itself.
+  auto it = sub_sent_.find(p);
+  if (it == sub_sent_.end()) return;
+  std::vector<NodeId> sent = it->second;  // copy: we mutate while iterating
+  for (NodeId m : sent) {
+    if (m == skip) continue;
+    if (table_.has_local(p)) continue;
+    bool interest_elsewhere = false;
+    for (NodeId hop : table_.route_targets(p, m)) {
+      (void)hop;
+      interest_elsewhere = true;
+      break;
+    }
+    if (interest_elsewhere) continue;
+    auto& live = sub_sent_[p];
+    live.erase(std::remove(live.begin(), live.end(), m), live.end());
+    send_overlay(m,
+                 std::make_shared<SubscribeMessage>(p, /*subscribe=*/false));
+  }
+  if (sub_sent_[p].empty()) sub_sent_.erase(p);
+}
+
+void Dispatcher::handle_link_break(NodeId neighbor) {
+  // The suppression marks towards the vanished neighbour are void: if a
+  // link to it (or towards its side) reappears, subscriptions must be able
+  // to flow again.
+  for (auto it = sub_sent_.begin(); it != sub_sent_.end();) {
+    auto& sent = it->second;
+    sent.erase(std::remove(sent.begin(), sent.end(), neighbor), sent.end());
+    if (sent.empty()) {
+      it = sub_sent_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Routes through the broken link are gone; for every affected pattern,
+  // directions that no longer lead to any subscriber get a retraction,
+  // which prunes the stale path hop by hop (the unsubscription machinery
+  // of §II doubles as the repair's flush phase).
+  std::vector<Pattern> affected;
+  for (Pattern p : table_.known_patterns()) {
+    if (table_.has_route(p, neighbor)) affected.push_back(p);
+  }
+  table_.remove_neighbor(neighbor);
+  for (Pattern p : affected) {
+    maybe_propagate_unsub(p, NodeId::invalid());
+  }
+}
+
+void Dispatcher::handle_link_add(NodeId neighbor) {
+  // Advertise every pattern with interest on this side of the new link:
+  // a local subscription, or a route arriving from some other direction.
+  for (Pattern p : table_.known_patterns()) {
+    const bool interest = table_.has_local(p) ||
+                          !table_.route_targets(p, neighbor).empty();
+    if (!interest || sub_sent(p, neighbor)) continue;
+    note_sub_sent(p, neighbor);
+    send_overlay(neighbor,
+                 std::make_shared<SubscribeMessage>(p, /*subscribe=*/true));
+  }
+}
+
+void Dispatcher::handle_control(NodeId from, const SubscribeMessage& msg) {
+  const Pattern p = msg.pattern();
+  if (msg.is_subscribe()) {
+    table_.add_route(p, from);
+    for (NodeId m : neighbors()) {
+      if (m == from || sub_sent(p, m)) continue;
+      note_sub_sent(p, m);
+      send_overlay(m,
+                   std::make_shared<SubscribeMessage>(p, /*subscribe=*/true));
+    }
+  } else {
+    table_.remove_route(p, from);
+    maybe_propagate_unsub(p, from);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event publication and routing
+
+EventPtr Dispatcher::publish(const std::vector<Pattern>& content) {
+  return publish(content, config_.default_payload_bytes);
+}
+
+EventPtr Dispatcher::publish(const std::vector<Pattern>& content,
+                             std::size_t payload_bytes) {
+  EPICAST_ASSERT_MSG(!content.empty(), "event content must be non-empty");
+  std::vector<PatternSeq> patterns;
+  patterns.reserve(content.size());
+  for (Pattern p : content) {
+    // Per-(source, pattern) sequence numbers start at 1 so that SeqNo{0}
+    // can mean "nothing received yet" in loss detectors.
+    const std::uint64_t seq = ++next_pattern_seq_[p];
+    patterns.push_back(PatternSeq{p, SeqNo{seq}});
+  }
+  auto event = std::make_shared<EventData>(
+      EventId{id_, next_source_seq_++}, std::move(patterns), payload_bytes,
+      sim_.now());
+  ++stats_.published;
+
+  seen_.insert(event->id());
+  RecoveryProtocol::EventContext ctx;
+  ctx.from = NodeId::invalid();
+  ctx.local_publish = true;
+  if (config_.record_routes) ctx.route = {id_};
+  accept_event(event, ctx);
+  forward_event(event, NodeId::invalid(), ctx.route);
+  return event;
+}
+
+void Dispatcher::accept_event(const EventPtr& event,
+                              const RecoveryProtocol::EventContext& ctx) {
+  if (table_.matches_local(*event)) {
+    ++stats_.delivered;
+    if (ctx.recovered) ++stats_.delivered_recovered;
+    if (on_delivery_) on_delivery_(id_, event, ctx.recovered);
+  }
+  if (recovery_) recovery_->on_event(event, ctx);
+}
+
+void Dispatcher::forward_event(const EventPtr& event, NodeId exclude,
+                               const std::vector<NodeId>& route_so_far) {
+  const std::vector<NodeId> targets = table_.route_targets(*event, exclude);
+  if (targets.empty()) return;
+
+  std::vector<NodeId> route;
+  if (config_.record_routes) {
+    route = route_so_far;
+    if (route.empty() || route.back() != id_) route.push_back(id_);
+  }
+  for (NodeId to : targets) {
+    ++stats_.forwarded;
+    send_overlay(to, std::make_shared<EventMessage>(event, route));
+  }
+}
+
+void Dispatcher::handle_event(NodeId from, const EventMessage& msg) {
+  const EventPtr& event = msg.event();
+  if (!seen_.insert(event->id()).second) {
+    ++stats_.duplicates;
+    return;
+  }
+  RecoveryProtocol::EventContext ctx;
+  ctx.from = from;
+  ctx.route = msg.route();
+  accept_event(event, ctx);
+  forward_event(event, from, msg.route());
+}
+
+bool Dispatcher::accept_recovered(const EventPtr& event) {
+  if (!seen_.insert(event->id()).second) {
+    ++stats_.duplicates;
+    return false;
+  }
+  RecoveryProtocol::EventContext ctx;
+  ctx.from = NodeId::invalid();
+  ctx.recovered = true;
+  accept_event(event, ctx);
+  // Recovered events are not re-forwarded: recovery is a per-dispatcher
+  // affair (§III-B); downstream dispatchers run their own gossip.
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Transport callbacks
+
+void Dispatcher::on_overlay_message(NodeId from, const MessagePtr& msg) {
+  switch (msg->message_class()) {
+    case MessageClass::Event:
+      handle_event(from, static_cast<const EventMessage&>(*msg));
+      return;
+    case MessageClass::Control:
+      handle_control(from, static_cast<const SubscribeMessage&>(*msg));
+      return;
+    case MessageClass::GossipDigest:
+    case MessageClass::GossipRequest:
+    case MessageClass::GossipReply:
+      if (recovery_) recovery_->on_gossip(from, msg);
+      return;
+  }
+  EPICAST_UNREACHABLE("unknown message class");
+}
+
+void Dispatcher::on_direct_message(NodeId from, const MessagePtr& msg) {
+  EPICAST_ASSERT_MSG(is_gossip(msg->message_class()),
+                     "only gossip traffic uses the out-of-band channel");
+  if (recovery_) recovery_->on_gossip(from, msg);
+}
+
+}  // namespace epicast

@@ -1,0 +1,38 @@
+#include "epicast/pubsub/event.hpp"
+
+#include <algorithm>
+
+#include "epicast/common/assert.hpp"
+
+namespace epicast {
+
+EventData::EventData(EventId id, std::vector<PatternSeq> patterns,
+                     std::size_t payload_bytes, SimTime published_at)
+    : id_(id),
+      patterns_(std::move(patterns)),
+      payload_bytes_(payload_bytes),
+      published_at_(published_at) {
+  EPICAST_ASSERT_MSG(!patterns_.empty(), "an event must match >= 1 pattern");
+  std::sort(patterns_.begin(), patterns_.end(),
+            [](const PatternSeq& a, const PatternSeq& b) {
+              return a.pattern < b.pattern;
+            });
+  for (std::size_t i = 1; i < patterns_.size(); ++i) {
+    EPICAST_ASSERT_MSG(patterns_[i - 1].pattern != patterns_[i].pattern,
+                       "event patterns must be distinct");
+  }
+}
+
+bool EventData::matches(Pattern p) const {
+  return seq_for(p).has_value();
+}
+
+std::optional<SeqNo> EventData::seq_for(Pattern p) const {
+  // Linear scan: events carry at most a handful of patterns.
+  for (const PatternSeq& ps : patterns_) {
+    if (ps.pattern == p) return ps.seq;
+  }
+  return std::nullopt;
+}
+
+}  // namespace epicast

@@ -1,0 +1,144 @@
+#include "epicast/pubsub/network.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "epicast/common/assert.hpp"
+
+namespace epicast {
+
+PubSubNetwork::PubSubNetwork(Simulator& sim, Transport& transport,
+                             DispatcherConfig dispatcher_config)
+    : sim_(sim), transport_(transport) {
+  const std::uint32_t n = transport.topology().node_count();
+  nodes_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    nodes_.push_back(std::make_unique<Dispatcher>(NodeId{i}, sim, transport,
+                                                  dispatcher_config));
+  }
+}
+
+Dispatcher& PubSubNetwork::node(NodeId id) {
+  EPICAST_ASSERT(id.valid() && id.value() < nodes_.size());
+  return *nodes_[id.value()];
+}
+
+const Dispatcher& PubSubNetwork::node(NodeId id) const {
+  EPICAST_ASSERT(id.valid() && id.value() < nodes_.size());
+  return *nodes_[id.value()];
+}
+
+void PubSubNetwork::set_delivery_listener(
+    Dispatcher::DeliveryListener listener) {
+  for (auto& d : nodes_) d->set_delivery_listener(listener);
+}
+
+PubSubNetwork::Oracle PubSubNetwork::compute_oracle() const {
+  const Topology& topo = transport_.topology();
+  Oracle oracle(nodes_.size());
+
+  // One BFS per (subscriber, pattern): every reachable node v gets an entry
+  // (p → predecessor of v on the path from s), i.e. v's next hop towards s.
+  std::vector<NodeId> pred(nodes_.size());
+  std::vector<bool> seen(nodes_.size());
+  for (const auto& sub : nodes_) {
+    const NodeId s = sub->id();
+    const auto patterns = sub->table().local_patterns();
+    if (patterns.empty()) continue;
+
+    std::fill(seen.begin(), seen.end(), false);
+    seen[s.value()] = true;
+    std::deque<NodeId> frontier{s};
+    std::vector<NodeId> order;
+    while (!frontier.empty()) {
+      const NodeId cur = frontier.front();
+      frontier.pop_front();
+      for (NodeId nxt : topo.neighbors(cur)) {
+        if (seen[nxt.value()]) continue;
+        seen[nxt.value()] = true;
+        pred[nxt.value()] = cur;
+        order.push_back(nxt);
+        frontier.push_back(nxt);
+      }
+    }
+    for (NodeId v : order) {
+      for (Pattern p : patterns) {
+        oracle[v.value()].emplace_back(p, pred[v.value()]);
+      }
+    }
+  }
+  for (auto& entries : oracle) {
+    std::sort(entries.begin(), entries.end());
+    entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+  }
+  return oracle;
+}
+
+void PubSubNetwork::rebuild_routes() {
+  const Oracle oracle = compute_oracle();
+  for (auto& d : nodes_) {
+    d->table().clear_routes();
+    d->clear_sub_sent();
+  }
+  for (std::uint32_t v = 0; v < nodes_.size(); ++v) {
+    for (const auto& [pattern, next_hop] : oracle[v]) {
+      nodes_[v]->table().add_route(pattern, next_hop);
+      // v holding a route (p → next_hop) means a subscriber lives on
+      // next_hop's far side, i.e. next_hop's flood of sub(p) crossed the
+      // link towards v — reconstruct that duplicate-suppression fact.
+      nodes_[next_hop.value()]->note_sub_sent(pattern, NodeId{v});
+    }
+  }
+}
+
+void PubSubNetwork::enable_protocol_reconfiguration() {
+  transport_.topology().add_change_listener(
+      [this](const Link& link, bool added) {
+        if (added) {
+          node(link.a).handle_link_add(link.b);
+          node(link.b).handle_link_add(link.a);
+        } else {
+          node(link.a).handle_link_break(link.b);
+          node(link.b).handle_link_break(link.a);
+        }
+      });
+}
+
+bool PubSubNetwork::routes_consistent() const {
+  const Oracle oracle = compute_oracle();
+  for (std::uint32_t v = 0; v < nodes_.size(); ++v) {
+    const SubscriptionTable& table = nodes_[v]->table();
+    std::vector<std::pair<Pattern, NodeId>> actual;
+    for (Pattern p : table.known_patterns()) {
+      for (NodeId hop : table.route_targets(p, NodeId::invalid())) {
+        actual.emplace_back(p, hop);
+      }
+    }
+    std::sort(actual.begin(), actual.end());
+    if (actual != oracle[v]) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> PubSubNetwork::expected_receivers(
+    const std::vector<Pattern>& content) const {
+  std::vector<NodeId> out;
+  for (const auto& d : nodes_) {
+    const auto& table = d->table();
+    if (std::any_of(content.begin(), content.end(),
+                    [&](Pattern p) { return table.has_local(p); })) {
+      out.push_back(d->id());
+    }
+  }
+  return out;
+}
+
+std::size_t PubSubNetwork::subscriber_count(Pattern p) const {
+  std::size_t n = 0;
+  for (const auto& d : nodes_) {
+    if (d->table().has_local(p)) ++n;
+  }
+  return n;
+}
+
+}  // namespace epicast

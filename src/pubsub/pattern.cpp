@@ -1,0 +1,61 @@
+#include "epicast/pubsub/pattern.hpp"
+
+#include <algorithm>
+
+#include "epicast/common/assert.hpp"
+
+namespace epicast {
+
+PatternUniverse::PatternUniverse(std::uint32_t count) : count_(count) {
+  EPICAST_ASSERT_MSG(count > 0, "pattern universe must be non-empty");
+}
+
+Pattern PatternUniverse::at(std::uint32_t index) const {
+  EPICAST_ASSERT(index < count_);
+  return Pattern{index};
+}
+
+std::vector<Pattern> PatternUniverse::sample_distinct(std::uint32_t k,
+                                                      Rng& rng) const {
+  EPICAST_ASSERT_MSG(k <= count_, "cannot sample more patterns than exist");
+  // Floyd's algorithm: k distinct values without building the full universe.
+  std::vector<std::uint32_t> chosen;
+  chosen.reserve(k);
+  for (std::uint32_t j = count_ - k; j < count_; ++j) {
+    const auto t =
+        static_cast<std::uint32_t>(rng.next_below(static_cast<std::uint64_t>(j) + 1));
+    if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+      chosen.push_back(t);
+    } else {
+      chosen.push_back(j);
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  std::vector<Pattern> out;
+  out.reserve(k);
+  for (std::uint32_t v : chosen) out.emplace_back(v);
+  return out;
+}
+
+std::vector<Pattern> PatternUniverse::all() const {
+  std::vector<Pattern> out;
+  out.reserve(count_);
+  for (std::uint32_t i = 0; i < count_; ++i) out.emplace_back(i);
+  return out;
+}
+
+double PatternUniverse::match_probability(std::uint32_t subs,
+                                          std::uint32_t event_patterns) const {
+  EPICAST_ASSERT(subs <= count_ && event_patterns <= count_);
+  // P(subscriber's set intersects event's set)
+  //   = 1 - C(Π - subs, event_patterns) / C(Π, event_patterns).
+  if (subs + event_patterns > count_) return 1.0;  // pigeonhole: must overlap
+  double miss = 1.0;
+  for (std::uint32_t i = 0; i < event_patterns; ++i) {
+    miss *= static_cast<double>(count_ - subs - i) /
+            static_cast<double>(count_ - i);
+  }
+  return 1.0 - miss;
+}
+
+}  // namespace epicast

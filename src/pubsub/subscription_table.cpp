@@ -1,0 +1,147 @@
+#include "epicast/pubsub/subscription_table.hpp"
+
+#include <algorithm>
+
+#include "epicast/common/assert.hpp"
+
+namespace epicast {
+
+bool SubscriptionTable::add_local(Pattern p) {
+  Entry& e = entries_[p];
+  if (e.local) return false;
+  e.local = true;
+  return true;
+}
+
+bool SubscriptionTable::remove_local(Pattern p) {
+  auto it = entries_.find(p);
+  if (it == entries_.end() || !it->second.local) return false;
+  it->second.local = false;
+  prune(p);
+  return true;
+}
+
+bool SubscriptionTable::add_route(Pattern p, NodeId next_hop) {
+  EPICAST_ASSERT(next_hop.valid());
+  Entry& e = entries_[p];
+  auto it = std::lower_bound(e.next_hops.begin(), e.next_hops.end(), next_hop);
+  if (it != e.next_hops.end() && *it == next_hop) return false;
+  e.next_hops.insert(it, next_hop);
+  return true;
+}
+
+bool SubscriptionTable::remove_route(Pattern p, NodeId next_hop) {
+  auto it = entries_.find(p);
+  if (it == entries_.end()) return false;
+  auto& hops = it->second.next_hops;
+  auto pos = std::lower_bound(hops.begin(), hops.end(), next_hop);
+  if (pos == hops.end() || *pos != next_hop) return false;
+  hops.erase(pos);
+  prune(p);
+  return true;
+}
+
+void SubscriptionTable::remove_neighbor(NodeId neighbor) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    auto& hops = it->second.next_hops;
+    auto pos = std::lower_bound(hops.begin(), hops.end(), neighbor);
+    if (pos != hops.end() && *pos == neighbor) hops.erase(pos);
+    if (it->second.empty()) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SubscriptionTable::clear_routes() {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    it->second.next_hops.clear();
+    if (it->second.empty()) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool SubscriptionTable::has_local(Pattern p) const {
+  auto it = entries_.find(p);
+  return it != entries_.end() && it->second.local;
+}
+
+bool SubscriptionTable::has_route(Pattern p, NodeId next_hop) const {
+  auto it = entries_.find(p);
+  if (it == entries_.end()) return false;
+  const auto& hops = it->second.next_hops;
+  return std::binary_search(hops.begin(), hops.end(), next_hop);
+}
+
+bool SubscriptionTable::knows(Pattern p) const {
+  return entries_.find(p) != entries_.end();
+}
+
+bool SubscriptionTable::matches_local(const EventData& event) const {
+  for (const PatternSeq& ps : event.patterns()) {
+    if (has_local(ps.pattern)) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> SubscriptionTable::route_targets(const EventData& event,
+                                                     NodeId exclude) const {
+  std::vector<NodeId> out;
+  for (const PatternSeq& ps : event.patterns()) {
+    auto it = entries_.find(ps.pattern);
+    if (it == entries_.end()) continue;
+    for (NodeId hop : it->second.next_hops) {
+      if (hop != exclude) out.push_back(hop);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<NodeId> SubscriptionTable::route_targets(Pattern p,
+                                                     NodeId exclude) const {
+  std::vector<NodeId> out;
+  auto it = entries_.find(p);
+  if (it == entries_.end()) return out;
+  for (NodeId hop : it->second.next_hops) {
+    if (hop != exclude) out.push_back(hop);
+  }
+  return out;
+}
+
+std::vector<Pattern> SubscriptionTable::known_patterns() const {
+  std::vector<Pattern> out;
+  out.reserve(entries_.size());
+  for (const auto& [p, e] : entries_) out.push_back(p);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Pattern> SubscriptionTable::local_patterns() const {
+  std::vector<Pattern> out;
+  for (const auto& [p, e] : entries_) {
+    if (e.local) out.push_back(p);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t SubscriptionTable::entry_count() const {
+  std::size_t n = 0;
+  for (const auto& [p, e] : entries_) {
+    n += e.next_hops.size() + (e.local ? 1 : 0);
+  }
+  return n;
+}
+
+void SubscriptionTable::prune(Pattern p) {
+  auto it = entries_.find(p);
+  if (it != entries_.end() && it->second.empty()) entries_.erase(it);
+}
+
+}  // namespace epicast

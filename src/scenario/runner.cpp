@@ -1,0 +1,199 @@
+#include "epicast/scenario/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "epicast/common/assert.hpp"
+#include "epicast/metrics/delivery_tracker.hpp"
+#include "epicast/net/reconfigurator.hpp"
+#include "epicast/net/topology.hpp"
+#include "epicast/net/transport.hpp"
+#include "epicast/pubsub/network.hpp"
+#include "epicast/scenario/workload.hpp"
+#include "epicast/sim/simulator.hpp"
+
+namespace epicast {
+namespace {
+
+/// Counts distinct subscribers (≠ publisher) matching an event's content.
+/// Reused across publishes via an epoch-stamped scratch array — O(content ×
+/// subscribers-per-pattern) per call, no allocation.
+class ExpectedReceiverCounter {
+ public:
+  ExpectedReceiverCounter(const Workload& workload, std::uint32_t nodes,
+                          std::uint32_t pattern_universe) {
+    by_pattern_.resize(pattern_universe);
+    for (std::uint32_t i = 0; i < nodes; ++i) {
+      for (Pattern p : workload.subscriptions_of(NodeId{i})) {
+        by_pattern_[p.value()].push_back(NodeId{i});
+      }
+    }
+    stamp_.assign(nodes, 0);
+  }
+
+  std::uint32_t count(const EventData& event) {
+    ++epoch_;
+    std::uint32_t n = 0;
+    for (const PatternSeq& ps : event.patterns()) {
+      for (NodeId sub : by_pattern_[ps.pattern.value()]) {
+        if (sub == event.source()) continue;
+        if (stamp_[sub.value()] == epoch_) continue;
+        stamp_[sub.value()] = epoch_;
+        ++n;
+      }
+    }
+    return n;
+  }
+
+ private:
+  std::vector<std::vector<NodeId>> by_pattern_;
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioConfig& cfg) {
+  cfg.validate();
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  Simulator sim(cfg.seed);
+
+  Rng topo_rng = sim.fork_rng();
+  Topology topology =
+      Topology::random_tree(cfg.nodes, cfg.max_degree, topo_rng);
+
+  TransportConfig tc;
+  tc.link.bandwidth_bps = cfg.link_bandwidth_bps;
+  tc.link.propagation = cfg.link_propagation;
+  tc.link.loss_rate = cfg.link_error_rate;
+  tc.control_lossless = true;
+  tc.direct_latency_min = cfg.direct_latency_min;
+  tc.direct_latency_max = cfg.direct_latency_max;
+  tc.direct_loss_rate = cfg.effective_oob_loss();
+  Transport transport(sim, topology, tc);
+
+  MessageStats stats(cfg.nodes);
+  transport.set_observer(&stats);
+
+  DispatcherConfig dc;
+  dc.default_payload_bytes = cfg.event_payload_bytes;
+  dc.record_routes = algorithm_needs_routes(cfg.algorithm);
+  PubSubNetwork network(sim, transport, dc);
+
+  Workload workload(sim, network, cfg);
+
+  // Phase 1: subscription forwarding settles over the reliable control
+  // channel; the resulting routes must match the global oracle exactly.
+  workload.issue_subscriptions();
+  sim.run_until(cfg.publish_start());
+  EPICAST_ASSERT_MSG(network.routes_consistent(),
+                     "subscription forwarding left inconsistent routes");
+
+  // Phase 2 wiring: recovery protocols, metrics, churn, publishing.
+  network.for_each([&](Dispatcher& d) {
+    d.set_recovery(make_recovery(cfg.algorithm, d, cfg.gossip));
+    d.recovery()->start();
+  });
+
+  DeliveryTracker tracker(cfg.bucket_width, cfg.recovery_horizon);
+  tracker.set_measure_window(cfg.window_start(), cfg.window_end());
+  network.set_delivery_listener(
+      [&tracker, &sim](NodeId node, const EventPtr& event, bool recovered) {
+        tracker.on_delivery(node, event->id(), sim.now(), recovered);
+      });
+
+  ExpectedReceiverCounter expected(workload, cfg.nodes, cfg.pattern_universe);
+  workload.set_publish_listener([&](const EventPtr& event) {
+    tracker.on_publish(event->id(), sim.now(), expected.count(*event));
+  });
+
+  const double mean_distance = topology.mean_pairwise_distance();
+
+  Reconfigurator* churn = nullptr;
+  std::unique_ptr<Reconfigurator> churn_owner;
+  if (cfg.route_repair == ScenarioConfig::RouteRepair::Protocol) {
+    network.enable_protocol_reconfiguration();
+  }
+  if (cfg.reconfiguration_interval) {
+    ReconfigConfig rc;
+    rc.interval = *cfg.reconfiguration_interval;
+    rc.repair_time = cfg.repair_time;
+    rc.start_at = cfg.publish_start() + rc.interval;
+    churn_owner = std::make_unique<Reconfigurator>(sim, topology, rc);
+    if (cfg.route_repair == ScenarioConfig::RouteRepair::Oracle) {
+      churn_owner->set_repair_listener(
+          [&network](const Reconfigurator::Repair&) {
+            network.rebuild_routes();
+          });
+    }
+    churn_owner->start();
+    churn = churn_owner.get();
+  }
+
+  workload.start_publishing(cfg.publish_start(), cfg.end_time());
+
+  // Traffic snapshots bracketing the measurement window.
+  MessageStats::Snapshot window_begin;
+  sim.at(cfg.window_start(),
+         [&window_begin, &stats]() { window_begin = stats.snapshot(); });
+  MessageStats::Snapshot window_close;
+  sim.at(cfg.window_end(),
+         [&window_close, &stats]() { window_close = stats.snapshot(); });
+
+  sim.run_until(cfg.end_time());
+
+  // -- collect ----------------------------------------------------------------
+  ScenarioResult result;
+  result.delivery_rate = tracker.delivery_rate();
+  result.eventual_delivery_rate = tracker.eventual_delivery_rate();
+  result.receivers_per_event = tracker.receivers_per_event();
+  result.mean_recovery_latency_s = tracker.mean_recovery_latency();
+  result.recovery_latency_p50_s = tracker.recovery_latency_quantile(0.5);
+  result.recovery_latency_p90_s = tracker.recovery_latency_quantile(0.9);
+  result.recovery_latency_p99_s = tracker.recovery_latency_quantile(0.99);
+  result.events_published = workload.events_published();
+  result.events_tracked = tracker.events_tracked();
+  result.expected_pairs = tracker.expected_pairs();
+  result.delivered_pairs = tracker.delivered_pairs();
+  result.recovered_pairs = tracker.recovered_pairs();
+  result.delivery_series = tracker.delivery_series(to_string(cfg.algorithm));
+
+  result.traffic = window_close - window_begin;
+  result.gossip_msgs_per_dispatcher =
+      static_cast<double>(result.traffic.gossip_sends()) /
+      static_cast<double>(cfg.nodes);
+  result.gossip_event_ratio = result.traffic.gossip_event_ratio();
+
+  network.for_each([&result](Dispatcher& d) {
+    if (auto* proto = dynamic_cast<GossipProtocolBase*>(d.recovery())) {
+      const auto& s = proto->stats();
+      result.gossip_totals.rounds += s.rounds;
+      result.gossip_totals.rounds_skipped += s.rounds_skipped;
+      result.gossip_totals.digests_originated += s.digests_originated;
+      result.gossip_totals.digests_forwarded += s.digests_forwarded;
+      result.gossip_totals.requests_sent += s.requests_sent;
+      result.gossip_totals.replies_sent += s.replies_sent;
+      result.gossip_totals.events_served += s.events_served;
+      result.gossip_totals.events_recovered += s.events_recovered;
+      result.gossip_totals.reply_duplicates += s.reply_duplicates;
+    }
+    if (d.recovery()) d.recovery()->stop();
+  });
+
+  result.mean_pairwise_distance = mean_distance;
+  if (churn) {
+    result.reconfig_breaks = churn->breaks();
+    result.reconfig_repairs = churn->repairs();
+  }
+  result.drops_no_link = stats.snapshot().drops_no_link;
+  result.sim_events_executed = sim.scheduler().executed();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return result;
+}
+
+}  // namespace epicast

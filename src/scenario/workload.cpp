@@ -1,0 +1,71 @@
+#include "epicast/scenario/workload.hpp"
+
+#include "epicast/common/assert.hpp"
+
+namespace epicast {
+
+Workload::Workload(Simulator& sim, PubSubNetwork& network,
+                   const ScenarioConfig& config)
+    : sim_(sim),
+      network_(network),
+      cfg_(config),
+      universe_(config.pattern_universe),
+      rng_(sim.fork_rng()),
+      subscriptions_(network.size()) {
+  node_rngs_.reserve(network.size());
+  for (std::size_t i = 0; i < network.size(); ++i) {
+    node_rngs_.push_back(rng_.fork());
+  }
+}
+
+void Workload::issue_subscriptions() {
+  for (std::uint32_t i = 0; i < network_.size(); ++i) {
+    const NodeId n{i};
+    subscriptions_[i] =
+        universe_.sample_distinct(cfg_.patterns_per_subscriber, node_rngs_[i]);
+    for (Pattern p : subscriptions_[i]) network_.node(n).subscribe(p);
+  }
+}
+
+const std::vector<Pattern>& Workload::subscriptions_of(NodeId n) const {
+  EPICAST_ASSERT(n.value() < subscriptions_.size());
+  return subscriptions_[n.value()];
+}
+
+void Workload::start_publishing(SimTime at, SimTime until) {
+  EPICAST_ASSERT(at < until);
+  for (std::uint32_t i = 0; i < network_.size(); ++i) {
+    const NodeId node{i};
+    // Stagger the first publish by one exponential inter-arrival so the
+    // Poisson processes are in steady state from the window start.
+    const Duration first = Duration::seconds(
+        node_rngs_[i].exponential(1.0 / cfg_.publish_rate_hz));
+    sim_.at(at + first, [this, node, until]() {
+      if (sim_.now() >= until) return;
+      const auto content = universe_.sample_distinct(
+          cfg_.patterns_per_event, node_rngs_[node.value()]);
+      const EventPtr event =
+          network_.node(node).publish(content, cfg_.event_payload_bytes);
+      ++published_;
+      if (on_publish_) on_publish_(event);
+      schedule_next_publish(node, until);
+    });
+  }
+}
+
+void Workload::schedule_next_publish(NodeId node, SimTime until) {
+  const Duration gap = Duration::seconds(
+      node_rngs_[node.value()].exponential(1.0 / cfg_.publish_rate_hz));
+  sim_.after(gap, [this, node, until]() {
+    if (sim_.now() >= until) return;
+    const auto content = universe_.sample_distinct(
+        cfg_.patterns_per_event, node_rngs_[node.value()]);
+    const EventPtr event =
+        network_.node(node).publish(content, cfg_.event_payload_bytes);
+    ++published_;
+    if (on_publish_) on_publish_(event);
+    schedule_next_publish(node, until);
+  });
+}
+
+}  // namespace epicast

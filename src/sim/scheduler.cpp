@@ -1,0 +1,72 @@
+#include "epicast/sim/scheduler.hpp"
+
+#include <utility>
+
+#include "epicast/common/assert.hpp"
+
+namespace epicast {
+
+bool EventHandle::cancel() {
+  if (!cancelled_ || *cancelled_) return false;
+  *cancelled_ = true;
+  return true;
+}
+
+bool EventHandle::pending() const { return cancelled_ && !*cancelled_; }
+
+EventHandle Scheduler::schedule_at(SimTime at, Callback cb) {
+  EPICAST_ASSERT_MSG(at >= now_, "cannot schedule into the past");
+  EPICAST_ASSERT(cb != nullptr);
+  auto cancelled = std::make_shared<bool>(false);
+  heap_.push(Entry{at, next_seq_++, std::move(cb), cancelled});
+  return EventHandle{std::move(cancelled)};
+}
+
+EventHandle Scheduler::schedule_after(Duration delay, Callback cb) {
+  EPICAST_ASSERT_MSG(!delay.is_negative(), "negative delay");
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Scheduler::pop_live(Entry& out) {
+  while (!heap_.empty()) {
+    // priority_queue::top() is const; the Entry must be moved out via a
+    // const_cast-free copy of the small members plus move of the callback.
+    out.at = heap_.top().at;
+    out.seq = heap_.top().seq;
+    out.cb = std::move(const_cast<Entry&>(heap_.top()).cb);
+    out.cancelled = heap_.top().cancelled;
+    heap_.pop();
+    if (!*out.cancelled) return true;
+  }
+  return false;
+}
+
+bool Scheduler::step() {
+  Entry e;
+  if (!pop_live(e)) return false;
+  now_ = e.at;
+  *e.cancelled = true;  // fired — pending() must become false
+  ++executed_;
+  e.cb();
+  return true;
+}
+
+void Scheduler::run() {
+  while (step()) {
+  }
+}
+
+void Scheduler::run_until(SimTime deadline) {
+  EPICAST_ASSERT(deadline >= now_);
+  while (!heap_.empty()) {
+    if (*heap_.top().cancelled) {
+      heap_.pop();
+      continue;
+    }
+    if (heap_.top().at > deadline) break;
+    step();
+  }
+  now_ = deadline;
+}
+
+}  // namespace epicast

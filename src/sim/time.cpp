@@ -1,0 +1,27 @@
+#include "epicast/sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "epicast/common/assert.hpp"
+
+namespace epicast {
+
+Duration Duration::seconds(double s) {
+  EPICAST_ASSERT_MSG(std::isfinite(s), "duration must be finite");
+  return Duration::nanos(static_cast<std::int64_t>(std::llround(s * 1e9)));
+}
+
+std::string to_string(Duration d) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6fs", d.to_seconds());
+  return buf;
+}
+
+std::string to_string(SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6fs", t.to_seconds());
+  return buf;
+}
+
+}  // namespace epicast

@@ -1,0 +1,68 @@
+// Tests for the probabilistic cache-admission extension (GossipConfig::
+// cache_admission_probability).
+#include <gtest/gtest.h>
+
+#include "gossip_harness.hpp"
+
+namespace epicast {
+namespace {
+
+using testing::GossipHarness;
+
+GossipConfig with_admission(double q) {
+  GossipConfig g = GossipHarness::default_gossip();
+  g.cache_admission_probability = q;
+  g.buffer_size = 4096;
+  return g;
+}
+
+TEST(CacheAdmission, ZeroMeansSubscribersNeverCache) {
+  GossipHarness h(3, Algorithm::Push, with_admission(0.0));
+  h.subscribe_and_settle({{2, 1}});
+  const EventPtr e = h.net().node(NodeId{0}).publish({Pattern{1}});
+  h.run_for(0.2);
+  EXPECT_TRUE(h.protocol(0)->cache().contains(e->id()));   // publisher: always
+  EXPECT_FALSE(h.protocol(2)->cache().contains(e->id()));  // subscriber: never
+}
+
+TEST(CacheAdmission, OneReproducesPaperBehaviour) {
+  GossipHarness h(3, Algorithm::Push, with_admission(1.0));
+  h.subscribe_and_settle({{2, 1}});
+  const EventPtr e = h.net().node(NodeId{0}).publish({Pattern{1}});
+  h.run_for(0.2);
+  EXPECT_TRUE(h.protocol(2)->cache().contains(e->id()));
+}
+
+TEST(CacheAdmission, HalfAdmitsRoughlyHalf) {
+  GossipHarness h(2, Algorithm::Push, with_admission(0.5));
+  h.subscribe_and_settle({{1, 1}});
+  constexpr int kEvents = 2000;
+  for (int i = 0; i < kEvents; ++i) {
+    h.net().node(NodeId{0}).publish({Pattern{1}});
+    if (i % 50 == 0) h.run_for(0.05);
+  }
+  h.run_for(0.5);
+  const double admitted =
+      static_cast<double>(h.protocol(1)->cache().size()) / kEvents;
+  EXPECT_NEAR(admitted, 0.5, 0.05);
+}
+
+TEST(CacheAdmission, RecoveryStillWorksViaPublisherBackstop) {
+  // Even with q = 0, the publisher's own cache keeps recovery possible.
+  GossipHarness h(3, Algorithm::CombinedPull, with_admission(0.0));
+  h.subscribe_and_settle({{0, 1}, {2, 1}});
+  h.start_recovery();
+
+  auto& pub = h.net().node(NodeId{0});
+  (void)pub.publish({Pattern{1}});
+  h.run_for(0.1);
+  const EventPtr lost = pub.publish({Pattern{1}});
+  h.drop_event_on_link(NodeId{1}, NodeId{2}, lost->id());
+  h.run_for(0.1);
+  (void)pub.publish({Pattern{1}});
+  h.run_for(3.0);
+  EXPECT_TRUE(h.recovered(2, lost->id()));
+}
+
+}  // namespace
+}  // namespace epicast

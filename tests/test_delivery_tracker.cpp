@@ -1,0 +1,122 @@
+// Unit tests for the delivery-rate metric (§IV-B).
+#include "epicast/metrics/delivery_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epicast {
+namespace {
+
+EventId id(std::uint32_t src, std::uint64_t seq) {
+  return EventId{NodeId{src}, seq};
+}
+
+class DeliveryTrackerTest : public ::testing::Test {
+ protected:
+  DeliveryTrackerTest()
+      : tracker_(Duration::millis(100), Duration::seconds(1.0)) {
+    tracker_.set_measure_window(SimTime::seconds(1.0), SimTime::seconds(2.0));
+  }
+  DeliveryTracker tracker_;
+};
+
+TEST_F(DeliveryTrackerTest, CountsExpectedAndDeliveredPairs) {
+  tracker_.on_publish(id(0, 1), SimTime::seconds(1.1), 3);
+  tracker_.on_delivery(NodeId{1}, id(0, 1), SimTime::seconds(1.2), false);
+  tracker_.on_delivery(NodeId{2}, id(0, 1), SimTime::seconds(1.3), false);
+  EXPECT_EQ(tracker_.expected_pairs(), 3u);
+  EXPECT_EQ(tracker_.delivered_pairs(), 2u);
+  EXPECT_NEAR(tracker_.delivery_rate(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(tracker_.events_tracked(), 1u);
+}
+
+TEST_F(DeliveryTrackerTest, IgnoresEventsOutsideWindow) {
+  tracker_.on_publish(id(0, 1), SimTime::seconds(0.5), 2);  // before
+  tracker_.on_publish(id(0, 2), SimTime::seconds(2.0), 2);  // at end (excl.)
+  tracker_.on_delivery(NodeId{1}, id(0, 1), SimTime::seconds(1.2), false);
+  EXPECT_EQ(tracker_.expected_pairs(), 0u);
+  EXPECT_EQ(tracker_.delivery_rate(), 1.0);  // vacuous
+}
+
+TEST_F(DeliveryTrackerTest, IgnoresEventsWithNoSubscribers) {
+  tracker_.on_publish(id(0, 1), SimTime::seconds(1.1), 0);
+  EXPECT_EQ(tracker_.events_tracked(), 0u);
+}
+
+TEST_F(DeliveryTrackerTest, PublisherSelfDeliveryIgnored) {
+  tracker_.on_publish(id(7, 1), SimTime::seconds(1.1), 2);
+  tracker_.on_delivery(NodeId{7}, id(7, 1), SimTime::seconds(1.1), false);
+  EXPECT_EQ(tracker_.delivered_pairs(), 0u);
+}
+
+TEST_F(DeliveryTrackerTest, HorizonSeparatesLateDeliveries) {
+  tracker_.on_publish(id(0, 1), SimTime::seconds(1.0), 2);
+  tracker_.on_delivery(NodeId{1}, id(0, 1), SimTime::seconds(1.9), true);
+  tracker_.on_delivery(NodeId{2}, id(0, 1), SimTime::seconds(2.5), true);
+  EXPECT_EQ(tracker_.delivered_pairs(), 1u);     // within 1 s horizon
+  EXPECT_NEAR(tracker_.delivery_rate(), 0.5, 1e-12);
+  EXPECT_NEAR(tracker_.eventual_delivery_rate(), 1.0, 1e-12);
+}
+
+TEST_F(DeliveryTrackerTest, RecoveredPairsAndLatency) {
+  tracker_.on_publish(id(0, 1), SimTime::seconds(1.0), 2);
+  tracker_.on_delivery(NodeId{1}, id(0, 1), SimTime::seconds(1.1), false);
+  tracker_.on_delivery(NodeId{2}, id(0, 1), SimTime::seconds(1.5), true);
+  EXPECT_EQ(tracker_.recovered_pairs(), 1u);
+  EXPECT_NEAR(tracker_.mean_recovery_latency(), 0.5, 1e-9);
+}
+
+TEST_F(DeliveryTrackerTest, ReceiversPerEventAverages) {
+  tracker_.on_publish(id(0, 1), SimTime::seconds(1.1), 2);
+  tracker_.on_publish(id(0, 2), SimTime::seconds(1.2), 6);
+  EXPECT_NEAR(tracker_.receivers_per_event(), 4.0, 1e-12);
+}
+
+TEST_F(DeliveryTrackerTest, SeriesBucketsByPublishTime) {
+  tracker_.on_publish(id(0, 1), SimTime::seconds(1.05), 2);   // bucket 0
+  tracker_.on_publish(id(0, 2), SimTime::seconds(1.25), 2);   // bucket 2
+  tracker_.on_delivery(NodeId{1}, id(0, 1), SimTime::seconds(1.1), false);
+  tracker_.on_delivery(NodeId{2}, id(0, 1), SimTime::seconds(1.1), false);
+  tracker_.on_delivery(NodeId{1}, id(0, 2), SimTime::seconds(1.3), false);
+  const TimeSeries series = tracker_.delivery_series("x");
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_NEAR(series.points()[0].x, 1.0, 1e-9);
+  EXPECT_NEAR(series.points()[0].y, 1.0, 1e-12);
+  EXPECT_NEAR(series.points()[1].x, 1.2, 1e-9);
+  EXPECT_NEAR(series.points()[1].y, 0.5, 1e-12);
+}
+
+TEST_F(DeliveryTrackerTest, RecoveryLatencyQuantiles) {
+  tracker_.on_publish(id(0, 1), SimTime::seconds(1.0), 10);
+  // Recovered deliveries at 0.1, 0.2, ..., 0.9 s after publication.
+  for (int i = 1; i <= 9; ++i) {
+    tracker_.on_delivery(NodeId{static_cast<std::uint32_t>(i)}, id(0, 1),
+                         SimTime::seconds(1.0 + 0.1 * i), true);
+  }
+  EXPECT_NEAR(tracker_.recovery_latency_quantile(0.0), 0.1, 1e-9);
+  EXPECT_NEAR(tracker_.recovery_latency_quantile(0.5), 0.5, 1e-9);
+  EXPECT_NEAR(tracker_.recovery_latency_quantile(1.0), 0.9, 1e-9);
+  EXPECT_NEAR(tracker_.mean_recovery_latency(), 0.5, 1e-9);
+}
+
+TEST_F(DeliveryTrackerTest, QuantileWithNoRecoveriesIsZero) {
+  EXPECT_DOUBLE_EQ(tracker_.recovery_latency_quantile(0.5), 0.0);
+}
+
+TEST_F(DeliveryTrackerTest, UnknownEventDeliveryIsIgnored) {
+  tracker_.on_delivery(NodeId{1}, id(9, 9), SimTime::seconds(1.5), false);
+  EXPECT_EQ(tracker_.delivered_pairs(), 0u);
+}
+
+TEST(DeliveryTrackerDeath, OverDeliveryIsAContractViolation) {
+  DeliveryTracker t(Duration::millis(100), Duration::seconds(1.0));
+  t.set_measure_window(SimTime::zero(), SimTime::seconds(10.0));
+  t.on_publish(EventId{NodeId{0}, 1}, SimTime::seconds(1.0), 1);
+  t.on_delivery(NodeId{1}, EventId{NodeId{0}, 1}, SimTime::seconds(1.1),
+                false);
+  EXPECT_DEATH(t.on_delivery(NodeId{2}, EventId{NodeId{0}, 1},
+                             SimTime::seconds(1.2), false),
+               "more deliveries than expected");
+}
+
+}  // namespace
+}  // namespace epicast

@@ -1,0 +1,99 @@
+// Unit tests for events, identifiers, and matching.
+#include "epicast/pubsub/event.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "epicast/common/ids.hpp"
+
+namespace epicast {
+namespace {
+
+EventPtr make_event(std::uint32_t source, std::uint64_t seq,
+                    std::vector<PatternSeq> patterns) {
+  return std::make_shared<EventData>(EventId{NodeId{source}, seq},
+                                     std::move(patterns), 100,
+                                     SimTime::zero());
+}
+
+TEST(EventId, EqualityAndHash) {
+  const EventId a{NodeId{1}, 7};
+  const EventId b{NodeId{1}, 7};
+  const EventId c{NodeId{1}, 8};
+  const EventId d{NodeId{2}, 7};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  std::unordered_set<EventId> set{a, b, c, d};
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(EventId, HashSpreadsDenseIds) {
+  std::unordered_set<std::size_t> hashes;
+  std::hash<EventId> h;
+  for (std::uint32_t src = 0; src < 10; ++src) {
+    for (std::uint64_t seq = 0; seq < 100; ++seq) {
+      hashes.insert(h(EventId{NodeId{src}, seq}));
+    }
+  }
+  EXPECT_EQ(hashes.size(), 1000u);  // no collisions on a small dense set
+}
+
+TEST(EventData, MatchesItsPatterns) {
+  auto e = make_event(0, 1,
+                      {{Pattern{5}, SeqNo{1}}, {Pattern{9}, SeqNo{3}}});
+  EXPECT_TRUE(e->matches(Pattern{5}));
+  EXPECT_TRUE(e->matches(Pattern{9}));
+  EXPECT_FALSE(e->matches(Pattern{7}));
+}
+
+TEST(EventData, SeqForReturnsPerPatternSequence) {
+  auto e = make_event(3, 1,
+                      {{Pattern{5}, SeqNo{10}}, {Pattern{9}, SeqNo{20}}});
+  EXPECT_EQ(e->seq_for(Pattern{5}), SeqNo{10});
+  EXPECT_EQ(e->seq_for(Pattern{9}), SeqNo{20});
+  EXPECT_EQ(e->seq_for(Pattern{1}), std::nullopt);
+}
+
+TEST(EventData, PatternsAreSortedOnConstruction) {
+  auto e = make_event(0, 1,
+                      {{Pattern{9}, SeqNo{1}},
+                       {Pattern{2}, SeqNo{2}},
+                       {Pattern{5}, SeqNo{3}}});
+  ASSERT_EQ(e->patterns().size(), 3u);
+  EXPECT_EQ(e->patterns()[0].pattern, Pattern{2});
+  EXPECT_EQ(e->patterns()[1].pattern, Pattern{5});
+  EXPECT_EQ(e->patterns()[2].pattern, Pattern{9});
+}
+
+TEST(EventData, CarriesMetadata) {
+  auto e = std::make_shared<EventData>(
+      EventId{NodeId{4}, 9}, std::vector<PatternSeq>{{Pattern{1}, SeqNo{1}}},
+      512, SimTime::seconds(1.5));
+  EXPECT_EQ(e->source(), NodeId{4});
+  EXPECT_EQ(e->id().source_seq, 9u);
+  EXPECT_EQ(e->payload_bytes(), 512u);
+  EXPECT_EQ(e->published_at(), SimTime::seconds(1.5));
+}
+
+TEST(EventDataDeath, RejectsEmptyAndDuplicatePatterns) {
+  EXPECT_DEATH(make_event(0, 1, {}), "match >= 1 pattern");
+  EXPECT_DEATH(
+      make_event(0, 1, {{Pattern{5}, SeqNo{1}}, {Pattern{5}, SeqNo{2}}}),
+      "distinct");
+}
+
+TEST(NodeId, InvalidSentinel) {
+  EXPECT_FALSE(NodeId::invalid().valid());
+  EXPECT_TRUE(NodeId{0}.valid());
+  EXPECT_NE(NodeId::invalid(), NodeId{0});
+}
+
+TEST(SeqNo, NextIncrements) {
+  EXPECT_EQ(SeqNo{4}.next(), SeqNo{5});
+  EXPECT_LT(SeqNo{4}, SeqNo{5});
+}
+
+}  // namespace
+}  // namespace epicast

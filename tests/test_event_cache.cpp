@@ -1,0 +1,168 @@
+// Unit tests for the retransmission buffer: capacity, eviction policies,
+// id and (source, pattern, seq) lookup, and the per-pattern digest index.
+#include "epicast/gossip/event_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epicast {
+namespace {
+
+EventPtr ev(std::uint32_t source, std::uint64_t seq,
+            std::vector<PatternSeq> patterns) {
+  return std::make_shared<EventData>(EventId{NodeId{source}, seq},
+                                     std::move(patterns), 64, SimTime::zero());
+}
+
+TEST(EventCache, InsertAndGetById) {
+  EventCache cache(4, CachePolicy::Fifo, Rng{1});
+  auto e = ev(0, 1, {{Pattern{1}, SeqNo{1}}});
+  EXPECT_TRUE(cache.insert(e));
+  EXPECT_FALSE(cache.insert(e));  // duplicate
+  EXPECT_TRUE(cache.contains(e->id()));
+  EXPECT_EQ(cache.get(e->id()), e);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(EventCache, MissingLookupsCountMisses) {
+  EventCache cache(4, CachePolicy::Fifo, Rng{1});
+  EXPECT_EQ(cache.get(EventId{NodeId{9}, 9}), nullptr);
+  EXPECT_EQ(cache.find(NodeId{9}, Pattern{1}, SeqNo{1}), nullptr);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(EventCache, FindBySourcePatternSeq) {
+  EventCache cache(4, CachePolicy::Fifo, Rng{1});
+  auto e = ev(3, 1, {{Pattern{5}, SeqNo{7}}, {Pattern{9}, SeqNo{2}}});
+  cache.insert(e);
+  EXPECT_EQ(cache.find(NodeId{3}, Pattern{5}, SeqNo{7}), e);
+  EXPECT_EQ(cache.find(NodeId{3}, Pattern{9}, SeqNo{2}), e);
+  EXPECT_EQ(cache.find(NodeId{3}, Pattern{5}, SeqNo{8}), nullptr);
+  EXPECT_EQ(cache.find(NodeId{4}, Pattern{5}, SeqNo{7}), nullptr);
+}
+
+TEST(EventCache, FifoEvictsOldestFirst) {
+  EventCache cache(3, CachePolicy::Fifo, Rng{1});
+  auto e1 = ev(0, 1, {{Pattern{1}, SeqNo{1}}});
+  auto e2 = ev(0, 2, {{Pattern{1}, SeqNo{2}}});
+  auto e3 = ev(0, 3, {{Pattern{1}, SeqNo{3}}});
+  auto e4 = ev(0, 4, {{Pattern{1}, SeqNo{4}}});
+  cache.insert(e1);
+  cache.insert(e2);
+  cache.insert(e3);
+  (void)cache.get(e1->id());  // access does not protect FIFO entries
+  cache.insert(e4);
+  EXPECT_FALSE(cache.contains(e1->id()));
+  EXPECT_TRUE(cache.contains(e2->id()));
+  EXPECT_TRUE(cache.contains(e4->id()));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // Secondary index is purged with the eviction.
+  EXPECT_EQ(cache.find(NodeId{0}, Pattern{1}, SeqNo{1}), nullptr);
+}
+
+TEST(EventCache, LruKeepsRecentlyAccessed) {
+  EventCache cache(3, CachePolicy::Lru, Rng{1});
+  auto e1 = ev(0, 1, {{Pattern{1}, SeqNo{1}}});
+  auto e2 = ev(0, 2, {{Pattern{1}, SeqNo{2}}});
+  auto e3 = ev(0, 3, {{Pattern{1}, SeqNo{3}}});
+  auto e4 = ev(0, 4, {{Pattern{1}, SeqNo{4}}});
+  cache.insert(e1);
+  cache.insert(e2);
+  cache.insert(e3);
+  (void)cache.get(e1->id());  // refresh e1 → e2 becomes the LRU victim
+  cache.insert(e4);
+  EXPECT_TRUE(cache.contains(e1->id()));
+  EXPECT_FALSE(cache.contains(e2->id()));
+}
+
+TEST(EventCache, RandomEvictionKeepsCapacityAndConsistency) {
+  EventCache cache(16, CachePolicy::Random, Rng{42});
+  std::vector<EventPtr> events;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    auto e = ev(1, i, {{Pattern{static_cast<std::uint32_t>(i % 5)},
+                        SeqNo{i + 1}}});
+    events.push_back(e);
+    cache.insert(e);
+    ASSERT_LE(cache.size(), 16u);
+  }
+  EXPECT_EQ(cache.size(), 16u);
+  // Every retained event is findable both ways; evicted ones by neither.
+  int retained = 0;
+  for (const auto& e : events) {
+    const bool by_id = cache.get(e->id()) != nullptr;
+    const auto& ps = e->patterns()[0];
+    const bool by_sp =
+        cache.find(NodeId{1}, ps.pattern, ps.seq) != nullptr;
+    ASSERT_EQ(by_id, by_sp);
+    retained += by_id ? 1 : 0;
+  }
+  EXPECT_EQ(retained, 16);
+}
+
+TEST(EventCache, IdsMatchingFiltersByPattern) {
+  EventCache cache(10, CachePolicy::Fifo, Rng{1});
+  auto e1 = ev(0, 1, {{Pattern{1}, SeqNo{1}}});
+  auto e2 = ev(0, 2, {{Pattern{2}, SeqNo{1}}});
+  auto e3 = ev(0, 3, {{Pattern{1}, SeqNo{2}}, {Pattern{2}, SeqNo{2}}});
+  cache.insert(e1);
+  cache.insert(e2);
+  cache.insert(e3);
+  const auto ids1 = cache.ids_matching(Pattern{1}, 0);
+  EXPECT_EQ(ids1, (std::vector<EventId>{e1->id(), e3->id()}));
+  const auto ids2 = cache.ids_matching(Pattern{2}, 0);
+  EXPECT_EQ(ids2, (std::vector<EventId>{e2->id(), e3->id()}));
+  EXPECT_TRUE(cache.ids_matching(Pattern{3}, 0).empty());
+}
+
+TEST(EventCache, IdsMatchingDropsEvictedEntries) {
+  EventCache cache(2, CachePolicy::Fifo, Rng{1});
+  auto e1 = ev(0, 1, {{Pattern{1}, SeqNo{1}}});
+  auto e2 = ev(0, 2, {{Pattern{1}, SeqNo{2}}});
+  auto e3 = ev(0, 3, {{Pattern{1}, SeqNo{3}}});
+  cache.insert(e1);
+  cache.insert(e2);
+  cache.insert(e3);  // evicts e1
+  const auto ids = cache.ids_matching(Pattern{1}, 0);
+  EXPECT_EQ(ids, (std::vector<EventId>{e2->id(), e3->id()}));
+}
+
+TEST(EventCache, IdsMatchingHonoursCapKeepingNewest) {
+  EventCache cache(10, CachePolicy::Fifo, Rng{1});
+  std::vector<EventPtr> events;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    auto e = ev(0, i, {{Pattern{1}, SeqNo{i + 1}}});
+    events.push_back(e);
+    cache.insert(e);
+  }
+  const auto ids = cache.ids_matching(Pattern{1}, 2);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], events[4]->id());
+  EXPECT_EQ(ids[1], events[5]->id());
+}
+
+class CachePolicySweep : public ::testing::TestWithParam<CachePolicy> {};
+
+TEST_P(CachePolicySweep, NeverExceedsCapacityAndStaysConsistent) {
+  EventCache cache(32, GetParam(), Rng{7});
+  Rng rng(99);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    auto e = ev(static_cast<std::uint32_t>(rng.next_below(4)), i,
+                {{Pattern{static_cast<std::uint32_t>(rng.next_below(8))},
+                  SeqNo{i + 1}}});
+    cache.insert(e);
+    ASSERT_LE(cache.size(), 32u);
+    // Index and store agree on a random probe.
+    const auto probe = cache.ids_matching(
+        Pattern{static_cast<std::uint32_t>(rng.next_below(8))}, 0);
+    for (const EventId& id : probe) ASSERT_TRUE(cache.contains(id));
+  }
+  EXPECT_EQ(cache.stats().evictions, cache.stats().insertions - 32);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, CachePolicySweep,
+                         ::testing::Values(CachePolicy::Fifo, CachePolicy::Lru,
+                                           CachePolicy::Random));
+
+}  // namespace
+}  // namespace epicast

@@ -1,0 +1,104 @@
+// Cross-algorithm invariant property tests: facts that must hold for every
+// recovery algorithm, every seed, and both unreliable scenarios. These are
+// the safety net behind the figure-level comparisons.
+#include <gtest/gtest.h>
+
+#include "epicast/scenario/runner.hpp"
+
+namespace epicast {
+namespace {
+
+struct Case {
+  Algorithm algorithm;
+  std::uint64_t seed;
+  bool churn;
+};
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (Algorithm a :
+       {Algorithm::NoRecovery, Algorithm::Push, Algorithm::SubscriberPull,
+        Algorithm::PublisherPull, Algorithm::CombinedPull,
+        Algorithm::RandomPull}) {
+    for (std::uint64_t seed : {3ull, 17ull}) {
+      for (bool churn : {false, true}) {
+        cases.push_back(Case{a, seed, churn});
+      }
+    }
+  }
+  return cases;
+}
+
+class InvariantSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(InvariantSweep, HoldsUnderLossAndChurn) {
+  const Case& c = GetParam();
+  ScenarioConfig cfg = ScenarioConfig::paper_defaults(c.algorithm);
+  cfg.nodes = 25;
+  cfg.seed = c.seed;
+  cfg.warmup = Duration::seconds(0.5);
+  cfg.measure = Duration::seconds(1.5);
+  cfg.recovery_horizon = Duration::seconds(1.5);
+  if (c.churn) {
+    cfg.link_error_rate = 0.05;
+    cfg.reconfiguration_interval = Duration::millis(150);
+  }
+  const ScenarioResult r = run_scenario(cfg);
+
+  // I1: never more deliveries than expected pairs (no duplicate delivery,
+  //     no delivery to a non-subscriber) — enforced structurally by the
+  //     tracker's contract, restated here on the totals.
+  EXPECT_LE(r.delivered_pairs, r.expected_pairs);
+
+  // I2: rates are proper probabilities and eventual ≥ horizon-bounded.
+  EXPECT_GE(r.delivery_rate, 0.0);
+  EXPECT_LE(r.delivery_rate, 1.0);
+  EXPECT_GE(r.eventual_delivery_rate, r.delivery_rate);
+  EXPECT_LE(r.eventual_delivery_rate, 1.0);
+
+  // I3: recovered pairs are a subset of delivered pairs.
+  EXPECT_LE(r.recovered_pairs, r.delivered_pairs);
+
+  // I4: only recovery-capable algorithms recover; and recovered events
+  //     were necessarily served by someone.
+  if (c.algorithm == Algorithm::NoRecovery) {
+    EXPECT_EQ(r.recovered_pairs, 0u);
+    EXPECT_EQ(r.traffic.gossip_sends(), 0u);
+  } else {
+    EXPECT_GE(r.gossip_totals.events_served, r.gossip_totals.events_recovered);
+  }
+
+  // I5: recovery latencies are ordered and inside the horizon.
+  EXPECT_LE(r.recovery_latency_p50_s, r.recovery_latency_p90_s);
+  EXPECT_LE(r.recovery_latency_p90_s, r.recovery_latency_p99_s);
+  EXPECT_LE(r.recovery_latency_p99_s, 1.5 + 1e-9);
+
+  // I6: traffic accounting is self-consistent.
+  EXPECT_EQ(r.traffic.gossip_sends(),
+            r.traffic.sends_of(MessageClass::GossipDigest) +
+                r.traffic.sends_of(MessageClass::GossipRequest) +
+                r.traffic.sends_of(MessageClass::GossipReply));
+
+  // I7: churn bookkeeping appears exactly when churn is on.
+  if (c.churn) {
+    EXPECT_GT(r.reconfig_breaks, 0u);
+  } else {
+    EXPECT_EQ(r.reconfig_breaks, 0u);
+    EXPECT_EQ(r.drops_no_link, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, InvariantSweep, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      std::string name = to_string(info.param.algorithm);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      name += "_seed" + std::to_string(info.param.seed);
+      name += info.param.churn ? "_churn" : "_lossy";
+      return name;
+    });
+
+}  // namespace
+}  // namespace epicast

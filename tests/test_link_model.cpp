@@ -1,0 +1,113 @@
+// Unit tests for the link model: serialization delay, per-direction FIFO
+// queueing, propagation, and the Bernoulli loss process.
+#include "epicast/net/link_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epicast {
+namespace {
+
+LinkParams fast_params(double loss = 0.0) {
+  LinkParams p;
+  p.bandwidth_bps = 10e6;  // 10 Mbit/s: 1000 B = 0.8 ms
+  p.propagation = Duration::micros(50);
+  p.loss_rate = loss;
+  return p;
+}
+
+TEST(LinkModel, SerializationTimeMatchesBandwidth) {
+  LinkModel link(fast_params(), Rng{1});
+  EXPECT_EQ(link.serialization_time(1000), Duration::micros(800));
+  EXPECT_EQ(link.serialization_time(125), Duration::micros(100));
+}
+
+TEST(LinkModel, IdleLinkDelayIsTxPlusPropagation) {
+  LinkModel link(fast_params(), Rng{1});
+  const auto out = link.transmit(NodeId{0}, NodeId{1}, 1000, SimTime::zero(),
+                                 /*lossless=*/true);
+  EXPECT_EQ(out.delay, Duration::micros(850));
+  EXPECT_FALSE(out.lost);
+}
+
+TEST(LinkModel, BackToBackMessagesQueue) {
+  LinkModel link(fast_params(), Rng{1});
+  const SimTime t0 = SimTime::zero();
+  const auto first = link.transmit(NodeId{0}, NodeId{1}, 1000, t0, true);
+  const auto second = link.transmit(NodeId{0}, NodeId{1}, 1000, t0, true);
+  EXPECT_EQ(first.delay, Duration::micros(850));
+  EXPECT_EQ(second.delay, Duration::micros(1650));  // waits for the first
+}
+
+TEST(LinkModel, DirectionsAreIndependent) {
+  LinkModel link(fast_params(), Rng{1});
+  const SimTime t0 = SimTime::zero();
+  (void)link.transmit(NodeId{0}, NodeId{1}, 1000, t0, true);
+  const auto reverse = link.transmit(NodeId{1}, NodeId{0}, 1000, t0, true);
+  EXPECT_EQ(reverse.delay, Duration::micros(850));  // no queueing
+}
+
+TEST(LinkModel, DistinctLinksAreIndependent) {
+  LinkModel link(fast_params(), Rng{1});
+  const SimTime t0 = SimTime::zero();
+  (void)link.transmit(NodeId{0}, NodeId{1}, 1000, t0, true);
+  const auto other = link.transmit(NodeId{0}, NodeId{2}, 1000, t0, true);
+  EXPECT_EQ(other.delay, Duration::micros(850));
+}
+
+TEST(LinkModel, QueueDrainsOverTime) {
+  LinkModel link(fast_params(), Rng{1});
+  (void)link.transmit(NodeId{0}, NodeId{1}, 1000, SimTime::zero(), true);
+  const auto later = link.transmit(NodeId{0}, NodeId{1}, 1000,
+                                   SimTime::seconds(1.0), true);
+  EXPECT_EQ(later.delay, Duration::micros(850));
+}
+
+TEST(LinkModel, ResetClearsQueues) {
+  LinkModel link(fast_params(), Rng{1});
+  (void)link.transmit(NodeId{0}, NodeId{1}, 1000, SimTime::zero(), true);
+  link.reset();
+  const auto out = link.transmit(NodeId{0}, NodeId{1}, 1000, SimTime::zero(),
+                                 true);
+  EXPECT_EQ(out.delay, Duration::micros(850));
+}
+
+TEST(LinkModel, LossRateIsRespectedStatistically) {
+  LinkModel link(fast_params(0.1), Rng{7});
+  int lost = 0;
+  constexpr int kSends = 50'000;
+  for (int i = 0; i < kSends; ++i) {
+    lost += link.transmit(NodeId{0}, NodeId{1}, 100, SimTime::seconds(i),
+                          /*lossless=*/false)
+                .lost
+                ? 1
+                : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / kSends, 0.1, 0.01);
+}
+
+TEST(LinkModel, LosslessSuppressesLossButKeepsRngAligned) {
+  // Two identical models; one sends a lossless message in the middle. The
+  // loss outcomes of all *other* messages must match, so toggling control
+  // reliability cannot perturb the rest of the run.
+  LinkModel a(fast_params(0.5), Rng{11});
+  LinkModel b(fast_params(0.5), Rng{11});
+  std::vector<bool> lost_a, lost_b;
+  for (int i = 0; i < 100; ++i) {
+    const bool lossless = (i == 50);
+    lost_a.push_back(
+        a.transmit(NodeId{0}, NodeId{1}, 10, SimTime::seconds(i), lossless)
+            .lost);
+    lost_b.push_back(
+        b.transmit(NodeId{0}, NodeId{1}, 10, SimTime::seconds(i), false)
+            .lost);
+  }
+  EXPECT_FALSE(lost_a[50]);
+  for (int i = 0; i < 100; ++i) {
+    if (i != 50) {
+      EXPECT_EQ(lost_a[i], lost_b[i]) << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace epicast

@@ -1,0 +1,57 @@
+// Tests for the logging facility.
+#include "epicast/common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epicast {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log::level()) {}
+  ~LogLevelGuard() { log::set_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Logging, DefaultThresholdIsWarn) {
+  LogLevelGuard guard;
+  log::set_level(LogLevel::Warn);
+  EXPECT_FALSE(log::enabled(LogLevel::Debug));
+  EXPECT_FALSE(log::enabled(LogLevel::Info));
+  EXPECT_TRUE(log::enabled(LogLevel::Warn));
+  EXPECT_TRUE(log::enabled(LogLevel::Error));
+}
+
+TEST(Logging, OffDisablesEverything) {
+  LogLevelGuard guard;
+  log::set_level(LogLevel::Off);
+  EXPECT_FALSE(log::enabled(LogLevel::Error));
+  EXPECT_FALSE(log::enabled(LogLevel::Off));
+}
+
+TEST(Logging, TraceEnablesEverything) {
+  LogLevelGuard guard;
+  log::set_level(LogLevel::Trace);
+  EXPECT_TRUE(log::enabled(LogLevel::Trace));
+  EXPECT_TRUE(log::enabled(LogLevel::Error));
+}
+
+TEST(Logging, MacroDoesNotEvaluateBodyWhenDisabled) {
+  LogLevelGuard guard;
+  log::set_level(LogLevel::Error);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "x";
+  };
+  EPICAST_DEBUG("value: " << expensive());
+  EXPECT_EQ(evaluations, 0);
+  log::set_level(LogLevel::Debug);
+  EPICAST_DEBUG("value: " << expensive());
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace epicast

@@ -1,0 +1,78 @@
+// Unit tests for sequence-gap loss detection.
+#include "epicast/gossip/loss_detector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epicast {
+namespace {
+
+TEST(LossDetector, FirstContactDetectsNothing) {
+  LossDetector d(64);
+  EXPECT_TRUE(d.observe(NodeId{0}, Pattern{1}, SeqNo{5}).empty());
+  EXPECT_EQ(d.high_watermark(NodeId{0}, Pattern{1}), SeqNo{5});
+  EXPECT_EQ(d.streams_tracked(), 1u);
+}
+
+TEST(LossDetector, ConsecutiveSequenceIsClean) {
+  LossDetector d(64);
+  (void)d.observe(NodeId{0}, Pattern{1}, SeqNo{1});
+  for (std::uint64_t s = 2; s <= 10; ++s) {
+    EXPECT_TRUE(d.observe(NodeId{0}, Pattern{1}, SeqNo{s}).empty());
+  }
+  EXPECT_EQ(d.gaps_detected(), 0u);
+}
+
+TEST(LossDetector, GapYieldsExactlyTheMissingSeqs) {
+  LossDetector d(64);
+  (void)d.observe(NodeId{0}, Pattern{1}, SeqNo{2});
+  const auto missing = d.observe(NodeId{0}, Pattern{1}, SeqNo{6});
+  EXPECT_EQ(missing, (std::vector<SeqNo>{SeqNo{3}, SeqNo{4}, SeqNo{5}}));
+  EXPECT_EQ(d.gaps_detected(), 3u);
+  EXPECT_EQ(d.high_watermark(NodeId{0}, Pattern{1}), SeqNo{6});
+}
+
+TEST(LossDetector, LateArrivalIsNotALoss) {
+  LossDetector d(64);
+  (void)d.observe(NodeId{0}, Pattern{1}, SeqNo{5});
+  EXPECT_TRUE(d.observe(NodeId{0}, Pattern{1}, SeqNo{3}).empty());
+  EXPECT_TRUE(d.observe(NodeId{0}, Pattern{1}, SeqNo{5}).empty());
+  EXPECT_EQ(d.high_watermark(NodeId{0}, Pattern{1}), SeqNo{5});
+}
+
+TEST(LossDetector, StreamsAreIndependent) {
+  LossDetector d(64);
+  (void)d.observe(NodeId{0}, Pattern{1}, SeqNo{1});
+  (void)d.observe(NodeId{0}, Pattern{2}, SeqNo{1});
+  (void)d.observe(NodeId{1}, Pattern{1}, SeqNo{1});
+  // A gap on (0, p1) says nothing about the other streams.
+  EXPECT_EQ(d.observe(NodeId{0}, Pattern{1}, SeqNo{3}).size(), 1u);
+  EXPECT_TRUE(d.observe(NodeId{0}, Pattern{2}, SeqNo{2}).empty());
+  EXPECT_TRUE(d.observe(NodeId{1}, Pattern{1}, SeqNo{2}).empty());
+  EXPECT_EQ(d.streams_tracked(), 3u);
+}
+
+TEST(LossDetector, HugeGapIsClampedToNewest) {
+  LossDetector d(4);
+  (void)d.observe(NodeId{0}, Pattern{1}, SeqNo{1});
+  const auto missing = d.observe(NodeId{0}, Pattern{1}, SeqNo{100});
+  ASSERT_EQ(missing.size(), 4u);
+  EXPECT_EQ(missing.front(), SeqNo{96});
+  EXPECT_EQ(missing.back(), SeqNo{99});
+}
+
+TEST(LossDetector, RecoveredGapThenNextEventIsClean) {
+  LossDetector d(64);
+  (void)d.observe(NodeId{0}, Pattern{1}, SeqNo{1});
+  (void)d.observe(NodeId{0}, Pattern{1}, SeqNo{3});  // 2 missing
+  // 2 arrives via recovery (late), then 4 arrives normally: only nothing new.
+  EXPECT_TRUE(d.observe(NodeId{0}, Pattern{1}, SeqNo{2}).empty());
+  EXPECT_TRUE(d.observe(NodeId{0}, Pattern{1}, SeqNo{4}).empty());
+}
+
+TEST(LossDetectorDeath, SequenceNumbersStartAtOne) {
+  LossDetector d(64);
+  EXPECT_DEATH((void)d.observe(NodeId{0}, Pattern{1}, SeqNo{0}), "start at 1");
+}
+
+}  // namespace
+}  // namespace epicast

@@ -1,0 +1,94 @@
+// Unit tests for the Lost buffer: bookkeeping of missing events, TTL
+// expiry, overflow, and the query surfaces the pull variants rely on.
+#include "epicast/gossip/lost_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epicast {
+namespace {
+
+LostEntryInfo entry(std::uint32_t src, std::uint32_t pat, std::uint64_t seq) {
+  return LostEntryInfo{NodeId{src}, Pattern{pat}, SeqNo{seq}};
+}
+
+TEST(LostBuffer, AddRemoveContains) {
+  LostBuffer buf(8, Duration::seconds(5.0));
+  EXPECT_TRUE(buf.add(entry(0, 1, 1), SimTime::zero()));
+  EXPECT_FALSE(buf.add(entry(0, 1, 1), SimTime::zero()));  // duplicate
+  EXPECT_TRUE(buf.contains(entry(0, 1, 1)));
+  EXPECT_TRUE(buf.remove(entry(0, 1, 1)));
+  EXPECT_FALSE(buf.remove(entry(0, 1, 1)));
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.stats().added, 1u);
+  EXPECT_EQ(buf.stats().recovered, 1u);
+}
+
+TEST(LostBuffer, ExpireDropsOnlyOldEntries) {
+  LostBuffer buf(8, Duration::seconds(1.0));
+  buf.add(entry(0, 1, 1), SimTime::seconds(0.0));
+  buf.add(entry(0, 1, 2), SimTime::seconds(0.8));
+  EXPECT_EQ(buf.expire(SimTime::seconds(1.5)), 1u);
+  EXPECT_FALSE(buf.contains(entry(0, 1, 1)));
+  EXPECT_TRUE(buf.contains(entry(0, 1, 2)));
+  EXPECT_EQ(buf.stats().expired, 1u);
+}
+
+TEST(LostBuffer, OverflowEvictsOldest) {
+  LostBuffer buf(2, Duration::seconds(5.0));
+  buf.add(entry(0, 1, 1), SimTime::zero());
+  buf.add(entry(0, 1, 2), SimTime::zero());
+  buf.add(entry(0, 1, 3), SimTime::zero());
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_FALSE(buf.contains(entry(0, 1, 1)));
+  EXPECT_EQ(buf.stats().overflowed, 1u);
+}
+
+TEST(LostBuffer, QueriesFilterAndPreserveAge) {
+  LostBuffer buf(16, Duration::seconds(5.0));
+  buf.add(entry(0, 1, 1), SimTime::zero());
+  buf.add(entry(1, 2, 1), SimTime::zero());
+  buf.add(entry(0, 2, 5), SimTime::zero());
+  buf.add(entry(1, 1, 9), SimTime::zero());
+
+  EXPECT_EQ(buf.entries_for_pattern(Pattern{1}, 0),
+            (std::vector<LostEntryInfo>{entry(0, 1, 1), entry(1, 1, 9)}));
+  EXPECT_EQ(buf.entries_for_source(NodeId{1}, 0),
+            (std::vector<LostEntryInfo>{entry(1, 2, 1), entry(1, 1, 9)}));
+  EXPECT_EQ(buf.entries_for_pattern(Pattern{1}, 1),
+            (std::vector<LostEntryInfo>{entry(0, 1, 1)}));  // capped
+  EXPECT_EQ(buf.all_entries(0).size(), 4u);
+  EXPECT_EQ(buf.patterns_with_losses(),
+            (std::vector<Pattern>{Pattern{1}, Pattern{2}}));
+  EXPECT_EQ(buf.sources_with_losses(),
+            (std::vector<NodeId>{NodeId{0}, NodeId{1}}));
+}
+
+TEST(LostBuffer, OldestSourcesOrdersByEntryAgeAndFilters) {
+  LostBuffer buf(16, Duration::seconds(5.0));
+  buf.add(entry(3, 1, 1), SimTime::seconds(0.1));
+  buf.add(entry(1, 1, 1), SimTime::seconds(0.2));
+  buf.add(entry(3, 1, 2), SimTime::seconds(0.3));
+  buf.add(entry(2, 1, 1), SimTime::seconds(0.4));
+
+  const auto all = buf.oldest_sources(10, [](NodeId) { return true; });
+  EXPECT_EQ(all, (std::vector<NodeId>{NodeId{3}, NodeId{1}, NodeId{2}}));
+
+  const auto capped = buf.oldest_sources(2, [](NodeId) { return true; });
+  EXPECT_EQ(capped, (std::vector<NodeId>{NodeId{3}, NodeId{1}}));
+
+  const auto filtered =
+      buf.oldest_sources(10, [](NodeId n) { return n != NodeId{3}; });
+  EXPECT_EQ(filtered, (std::vector<NodeId>{NodeId{1}, NodeId{2}}));
+}
+
+TEST(LostBuffer, RemoveThenReaddResetsAge) {
+  LostBuffer buf(16, Duration::seconds(1.0));
+  buf.add(entry(0, 1, 1), SimTime::seconds(0.0));
+  buf.remove(entry(0, 1, 1));
+  buf.add(entry(0, 1, 1), SimTime::seconds(0.9));
+  EXPECT_EQ(buf.expire(SimTime::seconds(1.5)), 0u);
+  EXPECT_TRUE(buf.contains(entry(0, 1, 1)));
+}
+
+}  // namespace
+}  // namespace epicast

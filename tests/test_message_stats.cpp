@@ -1,0 +1,86 @@
+// Unit tests for traffic accounting (overhead metrics, §IV-E).
+#include "epicast/metrics/message_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epicast {
+namespace {
+
+class FakeMessage final : public Message {
+ public:
+  explicit FakeMessage(MessageClass cls) : cls_(cls) {}
+  MessageClass message_class() const override { return cls_; }
+  std::size_t size_bytes() const override { return 1; }
+
+ private:
+  MessageClass cls_;
+};
+
+TEST(MessageStats, CountsSendsPerClassAndChannel) {
+  MessageStats stats(3);
+  stats.on_send(NodeId{0}, NodeId{1}, FakeMessage{MessageClass::Event}, true);
+  stats.on_send(NodeId{0}, NodeId{1}, FakeMessage{MessageClass::Event}, true);
+  stats.on_send(NodeId{1}, NodeId{2},
+                FakeMessage{MessageClass::GossipDigest}, true);
+  stats.on_send(NodeId{2}, NodeId{0},
+                FakeMessage{MessageClass::GossipReply}, false);
+  const auto snap = stats.snapshot();
+  EXPECT_EQ(snap.sends_of(MessageClass::Event), 2u);
+  EXPECT_EQ(snap.gossip_sends(), 2u);
+  EXPECT_EQ(snap.overlay_sends, 3u);
+  EXPECT_EQ(snap.direct_sends, 1u);
+  EXPECT_DOUBLE_EQ(snap.gossip_event_ratio(), 1.0);
+}
+
+TEST(MessageStats, PerNodeAttribution) {
+  MessageStats stats(3);
+  stats.on_send(NodeId{1}, NodeId{2},
+                FakeMessage{MessageClass::GossipDigest}, true);
+  stats.on_send(NodeId{1}, NodeId{0},
+                FakeMessage{MessageClass::GossipRequest}, false);
+  stats.on_send(NodeId{1}, NodeId{2}, FakeMessage{MessageClass::Event}, true);
+  EXPECT_EQ(stats.gossip_sends_by(NodeId{1}), 2u);
+  EXPECT_EQ(stats.event_sends_by(NodeId{1}), 1u);
+  EXPECT_EQ(stats.gossip_sends_by(NodeId{0}), 0u);
+}
+
+TEST(MessageStats, LossAndDropCounters) {
+  MessageStats stats(2);
+  stats.on_loss(NodeId{0}, NodeId{1}, FakeMessage{MessageClass::Event}, true);
+  stats.on_drop_no_link(NodeId{0}, NodeId{1},
+                        FakeMessage{MessageClass::Event});
+  const auto snap = stats.snapshot();
+  EXPECT_EQ(snap.losses_of(MessageClass::Event), 1u);
+  EXPECT_EQ(snap.drops_no_link, 1u);
+}
+
+TEST(MessageStats, SnapshotDifferenceIsolatesWindow) {
+  MessageStats stats(2);
+  stats.on_send(NodeId{0}, NodeId{1}, FakeMessage{MessageClass::Event}, true);
+  const auto before = stats.snapshot();
+  stats.on_send(NodeId{0}, NodeId{1}, FakeMessage{MessageClass::Event}, true);
+  stats.on_send(NodeId{0}, NodeId{1},
+                FakeMessage{MessageClass::GossipDigest}, true);
+  const auto window = stats.snapshot() - before;
+  EXPECT_EQ(window.sends_of(MessageClass::Event), 1u);
+  EXPECT_EQ(window.gossip_sends(), 1u);
+  EXPECT_DOUBLE_EQ(window.gossip_event_ratio(), 1.0);
+}
+
+TEST(MessageStats, RatioWithNoEventsIsZero) {
+  MessageStats stats(2);
+  stats.on_send(NodeId{0}, NodeId{1},
+                FakeMessage{MessageClass::GossipDigest}, true);
+  EXPECT_DOUBLE_EQ(stats.snapshot().gossip_event_ratio(), 0.0);
+}
+
+TEST(MessageClassNames, AreStable) {
+  EXPECT_STREQ(to_string(MessageClass::Event), "event");
+  EXPECT_STREQ(to_string(MessageClass::Control), "control");
+  EXPECT_STREQ(to_string(MessageClass::GossipDigest), "gossip-digest");
+  EXPECT_TRUE(is_gossip(MessageClass::GossipRequest));
+  EXPECT_FALSE(is_gossip(MessageClass::Event));
+}
+
+}  // namespace
+}  // namespace epicast

@@ -1,0 +1,111 @@
+// Unit and property tests for the pattern universe: distinct sampling,
+// uniformity, and the analytical match probability used by Fig. 7.
+#include "epicast/pubsub/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace epicast {
+namespace {
+
+TEST(PatternUniverse, AllEnumeratesEverything) {
+  PatternUniverse u(5);
+  const auto all = u.all();
+  ASSERT_EQ(all.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(all[i], Pattern{i});
+  EXPECT_EQ(u.at(3), Pattern{3});
+}
+
+TEST(PatternUniverse, SampleDistinctIsDistinctSortedAndInRange) {
+  PatternUniverse u(70);
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto sample = u.sample_distinct(3, rng);
+    ASSERT_EQ(sample.size(), 3u);
+    EXPECT_LT(sample[0], sample[1]);
+    EXPECT_LT(sample[1], sample[2]);
+    EXPECT_LT(sample[2].value(), 70u);
+  }
+}
+
+TEST(PatternUniverse, SampleAllYieldsWholeUniverse) {
+  PatternUniverse u(8);
+  Rng rng(3);
+  const auto sample = u.sample_distinct(8, rng);
+  EXPECT_EQ(sample, u.all());
+}
+
+TEST(PatternUniverse, SampleIsUniform) {
+  PatternUniverse u(10);
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  constexpr int kTrials = 50'000;
+  for (int i = 0; i < kTrials; ++i) {
+    for (Pattern p : u.sample_distinct(2, rng)) ++counts[p.value()];
+  }
+  // Each pattern appears in a 2-of-10 sample with probability 0.2.
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.2, 0.01);
+  }
+}
+
+TEST(PatternUniverse, MatchProbabilityClosedForm) {
+  PatternUniverse u(70);
+  // πmax = 2 subscriptions, 3 patterns per event:
+  // 1 - (68·67·66)/(70·69·68) = 1 - (67·66)/(70·69).
+  EXPECT_NEAR(u.match_probability(2, 3), 1.0 - (67.0 * 66.0) / (70.0 * 69.0),
+              1e-12);
+  EXPECT_DOUBLE_EQ(u.match_probability(0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(u.match_probability(70, 3), 1.0);
+  EXPECT_DOUBLE_EQ(u.match_probability(68, 3), 1.0);  // pigeonhole
+}
+
+TEST(PatternUniverse, MatchProbabilityAgreesWithSimulation) {
+  PatternUniverse u(70);
+  Rng rng(11);
+  constexpr int kTrials = 40'000;
+  int matches = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto subs = u.sample_distinct(5, rng);
+    const auto event = u.sample_distinct(3, rng);
+    bool hit = false;
+    for (Pattern p : event) {
+      for (Pattern s : subs) {
+        if (p == s) hit = true;
+      }
+    }
+    matches += hit ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(matches) / kTrials, u.match_probability(5, 3),
+              0.01);
+}
+
+TEST(PatternUniverse, MatchProbabilityMonotoneInSubscriptions) {
+  PatternUniverse u(70);
+  double prev = 0.0;
+  for (std::uint32_t subs = 1; subs <= 30; ++subs) {
+    const double p = u.match_probability(subs, 3);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+class SampleSizeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SampleSizeSweep, SampleCountsMatchRequest) {
+  PatternUniverse u(70);
+  Rng rng(GetParam());
+  const auto sample = u.sample_distinct(GetParam(), rng);
+  std::set<Pattern> unique(sample.begin(), sample.end());
+  EXPECT_EQ(sample.size(), GetParam());
+  EXPECT_EQ(unique.size(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SampleSizeSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 10u, 30u, 69u,
+                                           70u));
+
+}  // namespace
+}  // namespace epicast

@@ -1,0 +1,154 @@
+// Tests for the pure-gossip (hpcast-style) comparator of §V.
+#include "epicast/compare/pure_gossip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "epicast/net/topology.hpp"
+
+namespace epicast {
+namespace {
+
+struct Rig {
+  explicit Rig(std::uint32_t nodes, PureGossipConfig cfg,
+               std::uint64_t seed = 1, double loss = 0.0)
+      : sim(seed),
+        topo(Topology::line(nodes)),
+        transport(sim, topo, transport_config(loss)),
+        net(sim, transport, cfg) {}
+
+  static TransportConfig transport_config(double loss) {
+    TransportConfig c;
+    c.link.loss_rate = loss;
+    return c;
+  }
+
+  void run(double seconds) {
+    sim.run_until(sim.now() + Duration::seconds(seconds));
+  }
+
+  Simulator sim;
+  Topology topo;
+  Transport transport;
+  PureGossipNetwork net;
+};
+
+TEST(PureGossip, FloodsLineWhenFanoutCoversDegree) {
+  PureGossipConfig cfg;
+  cfg.fanout = 2;  // = max degree of a line's interior
+  Rig rig(6, cfg);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    rig.net.node(NodeId{i}).subscribe(Pattern{1});
+  }
+  std::vector<NodeId> delivered_at;
+  rig.net.set_delivery_listener(
+      [&](NodeId n, const EventPtr&) { delivered_at.push_back(n); });
+
+  rig.net.node(NodeId{0}).publish({Pattern{1}}, 100);
+  rig.run(1.0);
+  EXPECT_EQ(delivered_at.size(), 6u);  // everyone, publisher included
+}
+
+TEST(PureGossip, ReachesUninterestedNodesToo) {
+  PureGossipConfig cfg;
+  cfg.fanout = 2;
+  Rig rig(5, cfg);
+  rig.net.node(NodeId{4}).subscribe(Pattern{1});  // only the far end cares
+  rig.net.node(NodeId{0}).publish({Pattern{1}}, 100);
+  rig.run(1.0);
+  const auto total = rig.net.total_stats();
+  EXPECT_EQ(total.delivered, 1u);
+  // Nodes 1, 2, 3 received an event they never subscribed to (§V).
+  EXPECT_EQ(total.uninterested, 3u);
+}
+
+TEST(PureGossip, TtlBoundsPropagation) {
+  PureGossipConfig cfg;
+  cfg.fanout = 2;
+  cfg.max_hops = 2;
+  Rig rig(6, cfg);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    rig.net.node(NodeId{i}).subscribe(Pattern{1});
+  }
+  rig.net.node(NodeId{0}).publish({Pattern{1}}, 100);
+  rig.run(1.0);
+  // Hops 1 and 2 reach nodes 1 and 2; nodes 3+ never see it.
+  EXPECT_EQ(rig.net.total_stats().delivered, 3u);
+}
+
+TEST(PureGossip, DuplicatesAreCountedNotRedelivered) {
+  // On a 3-node star-with-extra... use a line: node 1 gets the event from
+  // 0, forwards to 2; 2 forwards back towards 1? fanout excludes the
+  // sender, so on a line duplicates require a cycle — use a triangle-free
+  // construction with two paths instead: a 4-node "diamond" 0-1, 0-2,
+  // 1-3, 2-3.
+  Simulator sim(1);
+  Topology topo(4, 3);
+  topo.add_link(NodeId{0}, NodeId{1});
+  topo.add_link(NodeId{0}, NodeId{2});
+  topo.add_link(NodeId{1}, NodeId{3});
+  topo.add_link(NodeId{2}, NodeId{3});
+  TransportConfig tc;
+  Transport transport(sim, topo, tc);
+  PureGossipConfig cfg;
+  cfg.fanout = 3;
+  PureGossipNetwork net(sim, transport, cfg);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    net.node(NodeId{i}).subscribe(Pattern{1});
+  }
+  net.node(NodeId{0}).publish({Pattern{1}}, 100);
+  sim.run_until(SimTime::seconds(1.0));
+
+  const auto total = net.total_stats();
+  EXPECT_EQ(total.delivered, 4u);        // each node exactly once
+  EXPECT_GT(total.duplicates, 0u);       // node 3 heard it twice
+  EXPECT_EQ(net.node(NodeId{3}).stats().delivered, 1u);
+}
+
+TEST(PureGossip, LowFanoutMayMissSubscribersEvenWithoutFaults) {
+  // §V: "even in absence of faults it does not guarantee that events are
+  // delivered correctly". With fanout 1 at a branching point, the
+  // infection picks one branch and the subscriber on another one misses.
+  PureGossipConfig cfg;
+  cfg.fanout = 1;
+  cfg.max_hops = 8;
+  int missed = 0;
+  int delivered = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Simulator sim(seed);
+    Topology topo = Topology::star(4);  // hub 0, leaves 1..3
+    TransportConfig tc;
+    Transport transport(sim, topo, tc);
+    PureGossipNetwork net(sim, transport, cfg);
+    net.node(NodeId{1}).subscribe(Pattern{1});
+    net.node(NodeId{2}).publish({Pattern{1}}, 100);  // 2 → 0 → (1|3)
+    sim.run_until(SimTime::seconds(1.0));
+    if (net.total_stats().delivered == 0) {
+      ++missed;
+    } else {
+      ++delivered;
+    }
+  }
+  EXPECT_GT(missed, 0);
+  EXPECT_GT(delivered, 0);  // ...but it is not hopeless either
+}
+
+TEST(PureGossip, DeterministicAcrossReruns) {
+  auto run_once = [](std::uint64_t seed) {
+    PureGossipConfig cfg;
+    cfg.fanout = 2;
+    Rig rig(10, cfg, seed, /*loss=*/0.2);
+    for (std::uint32_t i = 0; i < 10; ++i) {
+      rig.net.node(NodeId{i}).subscribe(Pattern{1});
+    }
+    for (int e = 0; e < 20; ++e) {
+      rig.net.node(NodeId{static_cast<std::uint32_t>(e % 10)}).publish({Pattern{1}}, 100);
+    }
+    rig.run(2.0);
+    const auto s = rig.net.total_stats();
+    return std::make_pair(s.delivered, s.duplicates);
+  };
+  EXPECT_EQ(run_once(9), run_once(9));
+}
+
+}  // namespace
+}  // namespace epicast

@@ -1,0 +1,125 @@
+// Tests for topological reconfiguration: break/repair cycles keep the
+// overlay a degree-capped tree, overlapping churn behaves, and listeners
+// fire in order.
+#include "epicast/net/reconfigurator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epicast {
+namespace {
+
+TEST(Reconfigurator, ForcedBreakSplitsThenRepairReconnects) {
+  Simulator sim(1);
+  Rng rng = sim.fork_rng();
+  Topology topo = Topology::random_tree(20, 4, rng);
+
+  ReconfigConfig cfg;
+  cfg.repair_time = Duration::millis(100);
+  Reconfigurator rec(sim, topo, cfg);
+
+  bool broke = false;
+  bool repaired = false;
+  rec.set_break_listener([&](const Link&) {
+    broke = true;
+    EXPECT_FALSE(topo.connected());
+    EXPECT_EQ(topo.link_count(), 18u);
+  });
+  rec.set_repair_listener([&](const Reconfigurator::Repair& r) {
+    repaired = true;
+    EXPECT_TRUE(r.added.has_value());
+    EXPECT_TRUE(topo.is_tree());
+  });
+
+  rec.force_reconfiguration();
+  EXPECT_TRUE(broke);
+  EXPECT_EQ(rec.pending_repairs(), 1u);
+  sim.run_until(SimTime::seconds(0.2));
+  EXPECT_TRUE(repaired);
+  EXPECT_EQ(rec.pending_repairs(), 0u);
+  EXPECT_EQ(rec.breaks(), 1u);
+  EXPECT_EQ(rec.repairs(), 1u);
+}
+
+TEST(Reconfigurator, RepairWaitsRepairTime) {
+  Simulator sim(2);
+  Rng rng = sim.fork_rng();
+  Topology topo = Topology::random_tree(10, 4, rng);
+  ReconfigConfig cfg;
+  cfg.repair_time = Duration::millis(100);
+  Reconfigurator rec(sim, topo, cfg);
+  rec.force_reconfiguration();
+  sim.run_until(SimTime::seconds(0.099));
+  EXPECT_FALSE(topo.connected());
+  sim.run_until(SimTime::seconds(0.101));
+  EXPECT_TRUE(topo.is_tree());
+}
+
+class ChurnSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChurnSweep, PeriodicChurnPreservesTreeAtQuietPoints) {
+  // ρ = 200 ms (non-overlapping) and ρ = 30 ms (overlapping, the paper's
+  // extreme case) over several seeds: after churn stops and repairs drain,
+  // the overlay must be a degree-capped tree again.
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  for (const Duration rho : {Duration::millis(200), Duration::millis(30)}) {
+    Simulator sim(seed);
+    Rng rng = sim.fork_rng();
+    Topology topo = Topology::random_tree(50, 4, rng);
+
+    ReconfigConfig cfg;
+    cfg.interval = rho;
+    cfg.repair_time = Duration::millis(100);
+    cfg.stop_at = SimTime::seconds(3.0);
+    Reconfigurator rec(sim, topo, cfg);
+    rec.start();
+
+    sim.run_until(SimTime::seconds(5.0));
+    EXPECT_EQ(rec.pending_repairs(), 0u);
+    EXPECT_TRUE(topo.is_tree());
+    for (std::uint32_t i = 0; i < topo.node_count(); ++i) {
+      ASSERT_LE(topo.degree(NodeId{i}), 4u);
+    }
+    EXPECT_GE(rec.breaks(), 10u);
+    EXPECT_EQ(rec.breaks(), rec.repairs());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnSweep, ::testing::Range(1, 8));
+
+TEST(Reconfigurator, OverlappingRepairsMaySkip) {
+  // With very aggressive churn some repairs find the components already
+  // reconnected; those must be counted and must not add extra links.
+  Simulator sim(11);
+  Rng rng = sim.fork_rng();
+  Topology topo = Topology::random_tree(30, 4, rng);
+  ReconfigConfig cfg;
+  cfg.interval = Duration::millis(10);
+  cfg.repair_time = Duration::millis(100);
+  cfg.stop_at = SimTime::seconds(2.0);
+  Reconfigurator rec(sim, topo, cfg);
+  rec.start();
+  sim.run_until(SimTime::seconds(3.0));
+  EXPECT_TRUE(topo.is_tree());
+  EXPECT_EQ(topo.link_count(), 29u);
+}
+
+TEST(Reconfigurator, StopHaltsChurn) {
+  Simulator sim(3);
+  Rng rng = sim.fork_rng();
+  Topology topo = Topology::random_tree(10, 4, rng);
+  ReconfigConfig cfg;
+  cfg.interval = Duration::millis(50);
+  cfg.repair_time = Duration::millis(10);
+  Reconfigurator rec(sim, topo, cfg);
+  rec.start();
+  sim.run_until(SimTime::seconds(0.25));
+  const auto breaks = rec.breaks();
+  EXPECT_GT(breaks, 0u);
+  rec.stop();
+  sim.run_until(SimTime::seconds(2.0));
+  EXPECT_EQ(rec.breaks(), breaks);
+  EXPECT_TRUE(topo.is_tree());
+}
+
+}  // namespace
+}  // namespace epicast

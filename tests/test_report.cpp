@@ -1,0 +1,107 @@
+// Tests for sweep execution and report formatting.
+#include "epicast/scenario/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace epicast {
+namespace {
+
+ScenarioConfig tiny(Algorithm a, std::uint64_t seed) {
+  ScenarioConfig cfg = ScenarioConfig::paper_defaults(a);
+  cfg.nodes = 12;
+  cfg.seed = seed;
+  cfg.warmup = Duration::seconds(0.5);
+  cfg.measure = Duration::seconds(1.0);
+  return cfg;
+}
+
+TEST(RunSweep, PreservesInputOrderAndLabels) {
+  std::vector<LabeledConfig> configs;
+  configs.push_back({"first", tiny(Algorithm::NoRecovery, 1)});
+  configs.push_back({"second", tiny(Algorithm::NoRecovery, 2)});
+  configs.push_back({"third", tiny(Algorithm::CombinedPull, 1)});
+  const auto results = run_sweep(configs, 2, /*verbose=*/false);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].label, "first");
+  EXPECT_EQ(results[2].label, "third");
+  EXPECT_GT(results[2].result.traffic.gossip_sends(), 0u);
+}
+
+TEST(RunSweep, ParallelEqualsSerial) {
+  std::vector<LabeledConfig> configs;
+  for (int i = 0; i < 3; ++i) {
+    configs.push_back({"s", tiny(Algorithm::CombinedPull, 7)});
+  }
+  const auto serial = run_sweep(configs, 1, false);
+  const auto parallel = run_sweep(configs, 3, false);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].result.delivery_rate,
+                     parallel[i].result.delivery_rate);
+    EXPECT_EQ(serial[i].result.sim_events_executed,
+              parallel[i].result.sim_events_executed);
+  }
+}
+
+TEST(PrintSummary, ContainsHeadlineNumbers) {
+  const ScenarioResult r = run_scenario(tiny(Algorithm::CombinedPull, 3));
+  std::ostringstream os;
+  print_summary(os, "headline", r);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("headline"), std::string::npos);
+  EXPECT_NE(text.find("delivery rate"), std::string::npos);
+  EXPECT_NE(text.find("gossip msgs per dispatcher"), std::string::npos);
+}
+
+TEST(RunReplicated, AggregatesAcrossSeeds) {
+  const auto agg = run_replicated(tiny(Algorithm::CombinedPull, 100), 4, 2);
+  ASSERT_EQ(agg.runs.size(), 4u);
+  EXPECT_GE(agg.max_delivery, agg.mean_delivery);
+  EXPECT_LE(agg.min_delivery, agg.mean_delivery);
+  EXPECT_GE(agg.stddev_delivery, 0.0);
+  EXPECT_GT(agg.mean_gossip_per_dispatcher, 0.0);
+  // Distinct seeds really were used.
+  EXPECT_NE(agg.runs[0].sim_events_executed, agg.runs[1].sim_events_executed);
+}
+
+TEST(RunReplicated, SingleReplicaEqualsPlainRun) {
+  const ScenarioConfig cfg = tiny(Algorithm::NoRecovery, 42);
+  const auto agg = run_replicated(cfg, 1);
+  const ScenarioResult direct = run_scenario(cfg);
+  EXPECT_DOUBLE_EQ(agg.mean_delivery, direct.delivery_rate);
+  EXPECT_DOUBLE_EQ(agg.stddev_delivery, 0.0);
+}
+
+TEST(WriteSeriesCsv, ProducesParseableRows) {
+  TimeSeries a{"alpha"};
+  a.add(1.0, 0.5);
+  a.add(2.0, 0.75);
+  TimeSeries b{"beta"};
+  b.add(1.0, 0.25);
+  std::ostringstream os;
+  write_series_csv(os, "x", {a, b});
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("x,alpha,beta\n"), std::string::npos);
+  EXPECT_NE(csv.find("1,0.5,0.25\n"), std::string::npos);
+  EXPECT_NE(csv.find("2,0.75,\n"), std::string::npos);  // missing cell empty
+}
+
+TEST(SweepTable, LaysOutRowMajorResults) {
+  std::vector<LabeledConfig> configs;
+  for (double x : {1.0, 2.0}) {
+    (void)x;
+    configs.push_back({"a", tiny(Algorithm::NoRecovery, 1)});
+    configs.push_back({"b", tiny(Algorithm::NoRecovery, 2)});
+  }
+  const auto results = run_sweep(configs, 2, false);
+  const std::string table = sweep_table(
+      "x", {"a", "b"}, {1.0, 2.0}, results,
+      [](const ScenarioResult& r) { return r.delivery_rate; });
+  EXPECT_NE(table.find("a"), std::string::npos);
+  EXPECT_NE(table.find("b"), std::string::npos);
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace epicast

@@ -1,0 +1,152 @@
+// Unit and statistical tests for the deterministic RNG streams.
+#include "epicast/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace epicast {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowStaysInBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  // Chi-square with 9 dof: 99.9th percentile ≈ 27.9.
+  double chi2 = 0.0;
+  const double expect = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) chi2 += (c - expect) * (c - expect) / expect;
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double min = 1.0, max = 0.0, sum = 0.0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    min = std::min(min, x);
+    max = std::max(max, x);
+    sum += x;
+  }
+  EXPECT_LT(min, 0.01);
+  EXPECT_GT(max, 0.99);
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(19);
+  constexpr int kDraws = 100'000;
+  int hits = 0;
+  for (int i = 0; i < kDraws; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(23);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.uniform(-2.0, 5.0);
+    ASSERT_GE(x, -2.0);
+    ASSERT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(29);
+  constexpr int kDraws = 200'000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.exponential(0.02);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.02, 0.0005);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(31), b(31);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa.next(), fb.next());
+}
+
+TEST(Rng, ForkedStreamsAreIndependentOfParentUse) {
+  // Drawing more from the parent after forking must not change the child.
+  Rng a(37);
+  Rng child_a = a.fork();
+  std::vector<std::uint64_t> seq;
+  for (int i = 0; i < 10; ++i) seq.push_back(child_a.next());
+
+  Rng b(37);
+  Rng child_b = b.fork();
+  for (int i = 0; i < 50; ++i) (void)b.next();  // extra parent draws
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(child_b.next(), seq[i]);
+}
+
+TEST(Rng, ForksDoNotCollide) {
+  Rng root(41);
+  std::set<std::uint64_t> firsts;
+  for (int i = 0; i < 100; ++i) firsts.insert(root.fork().next());
+  EXPECT_EQ(firsts.size(), 100u);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, MeanOfBitsIsBalanced) {
+  Rng rng(GetParam());
+  int ones = 0;
+  constexpr int kDraws = 10'000;
+  for (int i = 0; i < kDraws; ++i) ones += rng.next() & 1 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / kDraws, 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ull, 1ull, 2ull, 42ull,
+                                           0xDEADBEEFull, ~0ull));
+
+}  // namespace
+}  // namespace epicast

@@ -1,0 +1,121 @@
+// Unit tests for the subscription table: local marks, routes, matching,
+// target computation, and pruning.
+#include "epicast/pubsub/subscription_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epicast {
+namespace {
+
+EventPtr event_with(std::vector<Pattern> patterns) {
+  std::vector<PatternSeq> ps;
+  std::uint64_t seq = 1;
+  for (Pattern p : patterns) ps.push_back({p, SeqNo{seq++}});
+  return std::make_shared<EventData>(EventId{NodeId{0}, 0}, std::move(ps), 10,
+                                     SimTime::zero());
+}
+
+TEST(SubscriptionTable, LocalAddRemove) {
+  SubscriptionTable t;
+  EXPECT_TRUE(t.add_local(Pattern{1}));
+  EXPECT_FALSE(t.add_local(Pattern{1}));  // idempotent
+  EXPECT_TRUE(t.has_local(Pattern{1}));
+  EXPECT_TRUE(t.knows(Pattern{1}));
+  EXPECT_TRUE(t.remove_local(Pattern{1}));
+  EXPECT_FALSE(t.remove_local(Pattern{1}));
+  EXPECT_FALSE(t.knows(Pattern{1}));  // pruned
+}
+
+TEST(SubscriptionTable, RouteAddRemove) {
+  SubscriptionTable t;
+  EXPECT_TRUE(t.add_route(Pattern{1}, NodeId{5}));
+  EXPECT_FALSE(t.add_route(Pattern{1}, NodeId{5}));
+  EXPECT_TRUE(t.has_route(Pattern{1}, NodeId{5}));
+  EXPECT_FALSE(t.has_route(Pattern{1}, NodeId{6}));
+  EXPECT_TRUE(t.remove_route(Pattern{1}, NodeId{5}));
+  EXPECT_FALSE(t.remove_route(Pattern{1}, NodeId{5}));
+  EXPECT_FALSE(t.knows(Pattern{1}));
+}
+
+TEST(SubscriptionTable, MatchesLocalOnAnyEventPattern) {
+  SubscriptionTable t;
+  t.add_local(Pattern{3});
+  EXPECT_TRUE(t.matches_local(*event_with({Pattern{1}, Pattern{3}})));
+  EXPECT_FALSE(t.matches_local(*event_with({Pattern{1}, Pattern{2}})));
+}
+
+TEST(SubscriptionTable, RouteTargetsUnionAcrossPatternsDeduped) {
+  SubscriptionTable t;
+  t.add_route(Pattern{1}, NodeId{7});
+  t.add_route(Pattern{2}, NodeId{7});
+  t.add_route(Pattern{2}, NodeId{8});
+  const auto targets =
+      t.route_targets(*event_with({Pattern{1}, Pattern{2}}), NodeId::invalid());
+  EXPECT_EQ(targets, (std::vector<NodeId>{NodeId{7}, NodeId{8}}));
+}
+
+TEST(SubscriptionTable, RouteTargetsExcludeUpstream) {
+  SubscriptionTable t;
+  t.add_route(Pattern{1}, NodeId{7});
+  t.add_route(Pattern{1}, NodeId{8});
+  const auto targets =
+      t.route_targets(*event_with({Pattern{1}}), NodeId{7});
+  EXPECT_EQ(targets, (std::vector<NodeId>{NodeId{8}}));
+  const auto single = t.route_targets(Pattern{1}, NodeId{8});
+  EXPECT_EQ(single, (std::vector<NodeId>{NodeId{7}}));
+}
+
+TEST(SubscriptionTable, LocalDoesNotCreateRouteTargets) {
+  SubscriptionTable t;
+  t.add_local(Pattern{1});
+  EXPECT_TRUE(
+      t.route_targets(*event_with({Pattern{1}}), NodeId::invalid()).empty());
+}
+
+TEST(SubscriptionTable, KnownVsLocalPatterns) {
+  SubscriptionTable t;
+  t.add_local(Pattern{1});
+  t.add_route(Pattern{2}, NodeId{3});
+  t.add_local(Pattern{2});
+  EXPECT_EQ(t.known_patterns(), (std::vector<Pattern>{Pattern{1}, Pattern{2}}));
+  EXPECT_EQ(t.local_patterns(), (std::vector<Pattern>{Pattern{1}, Pattern{2}}));
+  t.remove_local(Pattern{1});
+  EXPECT_EQ(t.known_patterns(), (std::vector<Pattern>{Pattern{2}}));
+  EXPECT_EQ(t.local_patterns(), (std::vector<Pattern>{Pattern{2}}));
+}
+
+TEST(SubscriptionTable, RemoveNeighborDropsAllItsRoutes) {
+  SubscriptionTable t;
+  t.add_route(Pattern{1}, NodeId{3});
+  t.add_route(Pattern{2}, NodeId{3});
+  t.add_route(Pattern{2}, NodeId{4});
+  t.add_local(Pattern{3});
+  t.remove_neighbor(NodeId{3});
+  EXPECT_FALSE(t.knows(Pattern{1}));
+  EXPECT_TRUE(t.has_route(Pattern{2}, NodeId{4}));
+  EXPECT_FALSE(t.has_route(Pattern{2}, NodeId{3}));
+  EXPECT_TRUE(t.has_local(Pattern{3}));
+}
+
+TEST(SubscriptionTable, ClearRoutesKeepsLocal) {
+  SubscriptionTable t;
+  t.add_local(Pattern{1});
+  t.add_route(Pattern{1}, NodeId{2});
+  t.add_route(Pattern{5}, NodeId{2});
+  t.clear_routes();
+  EXPECT_TRUE(t.has_local(Pattern{1}));
+  EXPECT_FALSE(t.has_route(Pattern{1}, NodeId{2}));
+  EXPECT_FALSE(t.knows(Pattern{5}));
+}
+
+TEST(SubscriptionTable, EntryCountCountsLocalAndRoutes) {
+  SubscriptionTable t;
+  EXPECT_EQ(t.entry_count(), 0u);
+  t.add_local(Pattern{1});
+  t.add_route(Pattern{1}, NodeId{2});
+  t.add_route(Pattern{2}, NodeId{3});
+  EXPECT_EQ(t.entry_count(), 3u);
+}
+
+}  // namespace
+}  // namespace epicast

@@ -1,0 +1,74 @@
+// Unit tests for SimTime/Duration: exact integer arithmetic, conversions,
+// rounding, ordering, and rendering.
+#include "epicast/sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epicast {
+namespace {
+
+TEST(Duration, FactoryUnitsAgree) {
+  EXPECT_EQ(Duration::micros(1).count_nanos(), 1000);
+  EXPECT_EQ(Duration::millis(1).count_nanos(), 1'000'000);
+  EXPECT_EQ(Duration::seconds(1.0).count_nanos(), 1'000'000'000);
+  EXPECT_EQ(Duration::millis(30), Duration::seconds(0.03));
+}
+
+TEST(Duration, SecondsRoundsToNearestNanosecond) {
+  EXPECT_EQ(Duration::seconds(1e-9).count_nanos(), 1);
+  EXPECT_EQ(Duration::seconds(1.4e-9).count_nanos(), 1);
+  EXPECT_EQ(Duration::seconds(1.6e-9).count_nanos(), 2);
+  EXPECT_EQ(Duration::seconds(-1.6e-9).count_nanos(), -2);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::millis(5);
+  const Duration b = Duration::millis(3);
+  EXPECT_EQ((a + b).count_nanos(), 8'000'000);
+  EXPECT_EQ((a - b).count_nanos(), 2'000'000);
+  EXPECT_EQ((b - a).count_nanos(), -2'000'000);
+  EXPECT_TRUE((b - a).is_negative());
+  EXPECT_EQ((a * 3).count_nanos(), 15'000'000);
+  EXPECT_EQ((a * 0.5).count_nanos(), 2'500'000);
+  Duration c = a;
+  c += b;
+  EXPECT_EQ(c, Duration::millis(8));
+}
+
+TEST(Duration, ComparisonsAndZero) {
+  EXPECT_TRUE(Duration::zero().is_zero());
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_GE(Duration::seconds(0.002), Duration::millis(2));
+  EXPECT_FALSE(Duration::zero().is_negative());
+}
+
+TEST(Duration, ToSecondsRoundTrips) {
+  const Duration d = Duration::seconds(12.345678);
+  EXPECT_NEAR(d.to_seconds(), 12.345678, 1e-12);
+}
+
+TEST(SimTime, StartsAtZero) {
+  EXPECT_EQ(SimTime{}, SimTime::zero());
+  EXPECT_EQ(SimTime::zero().nanos_since_start(), 0);
+}
+
+TEST(SimTime, OffsetAndDifference) {
+  const SimTime t = SimTime::zero() + Duration::millis(100);
+  EXPECT_EQ(t.nanos_since_start(), 100'000'000);
+  const SimTime u = t + Duration::millis(50);
+  EXPECT_EQ(u - t, Duration::millis(50));
+  EXPECT_EQ(t - u, Duration::millis(-50));
+  EXPECT_LT(t, u);
+}
+
+TEST(SimTime, SecondsFactory) {
+  EXPECT_EQ(SimTime::seconds(1.5).nanos_since_start(), 1'500'000'000);
+}
+
+TEST(TimeToString, RendersSeconds) {
+  EXPECT_EQ(to_string(Duration::millis(1500)), "1.500000s");
+  EXPECT_EQ(to_string(SimTime::seconds(0.25)), "0.250000s");
+}
+
+}  // namespace
+}  // namespace epicast

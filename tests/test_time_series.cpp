@@ -1,0 +1,56 @@
+// Unit tests for the series container and table rendering used by the
+// figure benchmarks.
+#include "epicast/metrics/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace epicast {
+namespace {
+
+TEST(TimeSeries, CollectsPointsAndAggregates) {
+  TimeSeries s{"demo"};
+  EXPECT_TRUE(s.empty());
+  s.add(0.0, 1.0);
+  s.add(1.0, 3.0);
+  s.add(2.0, 2.0);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean_y(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min_y(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max_y(), 3.0);
+  EXPECT_EQ(s.name(), "demo");
+}
+
+TEST(TimeSeries, MeanOfEmptyIsZero) {
+  TimeSeries s{"empty"};
+  EXPECT_DOUBLE_EQ(s.mean_y(), 0.0);
+}
+
+TEST(RenderSeriesTable, AlignsSharedXAxis) {
+  TimeSeries a{"alpha"};
+  a.add(1.0, 0.5);
+  a.add(2.0, 0.75);
+  TimeSeries b{"beta"};
+  b.add(1.0, 0.25);
+  b.add(2.0, 0.5);
+  const std::string table = render_series_table("x", {a, b});
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("beta"), std::string::npos);
+  EXPECT_NE(table.find("0.7500"), std::string::npos);
+  // Header + two rows.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 3);
+}
+
+TEST(RenderSeriesTable, MissingPointsRenderAsDash) {
+  TimeSeries a{"alpha"};
+  a.add(1.0, 0.5);
+  TimeSeries b{"beta"};
+  b.add(2.0, 0.25);
+  const std::string table = render_series_table("x", {a, b});
+  EXPECT_NE(table.find('-'), std::string::npos);
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace epicast

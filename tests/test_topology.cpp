@@ -1,0 +1,170 @@
+// Unit and property tests for the overlay topology: construction, invariant
+// enforcement, path queries, change notifications, and random-tree
+// generation across many seeds.
+#include "epicast/net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace epicast {
+namespace {
+
+TEST(Topology, LineHasExpectedStructure) {
+  Topology t = Topology::line(5);
+  EXPECT_EQ(t.node_count(), 5u);
+  EXPECT_EQ(t.link_count(), 4u);
+  EXPECT_TRUE(t.is_tree());
+  EXPECT_EQ(t.degree(NodeId{0}), 1u);
+  EXPECT_EQ(t.degree(NodeId{2}), 2u);
+  EXPECT_TRUE(t.has_link(NodeId{1}, NodeId{2}));
+  EXPECT_FALSE(t.has_link(NodeId{0}, NodeId{2}));
+}
+
+TEST(Topology, StarHasHubAtZero) {
+  Topology t = Topology::star(6);
+  EXPECT_TRUE(t.is_tree());
+  EXPECT_EQ(t.degree(NodeId{0}), 5u);
+  for (std::uint32_t i = 1; i < 6; ++i) {
+    EXPECT_EQ(t.degree(NodeId{i}), 1u);
+  }
+}
+
+TEST(Topology, PathOnLineIsTheLine) {
+  Topology t = Topology::line(6);
+  auto p = t.path(NodeId{1}, NodeId{4});
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(p->size(), 4u);
+  EXPECT_EQ((*p)[0], NodeId{1});
+  EXPECT_EQ((*p)[3], NodeId{4});
+  EXPECT_EQ(t.distance(NodeId{1}, NodeId{4}), 3u);
+  EXPECT_EQ(t.distance(NodeId{2}, NodeId{2}), 0u);
+}
+
+TEST(Topology, PathAcrossComponentsIsNull) {
+  Topology t{4, 3};
+  t.add_link(NodeId{0}, NodeId{1});
+  t.add_link(NodeId{2}, NodeId{3});
+  EXPECT_FALSE(t.path(NodeId{0}, NodeId{3}).has_value());
+  EXPECT_FALSE(t.distance(NodeId{1}, NodeId{2}).has_value());
+  EXPECT_FALSE(t.connected());
+  EXPECT_FALSE(t.is_tree());
+}
+
+TEST(Topology, ComponentOfReportsReachableSet) {
+  Topology t{5, 3};
+  t.add_link(NodeId{0}, NodeId{1});
+  t.add_link(NodeId{1}, NodeId{2});
+  auto comp = t.component_of(NodeId{2});
+  std::sort(comp.begin(), comp.end());
+  EXPECT_EQ(comp, (std::vector<NodeId>{NodeId{0}, NodeId{1}, NodeId{2}}));
+  EXPECT_EQ(t.component_of(NodeId{4}).size(), 1u);
+}
+
+TEST(Topology, RemoveLinkSplitsTree) {
+  Topology t = Topology::line(4);
+  t.remove_link(NodeId{1}, NodeId{2});
+  EXPECT_FALSE(t.connected());
+  EXPECT_EQ(t.component_of(NodeId{0}).size(), 2u);
+  EXPECT_EQ(t.component_of(NodeId{3}).size(), 2u);
+}
+
+TEST(TopologyDeath, RejectsDuplicateAndSelfLinks) {
+  Topology t{3, 4};
+  t.add_link(NodeId{0}, NodeId{1});
+  EXPECT_DEATH(t.add_link(NodeId{0}, NodeId{1}), "already present");
+  EXPECT_DEATH(t.add_link(NodeId{1}, NodeId{0}), "already present");
+  EXPECT_DEATH(t.add_link(NodeId{1}, NodeId{1}), "self-link");
+  EXPECT_DEATH(t.remove_link(NodeId{0}, NodeId{2}), "not present");
+}
+
+TEST(TopologyDeath, EnforcesDegreeCap) {
+  Topology t{5, 2};
+  t.add_link(NodeId{0}, NodeId{1});
+  t.add_link(NodeId{0}, NodeId{2});
+  EXPECT_DEATH(t.add_link(NodeId{0}, NodeId{3}), "degree cap");
+}
+
+TEST(Topology, LinksAreSortedAndUnique) {
+  Topology t = Topology::star(4);
+  const auto links = t.links();
+  ASSERT_EQ(links.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(links.begin(), links.end()));
+  for (const Link& l : links) EXPECT_LT(l.a, l.b);
+}
+
+TEST(Topology, ChangeListenerSeesAddAndRemove) {
+  Topology t{3, 4};
+  std::vector<std::pair<Link, bool>> events;
+  t.add_change_listener(
+      [&](const Link& l, bool added) { events.emplace_back(l, added); });
+  t.add_link(NodeId{0}, NodeId{1});
+  t.remove_link(NodeId{1}, NodeId{0});  // order-insensitive
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_TRUE(events[0].second);
+  EXPECT_FALSE(events[1].second);
+  EXPECT_EQ(events[0].first, (Link{NodeId{0}, NodeId{1}}));
+}
+
+TEST(Topology, VersionBumpsOnEveryChange) {
+  Topology t{3, 4};
+  const auto v0 = t.version();
+  t.add_link(NodeId{0}, NodeId{1});
+  const auto v1 = t.version();
+  t.remove_link(NodeId{0}, NodeId{1});
+  const auto v2 = t.version();
+  EXPECT_LT(v0, v1);
+  EXPECT_LT(v1, v2);
+}
+
+TEST(Topology, MeanPairwiseDistanceOnLine) {
+  // Line of 4: pairs (0,1),(0,2),(0,3),(1,2),(1,3),(2,3) → 1+2+3+1+2+1 = 10/6.
+  Topology t = Topology::line(4);
+  EXPECT_NEAR(t.mean_pairwise_distance(), 10.0 / 6.0, 1e-12);
+}
+
+TEST(Topology, ToDotListsEveryLinkOnce) {
+  Topology t = Topology::line(3);
+  const std::string dot = t.to_dot();
+  EXPECT_NE(dot.find("graph overlay {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2;"), std::string::npos);
+  EXPECT_EQ(dot.find("1 -- 0;"), std::string::npos);
+}
+
+class RandomTreeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTreeProperty, GeneratesDegreeCappedTrees) {
+  Rng rng(GetParam());
+  for (std::uint32_t n : {2u, 3u, 10u, 50u, 100u, 200u}) {
+    Topology t = Topology::random_tree(n, 4, rng);
+    ASSERT_TRUE(t.is_tree()) << "n=" << n;
+    ASSERT_EQ(t.link_count(), n - 1u);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      ASSERT_LE(t.degree(NodeId{i}), 4u);
+    }
+  }
+}
+
+TEST_P(RandomTreeProperty, SameSeedSameTree) {
+  Rng a(GetParam()), b(GetParam());
+  Topology ta = Topology::random_tree(60, 4, a);
+  Topology tb = Topology::random_tree(60, 4, b);
+  EXPECT_EQ(ta.links(), tb.links());
+}
+
+TEST_P(RandomTreeProperty, MeanDistanceIsInPaperRegime) {
+  // The paper's baseline delivery (≈55% at ε=0.1, ≈75% at ε=0.05) implies a
+  // mean hop distance around 5–7 for N=100; the generator must stay there.
+  Rng rng(GetParam() ^ 0x5eed);
+  Topology t = Topology::random_tree(100, 4, rng);
+  const double d = t.mean_pairwise_distance();
+  EXPECT_GT(d, 4.0);
+  EXPECT_LT(d, 8.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace epicast
