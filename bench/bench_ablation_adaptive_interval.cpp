@@ -5,7 +5,8 @@
 // of proactive gossip is most visible.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  epicast::bench::init(argc, argv);
   using namespace epicast;
   using namespace epicast::bench;
 
@@ -37,7 +38,7 @@ int main() {
       }
     }
   }
-  const auto results = run_sweep(std::move(configs));
+  const auto results = run_figure_sweep(std::move(configs));
 
   std::printf("\n%-8s %-16s %-9s %10s %14s\n", "eps", "algorithm", "mode",
               "delivery", "gossip/disp");

@@ -4,7 +4,8 @@
 // change for the two best algorithms at the default and at a small buffer.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  epicast::bench::init(argc, argv);
   using namespace epicast;
   using namespace epicast::bench;
 
@@ -31,7 +32,7 @@ int main() {
       }
     }
   }
-  const auto results = run_sweep(std::move(configs));
+  const auto results = run_figure_sweep(std::move(configs));
 
   std::printf("\n%-10s %-16s %-8s %10s %12s\n", "beta", "algorithm", "policy",
               "delivery", "served");

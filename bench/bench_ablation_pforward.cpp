@@ -4,7 +4,8 @@
 // (see DESIGN.md).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  epicast::bench::init(argc, argv);
   using namespace epicast;
   using namespace epicast::bench;
 
@@ -25,7 +26,7 @@ int main() {
                          cfg});
     }
   }
-  const auto results = run_sweep(std::move(configs));
+  const auto results = run_figure_sweep(std::move(configs));
 
   const auto delivery = series_by_algorithm(
       algos, pfs, results,

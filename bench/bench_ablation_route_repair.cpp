@@ -8,7 +8,8 @@
 // and shows the epidemic recovery masks the slower repair almost entirely.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  epicast::bench::init(argc, argv);
   using namespace epicast;
   using namespace epicast::bench;
 
@@ -39,7 +40,7 @@ int main() {
       }
     }
   }
-  const auto results = run_sweep(std::move(configs));
+  const auto results = run_figure_sweep(std::move(configs));
 
   std::printf("\n%-8s %-14s %-9s %10s %12s %14s\n", "rho", "algorithm",
               "repair", "delivery", "worst 100ms", "ctl msgs");

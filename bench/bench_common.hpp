@@ -1,17 +1,21 @@
 // Shared helpers for the figure-reproduction benchmarks.
 //
 // Every bench binary regenerates one figure of the paper: it builds the
-// sweep, runs it (scenarios are deterministic; progress goes to stderr),
-// and prints the figure's series as an aligned text table on stdout,
-// followed by a short note about the paper-vs-measured shape.
+// sweep, runs it on the parallel SweepRunner (scenarios are deterministic;
+// progress goes to stderr), and prints the figure's series as an aligned
+// text table on stdout, followed by a short note about the
+// paper-vs-measured shape.
 //
-// Set EPICAST_BENCH_FAST=1 to shrink measurement windows and sweeps while
-// iterating; the full (default) configuration is what EXPERIMENTS.md
-// records.
+// Configuration is parsed exactly once into BenchEnv:
+//   EPICAST_BENCH_FAST=1   shrink measurement windows and sweeps
+//   EPICAST_JOBS=N         worker threads (also --jobs=N)
+//   EPICAST_BENCH_JSON=F   machine-readable output path (also --json=F)
+// The full (default) configuration is what EXPERIMENTS.md records.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -19,9 +23,71 @@
 
 namespace epicast::bench {
 
-inline bool fast_mode() {
-  const char* v = std::getenv("EPICAST_BENCH_FAST");
-  return v != nullptr && v[0] != '\0' && v[0] != '0';
+/// Process-wide bench configuration. Environment variables are read once,
+/// on first access; init() lets --flags override them.
+struct BenchEnv {
+  bool fast = false;          ///< EPICAST_BENCH_FAST: reduced windows/sweeps
+  unsigned jobs = 0;          ///< 0 = EPICAST_JOBS / hardware concurrency
+  std::string json_path;      ///< "" = no JSON output
+
+  static BenchEnv& mutable_instance() {
+    static BenchEnv env = from_environment();
+    return env;
+  }
+  static const BenchEnv& get() { return mutable_instance(); }
+
+ private:
+  static BenchEnv from_environment() {
+    BenchEnv e;
+    if (const char* v = std::getenv("EPICAST_BENCH_FAST")) {
+      e.fast = v[0] != '\0' && v[0] != '0';
+    }
+    if (const char* v = std::getenv("EPICAST_JOBS")) {
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(v, &end, 10);
+      if (end != v && *end == '\0' && n > 0 && n < 4096) {
+        e.jobs = static_cast<unsigned>(n);
+      }
+    }
+    if (const char* v = std::getenv("EPICAST_BENCH_JSON")) e.json_path = v;
+    return e;
+  }
+};
+
+/// Parses bench command-line flags (--jobs=N, --fast, --json=PATH) over the
+/// environment defaults. Call first thing in main().
+inline void init(int argc, char** argv) {
+  BenchEnv& env = BenchEnv::mutable_instance();
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(arg + 7, &end, 10);
+      if (end != arg + 7 && *end == '\0' && n > 0 && n < 4096) {
+        env.jobs = static_cast<unsigned>(n);
+      } else {
+        std::fprintf(stderr, "ignoring bad flag: %s\n", arg);
+      }
+    } else if (std::strcmp(arg, "--fast") == 0) {
+      env.fast = true;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      env.json_path = arg + 7;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s (supported: --jobs=N --fast "
+                   "--json=PATH)\n",
+                   arg);
+    }
+  }
+}
+
+inline bool fast_mode() { return BenchEnv::get().fast; }
+
+/// Runs a figure sweep on the configured number of jobs, with progress.
+inline std::vector<LabeledResult> run_figure_sweep(
+    std::vector<LabeledConfig> configs) {
+  SweepRunner runner(SweepOptions{BenchEnv::get().jobs, /*progress=*/true});
+  return runner.run(std::move(configs));
 }
 
 /// The six curves of the paper's delivery figures, in the legend's order.

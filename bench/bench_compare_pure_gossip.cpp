@@ -130,7 +130,8 @@ Row run_pure(std::uint32_t fanout) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  epicast::bench::init(argc, argv);
   print_header("Comparison C1",
                "subscription routing + recovery vs pure-gossip "
                "dissemination (§V)");

@@ -5,7 +5,8 @@
 // reports delivery for the two best algorithms.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  epicast::bench::init(argc, argv);
   using namespace epicast;
   using namespace epicast::bench;
 
@@ -38,7 +39,7 @@ int main() {
                          cfg});
     }
   }
-  const auto results = run_sweep(std::move(configs));
+  const auto results = run_figure_sweep(std::move(configs));
   const auto series = series_by_algorithm(
       algos, matches, results,
       [](const ScenarioResult& r) { return r.delivery_rate; });

@@ -6,7 +6,8 @@
 // percentiles per algorithm at the paper's defaults.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  epicast::bench::init(argc, argv);
   using namespace epicast;
   using namespace epicast::bench;
 
@@ -21,7 +22,7 @@ int main() {
     ScenarioConfig cfg = base_config(a, 3.0);
     configs.push_back({algo_label(a), cfg});
   }
-  const auto results = run_sweep(std::move(configs));
+  const auto results = run_figure_sweep(std::move(configs));
 
   std::printf("\n%-16s %10s %10s %10s %10s %12s\n", "algorithm", "mean [s]",
               "p50 [s]", "p90 [s]", "p99 [s]", "recovered");

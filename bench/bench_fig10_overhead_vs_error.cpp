@@ -5,7 +5,8 @@
 // low load and ε = 0.01 pull costs roughly a third of push.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  epicast::bench::init(argc, argv);
   using namespace epicast;
   using namespace epicast::bench;
 
@@ -40,7 +41,7 @@ int main() {
                            cfg});
       }
     }
-    const auto results = run_sweep(std::move(configs));
+    const auto results = run_figure_sweep(std::move(configs));
     const auto series = series_by_algorithm(
         algos, epsilons, results, [](const ScenarioResult& r) {
           return r.gossip_msgs_per_dispatcher;

@@ -5,7 +5,8 @@
 // combination.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  epicast::bench::init(argc, argv);
   using namespace epicast;
   using namespace epicast::bench;
 
@@ -21,7 +22,7 @@ int main() {
                              algo_label(a),
                          cfg});
     }
-    const auto results = run_sweep(std::move(configs));
+    const auto results = run_figure_sweep(std::move(configs));
 
     std::printf("\n--- link error rate eps = %.2f ---\n", eps);
     std::vector<TimeSeries> series;

@@ -5,7 +5,8 @@
 // curve near 100%, never below ~95%.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  epicast::bench::init(argc, argv);
   using namespace epicast;
   using namespace epicast::bench;
 
@@ -22,7 +23,7 @@ int main() {
                              algo_label(a),
                          cfg});
     }
-    const auto results = run_sweep(std::move(configs));
+    const auto results = run_figure_sweep(std::move(configs));
 
     std::printf("\n--- reconfiguration interval rho = %.2f s ---\n", rho_s);
     std::vector<TimeSeries> series;

@@ -6,7 +6,8 @@
 // grows; delivery falls as T grows, faster for push.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  epicast::bench::init(argc, argv);
   using namespace epicast;
   using namespace epicast::bench;
 
@@ -26,7 +27,7 @@ int main() {
                            cfg});
       }
     }
-    const auto results = run_sweep(std::move(configs));
+    const auto results = run_figure_sweep(std::move(configs));
     const auto series = series_by_algorithm(
         all_algorithms(), betas, results,
         [](const ScenarioResult& r) { return r.delivery_rate; });
@@ -47,7 +48,7 @@ int main() {
                            cfg});
       }
     }
-    const auto results = run_sweep(std::move(configs));
+    const auto results = run_figure_sweep(std::move(configs));
     const auto series = series_by_algorithm(
         all_algorithms(), intervals, results,
         [](const ScenarioResult& r) { return r.delivery_rate; });

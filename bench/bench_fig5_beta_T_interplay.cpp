@@ -5,7 +5,8 @@
 // persistence compensates for rarer rounds.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  epicast::bench::init(argc, argv);
   using namespace epicast;
   using namespace epicast::bench;
 
@@ -31,7 +32,7 @@ int main() {
                          cfg});
     }
   }
-  const auto results = run_sweep(std::move(configs));
+  const auto results = run_figure_sweep(std::move(configs));
 
   std::vector<TimeSeries> series;
   for (double beta : betas) {

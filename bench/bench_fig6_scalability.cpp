@@ -5,7 +5,8 @@
 // universe makes any given pattern more likely to be gossiped somewhere.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  epicast::bench::init(argc, argv);
   using namespace epicast;
   using namespace epicast::bench;
 
@@ -35,7 +36,7 @@ int main() {
                          cfg});
     }
   }
-  const auto results = run_sweep(std::move(configs));
+  const auto results = run_figure_sweep(std::move(configs));
   const auto series = series_by_algorithm(
       all_algorithms(), sizes, results,
       [](const ScenarioResult& r) { return r.delivery_rate; });

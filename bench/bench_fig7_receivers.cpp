@@ -5,7 +5,8 @@
 // printed next to the measurement.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  epicast::bench::init(argc, argv);
   using namespace epicast;
   using namespace epicast::bench;
 
@@ -22,7 +23,7 @@ int main() {
     cfg.publish_rate_hz = 10.0;  // receivers/event is load-independent
     configs.push_back({"pi_max=" + std::to_string(int(pi)), cfg});
   }
-  const auto results = run_sweep(std::move(configs));
+  const auto results = run_figure_sweep(std::move(configs));
 
   const ScenarioConfig ref = base_config(Algorithm::NoRecovery, 1.0);
   PatternUniverse universe(ref.pattern_universe);

@@ -7,7 +7,8 @@
 // β=4000 can no longer hold the growing per-subscriber traffic.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  epicast::bench::init(argc, argv);
   using namespace epicast;
   using namespace epicast::bench;
 
@@ -46,7 +47,7 @@ int main() {
                            cfg});
       }
     }
-    const auto results = run_sweep(std::move(configs));
+    const auto results = run_figure_sweep(std::move(configs));
     const auto series = series_by_algorithm(
         algos, pis, results,
         [](const ScenarioResult& r) { return r.delivery_rate; });

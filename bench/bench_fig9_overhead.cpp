@@ -29,7 +29,7 @@ void sweep(const char* title, const char* x_label,
            cfg});
     }
   }
-  const auto results = run_sweep(std::move(configs));
+  const auto results = run_figure_sweep(std::move(configs));
 
   const auto abs_series = series_by_algorithm(
       kAlgos, xs, results,
@@ -46,7 +46,8 @@ void sweep(const char* title, const char* x_label,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  epicast::bench::init(argc, argv);
   print_header("Fig. 9", "overhead vs system size and vs pi_max");
 
   std::vector<double> sizes = {40, 80, 120, 160, 200};

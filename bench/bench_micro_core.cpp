@@ -23,6 +23,25 @@ void BM_SchedulerScheduleAndRun(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerScheduleAndRun)->Arg(1000)->Arg(10000);
 
+void BM_SchedulerCancelChurn(benchmark::State& state) {
+  // Gossip-round profile: timers armed, a quarter cancelled before firing.
+  std::vector<EventHandle> handles;
+  for (auto _ : state) {
+    Scheduler s;
+    int sink = 0;
+    handles.clear();
+    for (int i = 0; i < state.range(0); ++i) {
+      handles.push_back(
+          s.schedule_at(SimTime::seconds(0.001 * (i % 97)), [&sink] { ++sink; }));
+    }
+    for (int i = 0; i < state.range(0); i += 4) handles[i].cancel();
+    s.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerCancelChurn)->Arg(10000);
+
 void BM_RngNextBelow(benchmark::State& state) {
   Rng rng(1);
   std::uint64_t sink = 0;
@@ -68,6 +87,29 @@ void BM_SubscriptionTableRouteTargets(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SubscriptionTableRouteTargets);
+
+void BM_SubscriptionTableRouteTargetsInto(benchmark::State& state) {
+  SubscriptionTable table;
+  Rng rng(3);
+  for (std::uint32_t p = 0; p < 70; ++p) {
+    for (std::uint32_t h = 0; h < 4; ++h) {
+      if (rng.chance(0.5)) table.add_route(Pattern{p}, NodeId{h});
+    }
+  }
+  auto event = std::make_shared<EventData>(
+      EventId{NodeId{9}, 1},
+      std::vector<PatternSeq>{{Pattern{3}, SeqNo{1}},
+                              {Pattern{31}, SeqNo{1}},
+                              {Pattern{65}, SeqNo{1}}},
+      200, SimTime::zero());
+  std::vector<NodeId> scratch;
+  for (auto _ : state) {
+    table.route_targets_into(*event, NodeId{0}, scratch);
+    benchmark::DoNotOptimize(scratch);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SubscriptionTableRouteTargetsInto);
 
 void BM_EventCacheInsertEvict(benchmark::State& state) {
   EventCache cache(1500, CachePolicy::Fifo, Rng{4});

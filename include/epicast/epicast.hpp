@@ -45,6 +45,7 @@
 #include "epicast/scenario/config.hpp"
 #include "epicast/scenario/report.hpp"
 #include "epicast/scenario/runner.hpp"
+#include "epicast/scenario/sweep.hpp"
 #include "epicast/scenario/workload.hpp"
 #include "epicast/sim/scheduler.hpp"
 #include "epicast/sim/simulator.hpp"

@@ -181,6 +181,11 @@ class Dispatcher final : public TransportReceiver {
   std::uint64_t next_source_seq_ = 0;
   std::unordered_map<Pattern, std::uint64_t> next_pattern_seq_;
   Stats stats_;
+
+  /// Scratch for forward_event: sends are asynchronous (the transport
+  /// schedules delivery), so no callee re-enters forwarding while this is
+  /// in use.
+  std::vector<NodeId> forward_targets_scratch_;
 };
 
 }  // namespace epicast

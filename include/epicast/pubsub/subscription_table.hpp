@@ -56,6 +56,12 @@ class SubscriptionTable {
   [[nodiscard]] std::vector<NodeId> route_targets(const EventData& event,
                                                   NodeId exclude) const;
 
+  /// As above, but reusing `out` (cleared first) — the forwarding hot path
+  /// calls this once per received event, so a caller-owned scratch buffer
+  /// avoids an allocation per event.
+  void route_targets_into(const EventData& event, NodeId exclude,
+                          std::vector<NodeId>& out) const;
+
   /// Next-hops for a single pattern, minus `exclude`.
   [[nodiscard]] std::vector<NodeId> route_targets(Pattern p,
                                                   NodeId exclude) const;

@@ -13,22 +13,14 @@
 
 #include "epicast/scenario/config.hpp"
 #include "epicast/scenario/runner.hpp"
+#include "epicast/scenario/sweep.hpp"
 
 namespace epicast {
 
-struct LabeledConfig {
-  std::string label;
-  ScenarioConfig config;
-};
-
-struct LabeledResult {
-  std::string label;
-  ScenarioResult result;
-};
-
-/// Runs all configs, up to `max_parallel` at a time (0 = hardware
-/// concurrency). Prints one progress line per finished run to stderr when
-/// `verbose`. Results are returned in input order.
+/// Runs all configs on a SweepRunner with `max_parallel` worker threads
+/// (0 = EPICAST_JOBS / hardware concurrency). Prints one progress line per
+/// finished run to stderr when `verbose`. Results are returned in input
+/// order.
 [[nodiscard]] std::vector<LabeledResult> run_sweep(
     std::vector<LabeledConfig> configs, unsigned max_parallel = 0,
     bool verbose = true);

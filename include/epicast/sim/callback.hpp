@@ -1,0 +1,124 @@
+// epicast — small-buffer callable for the scheduler hot path.
+//
+// `SmallCallback` is a move-only `void()` wrapper that stores callables of
+// up to kInlineBytes inline, so scheduling an event performs no heap
+// allocation for the closures the simulator actually creates (the largest,
+// Transport's in-flight-message delivery, captures ~40 bytes). Larger or
+// potentially-throwing-on-move callables transparently fall back to a
+// heap-owned box, preserving std::function-like generality.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace epicast {
+
+class SmallCallback {
+ public:
+  /// Inline capacity: sized for the library's biggest hot-path closure
+  /// (Transport delivery: this + two NodeIds + shared_ptr + version).
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallCallback() = default;
+  SmallCallback(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  SmallCallback(SmallCallback&& other) noexcept { move_from(other); }
+  SmallCallback& operator=(SmallCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  SmallCallback& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  SmallCallback(const SmallCallback&) = delete;
+  SmallCallback& operator=(const SmallCallback&) = delete;
+
+  ~SmallCallback() { reset(); }
+
+  /// True if a callable is stored.
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs into `dst` from `src` and destroys `src`.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename F>
+  struct InlineOps {
+    static void invoke(void* p) { (*static_cast<F*>(p))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      F* from = static_cast<F*>(src);
+      ::new (dst) F(std::move(*from));
+      from->~F();
+    }
+    static void destroy(void* p) noexcept { static_cast<F*>(p)->~F(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  template <typename F>
+  struct HeapOps {
+    static F*& boxed(void* p) { return *static_cast<F**>(p); }
+    static void invoke(void* p) { (*boxed(p))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) (F*)(boxed(src));
+    }
+    static void destroy(void* p) noexcept { delete boxed(p); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    constexpr bool fits_inline =
+        sizeof(D) <= kInlineBytes &&
+        alignof(D) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<D>;
+    if constexpr (fits_inline) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &InlineOps<D>::ops;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &HeapOps<D>::ops;
+    }
+  }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  void move_from(SmallCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+};
+
+}  // namespace epicast

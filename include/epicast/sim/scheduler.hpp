@@ -1,25 +1,35 @@
 // epicast — the event queue at the heart of the discrete-event engine.
 //
-// A binary heap of (time, tie-break sequence, callback). Two properties the
-// rest of the library depends on:
+// A slab of pooled event records plus a 4-ary implicit heap of
+// {time, tie-break sequence, slot} PODs. Three properties the rest of the
+// library depends on:
 //   * determinism — events at equal times fire in scheduling order
 //     (FIFO tie-break), so a run is a pure function of config + seed;
-//   * O(log n) cancellation — timers (gossip rounds, reconfigurations) are
-//     cancelled lazily via shared tombstone flags.
+//   * O(1) cancellation — an EventHandle addresses its slab record by
+//     {index, generation}; cancelling bumps the generation, releases the
+//     callback, and leaves a stale heap entry to be skipped on pop;
+//   * allocation-free steady state — fired and cancelled records return to
+//     a free list, heap sift operations move 24-byte PODs (never
+//     callbacks), and closures up to SmallCallback::kInlineBytes are stored
+//     inline in the slab.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "epicast/sim/callback.hpp"
 #include "epicast/sim/time.hpp"
 
 namespace epicast {
 
+class Scheduler;
+
 /// Handle to a scheduled callback; allows cancellation. Default-constructed
-/// handles refer to nothing and are safely cancellable no-ops.
+/// handles refer to nothing and are safely cancellable no-ops. A handle
+/// addresses its event by {slot, generation}: once the event fires or is
+/// cancelled the generation is bumped, so every copy of the handle becomes
+/// inert even if the slot is reused. Handles must not outlive the Scheduler
+/// they came from.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -33,15 +43,18 @@ class EventHandle {
 
  private:
   friend class Scheduler;
-  explicit EventHandle(std::shared_ptr<bool> cancelled)
-      : cancelled_(std::move(cancelled)) {}
-  std::shared_ptr<bool> cancelled_;
+  EventHandle(Scheduler* scheduler, std::uint32_t slot, std::uint64_t gen)
+      : scheduler_(scheduler), generation_(gen), slot_(slot) {}
+
+  Scheduler* scheduler_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::uint32_t slot_ = 0;
 };
 
 /// Priority queue of timestamped callbacks.
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallCallback;
 
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
@@ -75,23 +88,47 @@ class Scheduler {
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
  private:
-  struct Entry {
+  friend class EventHandle;
+
+  /// 24-byte POD ordered by (at, seq); `slot` addresses the slab record.
+  struct HeapEntry {
     SimTime at;
     std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    std::uint32_t slot;
+  };
+
+  /// Pooled event record. `live_seq` is the seq of the heap entry that owns
+  /// this slot (kFreeSeq when none): a popped heap entry is live iff its seq
+  /// still matches. `generation` is bumped on every fire/cancel, outdating
+  /// all handles to the previous occupant.
+  struct Slot {
     Callback cb;
-    std::shared_ptr<bool> cancelled;
+    std::uint64_t live_seq = kFreeSeq;
+    std::uint64_t generation = 0;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+  static constexpr std::uint64_t kFreeSeq = ~std::uint64_t{0};
 
-  /// Pops entries until a live one is found; returns false if none.
-  bool pop_live(Entry& out);
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+  void heap_push(HeapEntry e);
+  void heap_pop_front();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  [[nodiscard]] bool entry_live(const HeapEntry& e) const {
+    return slots_[e.slot].live_seq == e.seq;
+  }
+
+  /// Bumps the generation, frees the slot, and returns its callback.
+  Callback release_slot(std::uint32_t slot);
+
+  /// EventHandle backends.
+  bool cancel_slot(std::uint32_t slot, std::uint64_t gen);
+  [[nodiscard]] bool slot_pending(std::uint32_t slot, std::uint64_t gen) const;
+
+  std::vector<HeapEntry> heap_;  // 4-ary implicit min-heap
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -185,7 +185,8 @@ void Dispatcher::accept_event(const EventPtr& event,
 
 void Dispatcher::forward_event(const EventPtr& event, NodeId exclude,
                                const std::vector<NodeId>& route_so_far) {
-  const std::vector<NodeId> targets = table_.route_targets(*event, exclude);
+  std::vector<NodeId>& targets = forward_targets_scratch_;
+  table_.route_targets_into(*event, exclude, targets);
   if (targets.empty()) return;
 
   std::vector<NodeId> route;

@@ -91,6 +91,14 @@ bool SubscriptionTable::matches_local(const EventData& event) const {
 std::vector<NodeId> SubscriptionTable::route_targets(const EventData& event,
                                                      NodeId exclude) const {
   std::vector<NodeId> out;
+  route_targets_into(event, exclude, out);
+  return out;
+}
+
+void SubscriptionTable::route_targets_into(const EventData& event,
+                                           NodeId exclude,
+                                           std::vector<NodeId>& out) const {
+  out.clear();
   for (const PatternSeq& ps : event.patterns()) {
     auto it = entries_.find(ps.pattern);
     if (it == entries_.end()) continue;
@@ -100,7 +108,6 @@ std::vector<NodeId> SubscriptionTable::route_targets(const EventData& event,
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
 }
 
 std::vector<NodeId> SubscriptionTable::route_targets(Pattern p,

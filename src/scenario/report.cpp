@@ -1,56 +1,20 @@
 #include "epicast/scenario/report.hpp"
 
 #include <cmath>
-#include <future>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <ostream>
-#include <semaphore>
-#include <thread>
 
 #include "epicast/common/assert.hpp"
 #include "epicast/metrics/time_series.hpp"
+#include "epicast/scenario/sweep.hpp"
 
 namespace epicast {
 
 std::vector<LabeledResult> run_sweep(std::vector<LabeledConfig> configs,
                                      unsigned max_parallel, bool verbose) {
-  if (max_parallel == 0) {
-    max_parallel = std::max(1u, std::thread::hardware_concurrency());
-  }
-  // counting_semaphore needs a compile-time max; 256 safely exceeds any
-  // machine this runs on.
-  std::counting_semaphore<256> slots(
-      static_cast<std::ptrdiff_t>(std::min(max_parallel, 256u)));
-  std::mutex log_mutex;
-
-  std::vector<std::future<ScenarioResult>> futures;
-  futures.reserve(configs.size());
-  for (const LabeledConfig& lc : configs) {
-    futures.push_back(std::async(std::launch::async, [&slots, &log_mutex,
-                                                      verbose, lc]() {
-      slots.acquire();
-      ScenarioResult r = run_scenario(lc.config);
-      slots.release();
-      if (verbose) {
-        const std::lock_guard lock(log_mutex);
-        std::fprintf(stderr,
-                     "  [done] %-42s delivery=%6.2f%%  gossip/disp=%8.1f  "
-                     "(%.2fs wall)\n",
-                     lc.label.c_str(), 100.0 * r.delivery_rate,
-                     r.gossip_msgs_per_dispatcher, r.wall_seconds);
-      }
-      return r;
-    }));
-  }
-
-  std::vector<LabeledResult> results;
-  results.reserve(configs.size());
-  for (std::size_t i = 0; i < configs.size(); ++i) {
-    results.push_back(LabeledResult{configs[i].label, futures[i].get()});
-  }
-  return results;
+  SweepRunner runner(SweepOptions{max_parallel, verbose});
+  return runner.run(std::move(configs));
 }
 
 void print_summary(std::ostream& os, const std::string& label,

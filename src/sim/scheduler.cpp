@@ -1,5 +1,6 @@
 #include "epicast/sim/scheduler.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "epicast/common/assert.hpp"
@@ -7,19 +8,32 @@
 namespace epicast {
 
 bool EventHandle::cancel() {
-  if (!cancelled_ || *cancelled_) return false;
-  *cancelled_ = true;
-  return true;
+  if (scheduler_ == nullptr) return false;
+  return scheduler_->cancel_slot(slot_, generation_);
 }
 
-bool EventHandle::pending() const { return cancelled_ && !*cancelled_; }
+bool EventHandle::pending() const {
+  if (scheduler_ == nullptr) return false;
+  return scheduler_->slot_pending(slot_, generation_);
+}
 
 EventHandle Scheduler::schedule_at(SimTime at, Callback cb) {
   EPICAST_ASSERT_MSG(at >= now_, "cannot schedule into the past");
-  EPICAST_ASSERT(cb != nullptr);
-  auto cancelled = std::make_shared<bool>(false);
-  heap_.push(Entry{at, next_seq_++, std::move(cb), cancelled});
-  return EventHandle{std::move(cancelled)};
+  EPICAST_ASSERT(static_cast<bool>(cb));
+  const std::uint64_t seq = next_seq_++;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  s.live_seq = seq;
+  heap_push(HeapEntry{at, seq, slot});
+  return EventHandle{this, slot, s.generation};
 }
 
 EventHandle Scheduler::schedule_after(Duration delay, Callback cb) {
@@ -27,28 +41,76 @@ EventHandle Scheduler::schedule_after(Duration delay, Callback cb) {
   return schedule_at(now_ + delay, std::move(cb));
 }
 
-bool Scheduler::pop_live(Entry& out) {
-  while (!heap_.empty()) {
-    // priority_queue::top() is const; the Entry must be moved out via a
-    // const_cast-free copy of the small members plus move of the callback.
-    out.at = heap_.top().at;
-    out.seq = heap_.top().seq;
-    out.cb = std::move(const_cast<Entry&>(heap_.top()).cb);
-    out.cancelled = heap_.top().cancelled;
-    heap_.pop();
-    if (!*out.cancelled) return true;
+void Scheduler::heap_push(HeapEntry e) {
+  heap_.push_back(e);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
   }
-  return false;
+}
+
+void Scheduler::heap_pop_front() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + 4, n);
+    std::size_t best = i;
+    for (std::size_t c = first; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (best == i) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+Scheduler::Callback Scheduler::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  Callback cb = std::move(s.cb);
+  s.cb = nullptr;
+  s.live_seq = kFreeSeq;
+  ++s.generation;  // every handle to the old occupant is now inert
+  free_slots_.push_back(slot);
+  return cb;
+}
+
+bool Scheduler::cancel_slot(std::uint32_t slot, std::uint64_t gen) {
+  if (slot >= slots_.size()) return false;
+  const Slot& s = slots_[slot];
+  if (s.generation != gen || s.live_seq == kFreeSeq) return false;
+  // Drop the callback eagerly so captured state is freed at cancel time;
+  // the heap entry goes stale and is skipped when it reaches the front.
+  release_slot(slot);
+  return true;
+}
+
+bool Scheduler::slot_pending(std::uint32_t slot, std::uint64_t gen) const {
+  if (slot >= slots_.size()) return false;
+  const Slot& s = slots_[slot];
+  return s.generation == gen && s.live_seq != kFreeSeq;
 }
 
 bool Scheduler::step() {
-  Entry e;
-  if (!pop_live(e)) return false;
-  now_ = e.at;
-  *e.cancelled = true;  // fired — pending() must become false
-  ++executed_;
-  e.cb();
-  return true;
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    heap_pop_front();
+    if (!entry_live(top)) continue;  // cancelled; collect lazily
+    now_ = top.at;
+    // Free the slot before invoking: pending() must be false inside the
+    // callback, and the callback may reschedule into the same slot.
+    Callback cb = release_slot(top.slot);
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
 }
 
 void Scheduler::run() {
@@ -59,11 +121,12 @@ void Scheduler::run() {
 void Scheduler::run_until(SimTime deadline) {
   EPICAST_ASSERT(deadline >= now_);
   while (!heap_.empty()) {
-    if (*heap_.top().cancelled) {
-      heap_.pop();
+    const HeapEntry& top = heap_.front();
+    if (!entry_live(top)) {
+      heap_pop_front();
       continue;
     }
-    if (heap_.top().at > deadline) break;
+    if (top.at > deadline) break;
     step();
   }
   now_ = deadline;

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "epicast/sim/simulator.hpp"
@@ -123,6 +125,104 @@ TEST(Scheduler, EventsScheduledFromCallbacksRun) {
   s.schedule_at(SimTime::zero() + Duration::millis(1), recurse);
   s.run();
   EXPECT_EQ(depth, 5);
+}
+
+TEST(Scheduler, CancelAfterFireStaysInertWhenSlotIsReused) {
+  // The fired event's slab slot is recycled by later schedules; the old
+  // handle's generation is stale, so it must neither report pending nor
+  // cancel the new occupant.
+  Scheduler s;
+  EventHandle old_handle = s.schedule_at(SimTime::seconds(1.0), [] {});
+  s.run();
+  EXPECT_FALSE(old_handle.pending());
+
+  bool ran = false;
+  EventHandle fresh = s.schedule_at(SimTime::seconds(2.0), [&] { ran = true; });
+  EXPECT_FALSE(old_handle.cancel());
+  EXPECT_FALSE(old_handle.pending());
+  EXPECT_TRUE(fresh.pending());
+  s.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, CancelledSlotReuseKeepsHandlesIndependent) {
+  // Cancel frees the slot immediately; a chain of schedule/cancel pairs
+  // exercises generation bumps on the same few slots.
+  Scheduler s;
+  std::vector<EventHandle> stale;
+  for (int round = 0; round < 100; ++round) {
+    EventHandle h = s.schedule_at(SimTime::seconds(1.0), [] { FAIL(); });
+    EXPECT_TRUE(h.cancel());
+    stale.push_back(h);
+  }
+  for (EventHandle& h : stale) {
+    EXPECT_FALSE(h.pending());
+    EXPECT_FALSE(h.cancel());  // double-cancel across generations
+  }
+  bool ran = false;
+  s.schedule_at(SimTime::seconds(1.0), [&] { ran = true; });
+  for (EventHandle& h : stale) EXPECT_FALSE(h.cancel());
+  s.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(s.executed(), 1u);
+}
+
+TEST(Scheduler, CopiedHandlesShareCancellationState) {
+  Scheduler s;
+  bool ran = false;
+  EventHandle a = s.schedule_at(SimTime::seconds(1.0), [&] { ran = true; });
+  EventHandle b = a;
+  EXPECT_TRUE(b.cancel());
+  EXPECT_FALSE(a.cancel());
+  EXPECT_FALSE(a.pending());
+  EXPECT_FALSE(b.pending());
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, FifoSurvivesHeavyCancelChurnAtEqualTimestamps) {
+  // Interleave schedules and cancellations at one timestamp: survivors must
+  // still fire in scheduling order, exactly once.
+  Scheduler s;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 300; ++i) {
+    handles.push_back(s.schedule_at(SimTime::seconds(1.0),
+                                    [&order, i] { order.push_back(i); }));
+    if (i % 3 == 1) handles[i - 1].cancel();  // cancel the previous one
+  }
+  s.run();
+  std::vector<int> expected;
+  for (int i = 0; i < 300; ++i) {
+    if (i % 3 != 0) expected.push_back(i);  // multiples of 3 were cancelled
+  }
+  EXPECT_EQ(order, expected);
+  EXPECT_EQ(s.executed(), expected.size());
+}
+
+TEST(Scheduler, PendingIsFalseInsideOwnCallback) {
+  Scheduler s;
+  EventHandle h;
+  bool checked = false;
+  h = s.schedule_at(SimTime::seconds(1.0), [&] {
+    checked = true;
+    EXPECT_FALSE(h.pending());
+    EXPECT_FALSE(h.cancel());
+  });
+  s.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(Scheduler, CallbackLargerThanInlineBufferStillRuns) {
+  // Closures above SmallCallback::kInlineBytes take the heap fallback; the
+  // semantics must be unchanged.
+  Scheduler s;
+  std::array<std::uint64_t, 16> big{};  // 128 bytes captured by value
+  big[15] = 42;
+  std::uint64_t sum = 0;
+  s.schedule_at(SimTime::seconds(1.0), [big, &sum] { sum = big[15]; });
+  s.run();
+  EXPECT_EQ(sum, 42u);
 }
 
 TEST(Simulator, PeriodicTimerTicksAtInterval) {
