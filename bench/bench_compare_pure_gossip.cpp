@@ -57,7 +57,7 @@ Row run_pure(std::uint32_t fanout) {
   tc.link.loss_rate = kEps;
   Transport transport(sim, topo, tc);
   MessageStats traffic(kNodes);
-  transport.set_observer(&traffic);
+  transport.add_observer(traffic);
 
   PureGossipConfig pg;
   pg.fanout = fanout;

@@ -33,7 +33,7 @@ int main() {
   Transport transport(sim, topology, net_cfg);
 
   MessageStats traffic(24);
-  transport.set_observer(&traffic);
+  transport.add_observer(traffic);
 
   DispatcherConfig dc;
   dc.default_payload_bytes = 160;  // a tick is small

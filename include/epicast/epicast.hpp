@@ -50,3 +50,6 @@
 #include "epicast/sim/scheduler.hpp"
 #include "epicast/sim/simulator.hpp"
 #include "epicast/sim/time.hpp"
+#include "epicast/wire/buffer.hpp"
+#include "epicast/wire/codec.hpp"
+#include "epicast/wire/error.hpp"

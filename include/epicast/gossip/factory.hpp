@@ -1,0 +1,78 @@
+// epicast — the single construction point for gossip wire messages.
+//
+// Every digest, request, and reply the recovery protocols emit is built
+// here, so the wire-level concerns live in one place: the nominal size the
+// paper's accounting assigns (GossipConfig::gossip_message_bytes), and —
+// because every product is a codec-encodable Message — the byte-accurate
+// frame size SizingMode::Wire charges via Message::wire_size_bytes().
+// Future wire features (MTU fragmentation, digest batching) hook in here
+// without touching the protocol logic.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "epicast/common/ids.hpp"
+#include "epicast/gossip/messages.hpp"
+#include "epicast/pubsub/event.hpp"
+
+namespace epicast {
+
+class GossipMessageFactory {
+ public:
+  /// `self` is the owning dispatcher — the gossiper of every message that
+  /// originates locally (requests, replies, round-0 digests).
+  GossipMessageFactory(NodeId self, std::size_t nominal_bytes)
+      : self_(self), nominal_bytes_(nominal_bytes) {}
+
+  [[nodiscard]] NodeId self() const { return self_; }
+  [[nodiscard]] std::size_t nominal_bytes() const { return nominal_bytes_; }
+
+  /// Digests carry an explicit `gossiper`: forwarding preserves the
+  /// originator while the frame travels the tree.
+  [[nodiscard]] MessagePtr push_digest(NodeId gossiper, Pattern pattern,
+                                       std::vector<EventId> ids,
+                                       std::uint32_t hops) const {
+    return std::make_shared<PushDigestMessage>(gossiper, nominal_bytes_,
+                                               pattern, std::move(ids), hops);
+  }
+
+  [[nodiscard]] MessagePtr subscriber_pull_digest(
+      NodeId gossiper, Pattern pattern, std::vector<LostEntryInfo> wanted,
+      std::uint32_t hops) const {
+    return std::make_shared<SubscriberPullDigestMessage>(
+        gossiper, nominal_bytes_, pattern, std::move(wanted), hops);
+  }
+
+  [[nodiscard]] MessagePtr publisher_pull_digest(
+      NodeId gossiper, NodeId source, std::vector<LostEntryInfo> wanted,
+      std::vector<NodeId> route) const {
+    return std::make_shared<PublisherPullDigestMessage>(
+        gossiper, nominal_bytes_, source, std::move(wanted), std::move(route));
+  }
+
+  [[nodiscard]] MessagePtr random_pull_digest(NodeId gossiper,
+                                              std::vector<LostEntryInfo> wanted,
+                                              std::uint32_t hops) const {
+    return std::make_shared<RandomPullDigestMessage>(
+        gossiper, nominal_bytes_, std::move(wanted), hops);
+  }
+
+  [[nodiscard]] MessagePtr request(std::vector<EventId> ids) const {
+    return std::make_shared<RecoveryRequestMessage>(self_, nominal_bytes_,
+                                                    std::move(ids));
+  }
+
+  [[nodiscard]] MessagePtr reply(std::vector<EventPtr> events) const {
+    return std::make_shared<RecoveryReplyMessage>(self_, nominal_bytes_,
+                                                  std::move(events));
+  }
+
+ private:
+  NodeId self_;
+  std::size_t nominal_bytes_;
+};
+
+}  // namespace epicast

@@ -13,7 +13,9 @@
 #include "epicast/gossip/adaptive_interval.hpp"
 #include "epicast/gossip/config.hpp"
 #include "epicast/gossip/event_cache.hpp"
+#include "epicast/gossip/factory.hpp"
 #include "epicast/gossip/messages.hpp"
+#include "epicast/gossip/stats.hpp"
 #include "epicast/pubsub/dispatcher.hpp"
 #include "epicast/pubsub/recovery.hpp"
 
@@ -41,20 +43,13 @@ class GossipProtocolBase : public RecoveryProtocol {
     return adaptive_.enabled() ? adaptive_.current() : cfg_.interval;
   }
 
-  struct Stats {
-    std::uint64_t rounds = 0;
-    /// Rounds with no recovery demand: for pulls, no pending losses; for
-    /// push, no requests received since the previous round.
-    std::uint64_t rounds_skipped = 0;
-    std::uint64_t digests_originated = 0;
-    std::uint64_t digests_forwarded = 0;
-    std::uint64_t requests_sent = 0;
-    std::uint64_t replies_sent = 0;
-    std::uint64_t events_served = 0;     ///< events retransmitted to others
-    std::uint64_t events_recovered = 0;  ///< new events obtained via gossip
-    std::uint64_t reply_duplicates = 0;  ///< replies carrying known events
-  };
+  /// Counters live in gossip/stats.hpp (GossipStats) so they can be summed
+  /// across dispatchers; the alias keeps existing call sites compiling.
+  using Stats = GossipStats;
   [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const GossipStats* gossip_stats() const override {
+    return &stats_;
+  }
 
  protected:
   /// One gossip round. Return true if the round did useful work (drives the
@@ -96,6 +91,8 @@ class GossipProtocolBase : public RecoveryProtocol {
   Dispatcher& d_;
   GossipConfig cfg_;
   EventCache cache_;
+  /// Builds every outgoing gossip message (digests, requests, replies).
+  GossipMessageFactory msgs_;
   Stats stats_;
 
  private:

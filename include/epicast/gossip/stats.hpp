@@ -1,0 +1,38 @@
+// epicast — per-protocol gossip counters, aggregatable across dispatchers.
+//
+// Lives in its own header (not protocol.hpp) so the recovery interface can
+// expose the counters without dragging in the whole protocol machinery.
+#pragma once
+
+#include <cstdint>
+
+namespace epicast {
+
+struct GossipStats {
+  std::uint64_t rounds = 0;
+  /// Rounds with no recovery demand: for pulls, no pending losses; for
+  /// push, no requests received since the previous round.
+  std::uint64_t rounds_skipped = 0;
+  std::uint64_t digests_originated = 0;
+  std::uint64_t digests_forwarded = 0;
+  std::uint64_t requests_sent = 0;
+  std::uint64_t replies_sent = 0;
+  std::uint64_t events_served = 0;     ///< events retransmitted to others
+  std::uint64_t events_recovered = 0;  ///< new events obtained via gossip
+  std::uint64_t reply_duplicates = 0;  ///< replies carrying known events
+
+  GossipStats& operator+=(const GossipStats& o) {
+    rounds += o.rounds;
+    rounds_skipped += o.rounds_skipped;
+    digests_originated += o.digests_originated;
+    digests_forwarded += o.digests_forwarded;
+    requests_sent += o.requests_sent;
+    replies_sent += o.replies_sent;
+    events_served += o.events_served;
+    events_recovered += o.events_recovered;
+    reply_duplicates += o.reply_duplicates;
+    return *this;
+  }
+};
+
+}  // namespace epicast

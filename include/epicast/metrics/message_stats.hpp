@@ -5,6 +5,11 @@
 // are per-hop event forwards — exactly the two quantities whose ratio the
 // paper plots in Fig. 9. Snapshots allow measuring only inside the
 // measurement window (warmup excluded).
+//
+// Alongside message counts, bytes are accounted per class using the
+// configured SizingMode: nominal (the paper's equal-size assumption) or
+// wire (codec-computed frame sizes) — the latter makes the Fig. 9/10
+// overhead results byte-accurate instead of estimated.
 #pragma once
 
 #include <array>
@@ -19,7 +24,10 @@ class MessageStats final : public TransportObserver {
  public:
   static constexpr std::size_t kClassCount = 5;
 
-  explicit MessageStats(std::uint32_t node_count);
+  /// `sizing` selects the per-message byte figure the byte counters use;
+  /// message counts are mode-independent.
+  explicit MessageStats(std::uint32_t node_count,
+                        SizingMode sizing = default_sizing_mode());
 
   void on_send(NodeId from, NodeId to, const Message& msg,
                bool overlay) override;
@@ -32,6 +40,8 @@ class MessageStats final : public TransportObserver {
   struct Snapshot {
     std::array<std::uint64_t, kClassCount> sends{};
     std::array<std::uint64_t, kClassCount> losses{};
+    /// Bytes sent per class, in the configured SizingMode's units.
+    std::array<std::uint64_t, kClassCount> send_bytes{};
     std::uint64_t drops_no_link = 0;
     std::uint64_t overlay_sends = 0;
     std::uint64_t direct_sends = 0;
@@ -42,24 +52,36 @@ class MessageStats final : public TransportObserver {
     [[nodiscard]] std::uint64_t losses_of(MessageClass c) const {
       return losses[static_cast<std::size_t>(c)];
     }
+    [[nodiscard]] std::uint64_t bytes_of(MessageClass c) const {
+      return send_bytes[static_cast<std::size_t>(c)];
+    }
     /// Digest + request + reply sends.
     [[nodiscard]] std::uint64_t gossip_sends() const;
     [[nodiscard]] std::uint64_t event_sends() const {
       return sends_of(MessageClass::Event);
     }
+    /// Digest + request + reply bytes.
+    [[nodiscard]] std::uint64_t gossip_bytes() const;
+    [[nodiscard]] std::uint64_t event_bytes() const {
+      return bytes_of(MessageClass::Event);
+    }
     /// Gossip sends ÷ event sends (0 if no events flowed).
     [[nodiscard]] double gossip_event_ratio() const;
+    /// Gossip bytes ÷ event bytes (0 if no event bytes flowed).
+    [[nodiscard]] double gossip_event_byte_ratio() const;
 
     friend Snapshot operator-(Snapshot a, const Snapshot& b);
   };
 
   [[nodiscard]] Snapshot snapshot() const { return totals_; }
+  [[nodiscard]] SizingMode sizing() const { return sizing_; }
 
   /// Gossip sends originated or forwarded by one node (all classes).
   [[nodiscard]] std::uint64_t gossip_sends_by(NodeId node) const;
   [[nodiscard]] std::uint64_t event_sends_by(NodeId node) const;
 
  private:
+  SizingMode sizing_;
   Snapshot totals_;
   /// per node × class
   std::vector<std::array<std::uint64_t, kClassCount>> by_node_;

@@ -7,6 +7,14 @@
 //
 // Messages are immutable once sent and shared by pointer, so a fan-out of an
 // event to many neighbours costs no copies.
+//
+// Two sizes coexist per message (SizingMode):
+//   * nominal — the configured constant the paper's equal-size overhead
+//     accounting assumes (§IV-E); the default, keeps every figure
+//     bit-identical to the original evaluation;
+//   * wire — the exact byte count of the message's serialized frame,
+//     computed by epicast::wire::Codec (see wire/codec.hpp), for
+//     byte-accurate link occupancy and traffic accounting.
 #pragma once
 
 #include <cstddef>
@@ -32,6 +40,20 @@ enum class MessageClass {
 
 [[nodiscard]] const char* to_string(MessageClass c);
 
+/// Which size the link model charges and the metrics layer accounts.
+enum class SizingMode {
+  Nominal,  ///< configured constants — the paper's assumption (default)
+  Wire,     ///< codec-computed frame bytes — byte-accurate
+};
+
+[[nodiscard]] const char* to_string(SizingMode m);
+
+/// Process-wide default sizing mode: SizingMode::Wire when the EPICAST_SIZING
+/// environment variable is "wire" (read once, first call), Nominal
+/// otherwise. Lets the whole test/bench suite run in wire mode without
+/// touching every config literal (the CI wire-sizing job does exactly that).
+[[nodiscard]] SizingMode default_sizing_mode();
+
 /// Base class of everything the transport can carry.
 class Message {
  public:
@@ -40,11 +62,25 @@ class Message {
   /// Traffic class for accounting and loss policy.
   [[nodiscard]] virtual MessageClass message_class() const = 0;
 
-  /// Serialized size used to compute link occupancy. The paper assumes event
-  /// and gossip messages have equal size (§IV-E); the scenario layer follows
-  /// suit but the model supports any size.
+  /// Nominal serialized size used to compute link occupancy. The paper
+  /// assumes event and gossip messages have equal size (§IV-E); the
+  /// scenario layer follows suit but the model supports any size.
   [[nodiscard]] virtual std::size_t size_bytes() const = 0;
+
+  /// Exact size of this message's wire frame (epicast::wire::Codec).
+  /// Computed on first call and cached — messages are immutable, and one
+  /// message never crosses scenario threads.
+  [[nodiscard]] std::size_t wire_size_bytes() const;
+
+ private:
+  mutable std::size_t wire_size_cache_ = 0;  // 0 = not yet computed
 };
+
+/// The size `mode` charges for `msg` — nominal constant or codec frame size.
+[[nodiscard]] inline std::size_t sized_bytes(const Message& msg,
+                                             SizingMode mode) {
+  return mode == SizingMode::Wire ? msg.wire_size_bytes() : msg.size_bytes();
+}
 
 using MessagePtr = std::shared_ptr<const Message>;
 

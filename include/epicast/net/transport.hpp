@@ -63,6 +63,10 @@ struct TransportConfig {
   Duration direct_latency_min = Duration::micros(500);
   Duration direct_latency_max = Duration::millis(2);
   double direct_loss_rate = 0.0;      ///< out-of-band loss
+  /// Which message size the link model charges: the configured nominal
+  /// constants (paper §IV-E accounting, the default) or the codec-computed
+  /// wire frame size. Follows EPICAST_SIZING unless overridden.
+  SizingMode sizing = default_sizing_mode();
 };
 
 class Transport {
@@ -82,13 +86,6 @@ class Transport {
   /// observers see every send/loss/drop, in registration order.
   void add_observer(TransportObserver& observer) {
     observers_.push_back(&observer);
-  }
-
-  /// Legacy single-observer setter: nullptr clears all observers,
-  /// otherwise equivalent to add_observer.
-  void set_observer(TransportObserver* observer) {
-    observers_.clear();
-    if (observer != nullptr) observers_.push_back(observer);
   }
 
   /// Deterministic fault injection (tests, failure-injection examples):

@@ -17,6 +17,8 @@
 
 namespace epicast {
 
+struct GossipStats;
+
 class RecoveryProtocol {
  public:
   virtual ~RecoveryProtocol() = default;
@@ -49,6 +51,13 @@ class RecoveryProtocol {
 
   /// Human-readable protocol name for reports.
   [[nodiscard]] virtual const char* name() const = 0;
+
+  /// The gossip counters of this protocol, or nullptr for protocols that
+  /// keep none (e.g. the no-recovery baseline). Lets aggregation code sum
+  /// stats without downcasting to a concrete protocol type.
+  [[nodiscard]] virtual const GossipStats* gossip_stats() const {
+    return nullptr;
+  }
 };
 
 }  // namespace epicast

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "epicast/gossip/config.hpp"
+#include "epicast/net/message.hpp"
 #include "epicast/sim/time.hpp"
 
 namespace epicast {
@@ -52,6 +53,12 @@ struct ScenarioConfig {
   // -- recovery ----------------------------------------------------------------
   Algorithm algorithm = Algorithm::NoRecovery;
   GossipConfig gossip;  ///< T, β, P_forward, P_source, …
+
+  /// How message sizes are charged to links and byte counters: `Nominal`
+  /// uses the configured constants (the paper's equal-size assumption —
+  /// keeps published figures bit-identical), `Wire` uses the codec-computed
+  /// frame size of each message. Defaults from EPICAST_SIZING.
+  SizingMode sizing_mode = default_sizing_mode();
 
   // -- link details -------------------------------------------------------------
   double link_bandwidth_bps = 10e6;         ///< 10 Mbit/s Ethernet (§IV-A)

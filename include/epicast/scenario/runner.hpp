@@ -41,6 +41,10 @@ struct ScenarioResult {
   // -- overhead (§IV-E), measured inside the window ----------------------------
   double gossip_msgs_per_dispatcher = 0.0;
   double gossip_event_ratio = 0.0;
+  /// Byte-denominated counterparts, in the configured SizingMode's units
+  /// (nominal constants or codec wire-frame sizes).
+  double gossip_bytes_per_dispatcher = 0.0;
+  double gossip_event_byte_ratio = 0.0;
   MessageStats::Snapshot traffic;
 
   // -- recovery-protocol internals, whole run, summed over dispatchers ---------

@@ -1,0 +1,202 @@
+// epicast — byte-level primitives of the wire format.
+//
+// WireBuffer is the reusable encode sink: clear() keeps its capacity, so a
+// sender that encodes many frames (the hot path of a socket backend, or the
+// codec micro-benchmark) allocates only until the high-water mark is
+// reached. WireReader is the strict, bounds-checked decode source: the
+// first failure latches a DecodeError and every later read returns zero, so
+// decoders can run straight-line and check ok() once.
+//
+// Integers are little-endian; ids, counts, and sizes are LEB128 varints
+// (canonical form only: an encoding with redundant trailing zero groups is
+// rejected as OverlongVarint). Signed values use zigzag.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "epicast/wire/error.hpp"
+
+namespace epicast::wire {
+
+/// Bytes a value occupies as a LEB128 varint (1..10).
+[[nodiscard]] constexpr std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+[[nodiscard]] constexpr std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] constexpr std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// Growable, reusable byte sink for frame encoding.
+class WireBuffer {
+ public:
+  /// Drops the content, keeps the capacity (allocation-free reuse).
+  void clear() { bytes_.clear(); }
+
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+  [[nodiscard]] bool empty() const { return bytes_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return bytes_.capacity(); }
+  [[nodiscard]] const std::uint8_t* data() const { return bytes_.data(); }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const { return bytes_; }
+
+  void reserve(std::size_t n) { bytes_.reserve(n); }
+
+  void put_u8(std::uint8_t v) { bytes_.push_back(v); }
+
+  void put_u32le(std::uint32_t v) {
+    bytes_.push_back(static_cast<std::uint8_t>(v));
+    bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+    bytes_.push_back(static_cast<std::uint8_t>(v >> 16));
+    bytes_.push_back(static_cast<std::uint8_t>(v >> 24));
+  }
+
+  /// Overwrites 4 previously appended bytes (frame-length back-patching).
+  void patch_u32le(std::size_t offset, std::uint32_t v) {
+    bytes_[offset] = static_cast<std::uint8_t>(v);
+    bytes_[offset + 1] = static_cast<std::uint8_t>(v >> 8);
+    bytes_[offset + 2] = static_cast<std::uint8_t>(v >> 16);
+    bytes_[offset + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+
+  void put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    bytes_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void put_zigzag(std::int64_t v) { put_varint(zigzag(v)); }
+
+  /// Appends `n` zero bytes — stand-in for payload content the simulator
+  /// does not model but a byte-accurate frame must still carry.
+  void put_zero_bytes(std::size_t n) { bytes_.resize(bytes_.size() + n, 0); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Strict bounds-checked byte source. The first failure latches; subsequent
+/// reads are no-ops returning zero.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] bool ok() const { return !err_.has_value(); }
+  [[nodiscard]] DecodeError error() const { return *err_; }
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  /// Latches `e` unless an earlier error already did.
+  void fail(DecodeError e) {
+    if (!err_) err_ = e;
+  }
+
+  std::uint8_t u8() {
+    if (!ok()) return 0;
+    if (remaining() < 1) {
+      fail(DecodeError::TruncatedPayload);
+      return 0;
+    }
+    return bytes_[pos_++];
+  }
+
+  std::uint32_t u32le() {
+    if (!ok()) return 0;
+    if (remaining() < 4) {
+      fail(DecodeError::TruncatedPayload);
+      return 0;
+    }
+    const std::uint32_t v = static_cast<std::uint32_t>(bytes_[pos_]) |
+                            static_cast<std::uint32_t>(bytes_[pos_ + 1]) << 8 |
+                            static_cast<std::uint32_t>(bytes_[pos_ + 2]) << 16 |
+                            static_cast<std::uint32_t>(bytes_[pos_ + 3]) << 24;
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t varint() {
+    if (!ok()) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 10; ++i) {
+      if (remaining() < 1) {
+        fail(DecodeError::TruncatedPayload);
+        return 0;
+      }
+      const std::uint8_t b = bytes_[pos_++];
+      if (i == 9) {
+        // 9 groups cover 63 bits; the 10th byte may only be exactly 1
+        // (setting bit 63). 0 is zero padding, anything larger overflows,
+        // a continuation bit makes the varint too long.
+        if (b != 1) {
+          fail(DecodeError::OverlongVarint);
+          return 0;
+        }
+        return v | (std::uint64_t{1} << 63);
+      }
+      v |= static_cast<std::uint64_t>(b & 0x7F) << (7 * i);
+      if ((b & 0x80) == 0) {
+        if (i > 0 && b == 0) {
+          // Canonical form forbids a zero final group ("0x80 0x00" for 0).
+          fail(DecodeError::OverlongVarint);
+          return 0;
+        }
+        return v;
+      }
+    }
+    return 0;  // unreachable: the i == 9 branch always returns
+  }
+
+  std::uint32_t varint32() {
+    const std::uint64_t v = varint();
+    if (ok() && v > 0xFFFFFFFFull) {
+      fail(DecodeError::ValueOutOfRange);
+      return 0;
+    }
+    return static_cast<std::uint32_t>(v);
+  }
+
+  std::int64_t zigzag64() { return unzigzag(varint()); }
+
+  /// A list length prefix, rejected when it promises more elements than the
+  /// remaining bytes could possibly hold (≥ `min_element_bytes` each).
+  std::size_t count(std::size_t min_element_bytes) {
+    const std::uint64_t n = varint();
+    if (!ok()) return 0;
+    if (n > remaining() / (min_element_bytes == 0 ? 1 : min_element_bytes)) {
+      fail(DecodeError::BadCount);
+      return 0;
+    }
+    return static_cast<std::size_t>(n);
+  }
+
+  void skip(std::size_t n) {
+    if (!ok()) return;
+    if (remaining() < n) {
+      fail(DecodeError::TruncatedPayload);
+      return;
+    }
+    pos_ += n;
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  std::optional<DecodeError> err_;
+};
+
+}  // namespace epicast::wire

@@ -1,0 +1,39 @@
+// epicast — typed decode errors of the wire layer.
+//
+// Strict decoding: a frame that is truncated, corrupt, non-canonical, or of
+// an unknown kind/version is rejected with a DecodeError — never undefined
+// behaviour, never a partial message. The error taxonomy is deliberately
+// fine-grained so tests (and, later, a real socket backend's peer
+// diagnostics) can assert *why* a frame was refused.
+#pragma once
+
+namespace epicast::wire {
+
+enum class DecodeError {
+  /// Frame shorter than the fixed header (length prefix + version + kind).
+  TruncatedHeader,
+  /// Length prefix inconsistent with itself (shorter than version + kind).
+  BadLength,
+  /// Length prefix claims more bytes than the caller supplied.
+  TruncatedPayload,
+  /// Bytes left over after the last field (or length prefix shorter than
+  /// the supplied buffer): the frame and its payload disagree.
+  TrailingBytes,
+  /// Version byte this codec does not speak.
+  UnknownVersion,
+  /// Kind byte naming no known message type.
+  UnknownKind,
+  /// Varint longer than necessary (non-canonical zero padding) or longer
+  /// than the 64-bit maximum.
+  OverlongVarint,
+  /// A field decoded fine but its value is out of domain (e.g. a 32-bit id
+  /// carried a larger value).
+  ValueOutOfRange,
+  /// A list length prefix promises more elements than the remaining bytes
+  /// could possibly hold.
+  BadCount,
+};
+
+[[nodiscard]] const char* to_string(DecodeError e);
+
+}  // namespace epicast::wire

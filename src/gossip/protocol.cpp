@@ -37,6 +37,7 @@ GossipProtocolBase::GossipProtocolBase(Dispatcher& dispatcher,
     : d_(dispatcher),
       cfg_(config),
       cache_(config.buffer_size, config.cache_policy, dispatcher.rng().fork()),
+      msgs_(dispatcher.id(), config.gossip_message_bytes),
       adaptive_(config.adaptive, config.interval) {
   EPICAST_ASSERT(cfg_.interval > Duration::zero());
   EPICAST_ASSERT(cfg_.forward_probability >= 0.0 &&
@@ -176,16 +177,13 @@ void GossipProtocolBase::send_digest(NodeId to, MessagePtr msg,
 void GossipProtocolBase::send_request(NodeId to, std::vector<EventId> ids) {
   EPICAST_ASSERT(!ids.empty());
   ++stats_.requests_sent;
-  d_.send_direct(to, std::make_shared<RecoveryRequestMessage>(
-                         d_.id(), cfg_.gossip_message_bytes, std::move(ids)));
+  d_.send_direct(to, msgs_.request(std::move(ids)));
 }
 
 void GossipProtocolBase::send_reply(NodeId to, std::vector<EventPtr> events) {
   EPICAST_ASSERT(!events.empty());
   ++stats_.replies_sent;
-  d_.send_direct(to, std::make_shared<RecoveryReplyMessage>(
-                         d_.id(), cfg_.gossip_message_bytes,
-                         std::move(events)));
+  d_.send_direct(to, msgs_.reply(std::move(events)));
 }
 
 std::unique_ptr<RecoveryProtocol> make_recovery(Algorithm algorithm,

@@ -52,9 +52,7 @@ bool PullProtocolBase::round_subscriber() {
   EPICAST_ASSERT(!wanted.empty());
 
   for (NodeId to : fanout(d_.table().route_targets(p, NodeId::invalid()), true)) {
-    send_digest(to,
-                std::make_shared<SubscriberPullDigestMessage>(
-                    d_.id(), cfg_.gossip_message_bytes, p, wanted, /*hops=*/0),
+    send_digest(to, msgs_.subscriber_pull_digest(d_.id(), p, wanted, /*hops=*/0),
                 /*originated=*/true);
   }
   return true;
@@ -104,9 +102,9 @@ void PullProtocolBase::forward_towards_publisher(
 
   const NodeId next = route.front();
   route.erase(route.begin());
-  auto msg = std::make_shared<PublisherPullDigestMessage>(
-      gossiper, cfg_.gossip_message_bytes, source, std::move(wanted),
-      std::move(route));
+  MessagePtr msg = msgs_.publisher_pull_digest(gossiper, source,
+                                               std::move(wanted),
+                                               std::move(route));
 
   if (d_.transport().topology().has_link(d_.id(), next)) {
     send_digest(next, std::move(msg), originated);
@@ -172,9 +170,8 @@ void PullProtocolBase::handle_subscriber_digest(
   if (msg.hops() + 1 > cfg_.max_hops) return;
   for (NodeId to : fanout(d_.table().route_targets(msg.pattern(), from), true)) {
     send_digest(to,
-                std::make_shared<SubscriberPullDigestMessage>(
-                    msg.gossiper(), cfg_.gossip_message_bytes, msg.pattern(),
-                    remaining, msg.hops() + 1),
+                msgs_.subscriber_pull_digest(msg.gossiper(), msg.pattern(),
+                                             remaining, msg.hops() + 1),
                 /*originated=*/false);
   }
 }
@@ -203,9 +200,8 @@ void PullProtocolBase::handle_random_digest(
   }
   for (NodeId to : fanout(std::move(candidates), false)) {
     send_digest(to,
-                std::make_shared<RandomPullDigestMessage>(
-                    msg.gossiper(), cfg_.gossip_message_bytes, remaining,
-                    msg.hops() + 1),
+                msgs_.random_pull_digest(msg.gossiper(), remaining,
+                                         msg.hops() + 1),
                 /*originated=*/false);
   }
 }

@@ -23,9 +23,7 @@ bool PushProtocol::on_round() {
   const std::vector<NodeId> targets =
       fanout(d_.table().route_targets(p, NodeId::invalid()), true);
   for (NodeId to : targets) {
-    send_digest(to,
-                std::make_shared<PushDigestMessage>(
-                    d_.id(), cfg_.gossip_message_bytes, p, ids, /*hops=*/0),
+    send_digest(to, msgs_.push_digest(d_.id(), p, ids, /*hops=*/0),
                 /*originated=*/true);
   }
   // Proactive sends are not "activity": only observed demand (requests)
@@ -76,9 +74,8 @@ void PushProtocol::handle_digest(NodeId from, const GossipMessage& msg) {
   if (digest.hops() + 1 > cfg_.max_hops) return;
   for (NodeId to : fanout(d_.table().route_targets(p, from), true)) {
     send_digest(to,
-                std::make_shared<PushDigestMessage>(
-                    digest.gossiper(), cfg_.gossip_message_bytes, p,
-                    digest.ids(), digest.hops() + 1),
+                msgs_.push_digest(digest.gossiper(), p, digest.ids(),
+                                  digest.hops() + 1),
                 /*originated=*/false);
   }
 }

@@ -15,9 +15,7 @@ bool RandomPullProtocol::on_round() {
   std::vector<LostEntryInfo> wanted =
       lost_.entries_for_pattern(p, cfg_.max_digest_entries);
   for (NodeId to : fanout(d_.neighbors(), false)) {
-    send_digest(to,
-                std::make_shared<RandomPullDigestMessage>(
-                    d_.id(), cfg_.gossip_message_bytes, wanted, /*hops=*/0),
+    send_digest(to, msgs_.random_pull_digest(d_.id(), wanted, /*hops=*/0),
                 /*originated=*/true);
   }
   return true;

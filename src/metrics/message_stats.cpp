@@ -4,12 +4,14 @@
 
 namespace epicast {
 
-MessageStats::MessageStats(std::uint32_t node_count) : by_node_(node_count) {}
+MessageStats::MessageStats(std::uint32_t node_count, SizingMode sizing)
+    : sizing_(sizing), by_node_(node_count) {}
 
 void MessageStats::on_send(NodeId from, NodeId /*to*/, const Message& msg,
                            bool overlay) {
   const auto cls = static_cast<std::size_t>(msg.message_class());
   ++totals_.sends[cls];
+  totals_.send_bytes[cls] += sized_bytes(msg, sizing_);
   if (overlay) {
     ++totals_.overlay_sends;
   } else {
@@ -42,11 +44,25 @@ double MessageStats::Snapshot::gossip_event_ratio() const {
                            static_cast<double>(events);
 }
 
+std::uint64_t MessageStats::Snapshot::gossip_bytes() const {
+  return bytes_of(MessageClass::GossipDigest) +
+         bytes_of(MessageClass::GossipRequest) +
+         bytes_of(MessageClass::GossipReply);
+}
+
+double MessageStats::Snapshot::gossip_event_byte_ratio() const {
+  const std::uint64_t events = event_bytes();
+  return events == 0 ? 0.0
+                     : static_cast<double>(gossip_bytes()) /
+                           static_cast<double>(events);
+}
+
 MessageStats::Snapshot operator-(MessageStats::Snapshot a,
                                  const MessageStats::Snapshot& b) {
   for (std::size_t i = 0; i < MessageStats::kClassCount; ++i) {
     a.sends[i] -= b.sends[i];
     a.losses[i] -= b.losses[i];
+    a.send_bytes[i] -= b.send_bytes[i];
   }
   a.drops_no_link -= b.drops_no_link;
   a.overlay_sends -= b.overlay_sends;

@@ -1,0 +1,37 @@
+#include "epicast/net/message.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace epicast {
+
+const char* to_string(MessageClass c) {
+  switch (c) {
+    case MessageClass::Event: return "event";
+    case MessageClass::Control: return "control";
+    case MessageClass::GossipDigest: return "gossip-digest";
+    case MessageClass::GossipRequest: return "gossip-request";
+    case MessageClass::GossipReply: return "gossip-reply";
+  }
+  return "?";
+}
+
+const char* to_string(SizingMode m) {
+  switch (m) {
+    case SizingMode::Nominal: return "nominal";
+    case SizingMode::Wire: return "wire";
+  }
+  return "?";
+}
+
+SizingMode default_sizing_mode() {
+  static const SizingMode mode = [] {
+    const char* v = std::getenv("EPICAST_SIZING");
+    return (v != nullptr && std::string_view(v) == "wire")
+               ? SizingMode::Wire
+               : SizingMode::Nominal;
+  }();
+  return mode;
+}
+
+}  // namespace epicast

@@ -6,17 +6,6 @@
 
 namespace epicast {
 
-const char* to_string(MessageClass c) {
-  switch (c) {
-    case MessageClass::Event: return "event";
-    case MessageClass::Control: return "control";
-    case MessageClass::GossipDigest: return "gossip-digest";
-    case MessageClass::GossipRequest: return "gossip-request";
-    case MessageClass::GossipReply: return "gossip-reply";
-  }
-  return "?";
-}
-
 Transport::Transport(Simulator& sim, Topology& topology,
                      TransportConfig config)
     : sim_(sim),
@@ -64,8 +53,11 @@ void Transport::send_overlay(NodeId from, NodeId to, MessagePtr msg) {
 
   const bool lossless =
       config_.control_lossless && msg->message_class() == MessageClass::Control;
-  const LinkModel::Outcome tx =
-      link_model_.transmit(from, to, msg->size_bytes(), sim_.now(), lossless);
+  // Serialization delay is charged from the selected sizing mode: nominal
+  // constants reproduce the paper bit-identically, wire mode occupies the
+  // link for exactly the frame the codec would put on it.
+  const LinkModel::Outcome tx = link_model_.transmit(
+      from, to, sized_bytes(*msg, config_.sizing), sim_.now(), lossless);
   if (tx.lost) {
     for (TransportObserver* o : observers_) {
       o->on_loss(from, to, *msg, /*overlay=*/true);

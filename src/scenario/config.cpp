@@ -67,6 +67,7 @@ std::string ScenarioConfig::describe() const {
      << '\n'
      << "cache policy                     " << to_string(gossip.cache_policy)
      << '\n'
+     << "sizing mode                      " << to_string(sizing_mode) << '\n'
      << "link bandwidth [bit/s]           " << link_bandwidth_bps << '\n'
      << "measurement window [s]           " << measure.to_seconds() << '\n'
      << "recovery horizon [s]             " << recovery_horizon.to_seconds()

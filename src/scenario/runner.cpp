@@ -72,10 +72,11 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   tc.direct_latency_min = cfg.direct_latency_min;
   tc.direct_latency_max = cfg.direct_latency_max;
   tc.direct_loss_rate = cfg.effective_oob_loss();
+  tc.sizing = cfg.sizing_mode;
   Transport transport(sim, topology, tc);
 
-  MessageStats stats(cfg.nodes);
-  transport.set_observer(&stats);
+  MessageStats stats(cfg.nodes, cfg.sizing_mode);
+  transport.add_observer(stats);
 
   DispatcherConfig dc;
   dc.default_payload_bytes = cfg.event_payload_bytes;
@@ -165,19 +166,14 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
       static_cast<double>(result.traffic.gossip_sends()) /
       static_cast<double>(cfg.nodes);
   result.gossip_event_ratio = result.traffic.gossip_event_ratio();
+  result.gossip_bytes_per_dispatcher =
+      static_cast<double>(result.traffic.gossip_bytes()) /
+      static_cast<double>(cfg.nodes);
+  result.gossip_event_byte_ratio = result.traffic.gossip_event_byte_ratio();
 
   network.for_each([&result](Dispatcher& d) {
-    if (auto* proto = dynamic_cast<GossipProtocolBase*>(d.recovery())) {
-      const auto& s = proto->stats();
-      result.gossip_totals.rounds += s.rounds;
-      result.gossip_totals.rounds_skipped += s.rounds_skipped;
-      result.gossip_totals.digests_originated += s.digests_originated;
-      result.gossip_totals.digests_forwarded += s.digests_forwarded;
-      result.gossip_totals.requests_sent += s.requests_sent;
-      result.gossip_totals.replies_sent += s.replies_sent;
-      result.gossip_totals.events_served += s.events_served;
-      result.gossip_totals.events_recovered += s.events_recovered;
-      result.gossip_totals.reply_duplicates += s.reply_duplicates;
+    if (const GossipStats* s = d.recovery()->gossip_stats()) {
+      result.gossip_totals += *s;
     }
     if (d.recovery()) d.recovery()->stop();
   });

@@ -28,7 +28,7 @@ class GossipHarness {
         transport_(sim_, topo_, lossless()),
         stats_(nodes),
         net_(sim_, transport_, dispatcher_config(algorithm)) {
-    transport_.set_observer(&stats_);
+    transport_.add_observer(stats_);
     net_.for_each([&](Dispatcher& d) {
       d.set_recovery(make_recovery(algorithm, d, gossip));
     });

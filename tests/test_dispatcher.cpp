@@ -35,7 +35,7 @@ class DispatcherHarness : public ::testing::Test {
         topo_(Topology::line(kNodes)),
         transport_(sim_, topo_, lossless()),
         net_(sim_, transport_, DispatcherConfig{}) {
-    transport_.set_observer(&stats_);
+    transport_.add_observer(stats_);
   }
 
   static TransportConfig lossless() {

@@ -19,7 +19,7 @@ struct MixedRig {
         topo(Topology::line(static_cast<std::uint32_t>(algorithms.size()))),
         transport(sim, topo, lossless()),
         net(sim, transport, dispatcher_config()) {
-    transport.set_observer(&stats);
+    transport.add_observer(stats);
     for (std::uint32_t i = 0; i < algorithms.size(); ++i) {
       auto& d = net.node(NodeId{i});
       d.set_recovery(make_recovery(algorithms[i], d, gossip_config()));

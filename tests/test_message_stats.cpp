@@ -3,17 +3,22 @@
 
 #include <gtest/gtest.h>
 
+#include "epicast/gossip/messages.hpp"
+#include "epicast/pubsub/messages.hpp"
+
 namespace epicast {
 namespace {
 
 class FakeMessage final : public Message {
  public:
-  explicit FakeMessage(MessageClass cls) : cls_(cls) {}
+  explicit FakeMessage(MessageClass cls, std::size_t bytes = 1)
+      : cls_(cls), bytes_(bytes) {}
   MessageClass message_class() const override { return cls_; }
-  std::size_t size_bytes() const override { return 1; }
+  std::size_t size_bytes() const override { return bytes_; }
 
  private:
   MessageClass cls_;
+  std::size_t bytes_;
 };
 
 TEST(MessageStats, CountsSendsPerClassAndChannel) {
@@ -72,6 +77,43 @@ TEST(MessageStats, RatioWithNoEventsIsZero) {
   stats.on_send(NodeId{0}, NodeId{1},
                 FakeMessage{MessageClass::GossipDigest}, true);
   EXPECT_DOUBLE_EQ(stats.snapshot().gossip_event_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.snapshot().gossip_event_byte_ratio(), 0.0);
+}
+
+TEST(MessageStats, NominalModeChargesNominalBytes) {
+  MessageStats stats(2, SizingMode::Nominal);
+  stats.on_send(NodeId{0}, NodeId{1},
+                FakeMessage{MessageClass::Event, /*bytes=*/200}, true);
+  stats.on_send(NodeId{0}, NodeId{1},
+                FakeMessage{MessageClass::GossipDigest, /*bytes=*/100}, true);
+  stats.on_send(NodeId{0}, NodeId{1},
+                FakeMessage{MessageClass::GossipReply, /*bytes=*/50}, false);
+  const auto snap = stats.snapshot();
+  EXPECT_EQ(snap.event_bytes(), 200u);
+  EXPECT_EQ(snap.gossip_bytes(), 150u);
+  EXPECT_DOUBLE_EQ(snap.gossip_event_byte_ratio(), 150.0 / 200.0);
+}
+
+TEST(MessageStats, WireModeChargesCodecFrameBytes) {
+  MessageStats stats(2, SizingMode::Wire);
+  const SubscribeMessage msg(Pattern{7}, true);
+  stats.on_send(NodeId{0}, NodeId{1}, msg, true);
+  const auto snap = stats.snapshot();
+  EXPECT_EQ(snap.bytes_of(MessageClass::Control), msg.wire_size_bytes());
+  // The wire frame of a subscription is far smaller than its 64-byte
+  // nominal stand-in.
+  EXPECT_LT(snap.bytes_of(MessageClass::Control), SubscribeMessage::kWireBytes);
+}
+
+TEST(MessageStats, SnapshotDifferenceIsolatesBytes) {
+  MessageStats stats(2, SizingMode::Nominal);
+  stats.on_send(NodeId{0}, NodeId{1},
+                FakeMessage{MessageClass::Event, 10}, true);
+  const auto before = stats.snapshot();
+  stats.on_send(NodeId{0}, NodeId{1},
+                FakeMessage{MessageClass::Event, 30}, true);
+  const auto window = stats.snapshot() - before;
+  EXPECT_EQ(window.event_bytes(), 30u);
 }
 
 TEST(MessageClassNames, AreStable) {

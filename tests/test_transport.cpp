@@ -50,7 +50,7 @@ class TransportTest : public ::testing::Test {
     for (std::uint32_t i = 0; i < 3; ++i) {
       transport_.attach(NodeId{i}, sinks_[i]);
     }
-    transport_.set_observer(&stats_);
+    transport_.add_observer(stats_);
   }
 
   static TransportConfig config() {
