@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "epicast/epicast.hpp"
+#include "scenario_builders.hpp"
 
 namespace epicast::bench {
 
@@ -100,14 +101,17 @@ inline const std::vector<Algorithm>& all_algorithms() {
   return algos;
 }
 
-/// Paper defaults (Fig. 2) with a bench-appropriate measurement window.
+/// The figure's full measurement window, shrunk under fast mode. Pass the
+/// result as the measure_seconds of a figures:: builder.
+inline double measure_s(double measure_seconds) {
+  return fast_mode() ? std::min(1.5, measure_seconds) : measure_seconds;
+}
+
+/// Paper defaults (Fig. 2) with a bench-appropriate measurement window:
+/// figures::base plus fast-mode window shrinking.
 inline ScenarioConfig base_config(Algorithm algorithm,
                                   double measure_seconds) {
-  ScenarioConfig cfg = ScenarioConfig::paper_defaults(algorithm);
-  cfg.measure = Duration::seconds(fast_mode() ? std::min(1.5, measure_seconds)
-                                              : measure_seconds);
-  cfg.seed = 20040301;  // ICDCS 2004 — any fixed seed works
-  return cfg;
+  return figures::base(algorithm, measure_s(measure_seconds));
 }
 
 inline std::string algo_label(Algorithm a) { return to_string(a); }

@@ -21,20 +21,9 @@ int main(int argc, char** argv) {
     std::vector<LabeledConfig> configs;
     for (double eps : epsilons) {
       for (Algorithm a : algos) {
-        ScenarioConfig cfg = base_config(a, 3.0);
-        cfg.publish_rate_hz = rate;
-        cfg.link_error_rate = eps;
-        if (rate <= 5.0) {
-          // See bench_fig8: low load stretches sequence-gap detection, so
-          // the horizon must cover a couple of inter-event gaps.
-          cfg.recovery_horizon = Duration::seconds(20.0);
-          cfg.gossip.lost_entry_ttl = Duration::seconds(20.0);
-          // ...and the per-(source,pattern) streams must be initialized
-          // before measuring: a loss before the first-ever received event
-          // on a stream is undetectable (§III-B), and at 5 publish/s first
-          // contact takes ~9 s per stream.
-          cfg.warmup = Duration::seconds(20.0);
-        }
+        // Low-load timing adjustments live in figures::apply_low_load_timing
+        // (inside fig10); see that header for the rationale.
+        const ScenarioConfig cfg = figures::fig10(a, rate, eps, measure_s(3.0));
         configs.push_back({"rate=" + std::to_string(int(rate)) +
                                " eps=" + std::to_string(eps) + " " +
                                algo_label(a),

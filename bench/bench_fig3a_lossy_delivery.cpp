@@ -15,9 +15,7 @@ int main(int argc, char** argv) {
   for (const double eps : {0.05, 0.1}) {
     std::vector<LabeledConfig> configs;
     for (Algorithm a : all_algorithms()) {
-      ScenarioConfig cfg = base_config(a, 4.0);
-      cfg.link_error_rate = eps;
-      cfg.bucket_width = Duration::millis(200);
+      const ScenarioConfig cfg = figures::fig3a(a, eps, measure_s(4.0));
       configs.push_back({std::string("eps=") + std::to_string(eps) + " " +
                              algo_label(a),
                          cfg});

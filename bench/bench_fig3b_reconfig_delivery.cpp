@@ -15,10 +15,7 @@ int main(int argc, char** argv) {
   for (const double rho_s : {0.2, 0.03}) {
     std::vector<LabeledConfig> configs;
     for (Algorithm a : all_algorithms()) {
-      ScenarioConfig cfg = base_config(a, 4.0);
-      cfg.link_error_rate = 0.0;  // losses come from churn alone
-      cfg.reconfiguration_interval = Duration::seconds(rho_s);
-      cfg.bucket_width = Duration::millis(100);
+      const ScenarioConfig cfg = figures::fig3b(a, rho_s, measure_s(4.0));
       configs.push_back({std::string("rho=") + std::to_string(rho_s) + " " +
                              algo_label(a),
                          cfg});

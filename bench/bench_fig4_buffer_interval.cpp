@@ -20,8 +20,8 @@ int main(int argc, char** argv) {
     std::vector<LabeledConfig> configs;
     for (double beta : betas) {
       for (Algorithm a : all_algorithms()) {
-        ScenarioConfig cfg = base_config(a, 3.0);
-        cfg.gossip.buffer_size = static_cast<std::size_t>(beta);
+        const ScenarioConfig cfg = figures::fig4_buffer(
+            a, static_cast<std::size_t>(beta), measure_s(3.0));
         configs.push_back({"beta=" + std::to_string(int(beta)) + " " +
                                algo_label(a),
                            cfg});
@@ -42,8 +42,7 @@ int main(int argc, char** argv) {
     std::vector<LabeledConfig> configs;
     for (double t : intervals) {
       for (Algorithm a : all_algorithms()) {
-        ScenarioConfig cfg = base_config(a, 3.0);
-        cfg.gossip.interval = Duration::seconds(t);
+        const ScenarioConfig cfg = figures::fig4_interval(a, t, measure_s(3.0));
         configs.push_back({"T=" + std::to_string(t) + " " + algo_label(a),
                            cfg});
       }

@@ -24,9 +24,8 @@ int main(int argc, char** argv) {
   std::vector<LabeledConfig> configs;
   for (double t : intervals) {
     for (double beta : betas) {
-      ScenarioConfig cfg = base_config(Algorithm::CombinedPull, 3.0);
-      cfg.gossip.interval = Duration::seconds(t);
-      cfg.gossip.buffer_size = static_cast<std::size_t>(beta);
+      const ScenarioConfig cfg = figures::fig5(
+          t, static_cast<std::size_t>(beta), measure_s(3.0));
       configs.push_back({"T=" + std::to_string(t) +
                              " beta=" + std::to_string(int(beta)),
                          cfg});

@@ -18,20 +18,10 @@ int main(int argc, char** argv) {
   std::vector<LabeledConfig> configs;
   for (double n : sizes) {
     for (Algorithm a : all_algorithms()) {
-      ScenarioConfig cfg = base_config(a, 3.0);
-      cfg.nodes = static_cast<std::uint32_t>(n);
-      // Constant ~4 s persistence: events cached per second scale with the
-      // per-dispatcher delivery rate, which is ~constant in N; publishing
-      // per node is constant, but matching traffic scales with N, so β
-      // scales linearly (the paper does the same).
-      PatternUniverse universe(cfg.pattern_universe);
-      const double cached_per_s =
-          n * cfg.publish_rate_hz *
-              universe.match_probability(cfg.patterns_per_subscriber,
-                                         cfg.patterns_per_event) +
-          cfg.publish_rate_hz;
-      cfg.gossip.buffer_size =
-          static_cast<std::size_t>(cached_per_s * 4.0);
+      // Constant ~4 s persistence: β scales linearly with the matching
+      // traffic (the paper does the same) — figures::scaled_buffer.
+      const ScenarioConfig cfg = figures::fig6(
+          a, static_cast<std::uint32_t>(n), measure_s(3.0));
       configs.push_back({"N=" + std::to_string(int(n)) + " " + algo_label(a),
                          cfg});
     }

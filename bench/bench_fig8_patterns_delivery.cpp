@@ -24,23 +24,10 @@ int main(int argc, char** argv) {
     std::vector<LabeledConfig> configs;
     for (double pi : pis) {
       for (Algorithm a : algos) {
-        ScenarioConfig cfg = base_config(a, 2.0);
-        cfg.publish_rate_hz = rate;
-        cfg.patterns_per_subscriber = static_cast<std::uint32_t>(pi);
-        cfg.gossip.buffer_size = 4000;  // the paper's fixed choice here
-        if (rate <= 5.0) {
-          // Pull detects losses from sequence gaps; at low load the next
-          // event on a (source, pattern) stream is ~5 s away, so the
-          // recovery horizon must cover several gaps (the paper's
-          // receive-time-windowed metric has no horizon at all).
-          cfg.recovery_horizon = Duration::seconds(20.0);
-          cfg.gossip.lost_entry_ttl = Duration::seconds(20.0);
-          // ...and the per-(source,pattern) streams must be initialized
-          // before measuring: a loss before the first-ever received event
-          // on a stream is undetectable (§III-B), and at 5 publish/s first
-          // contact takes ~9 s per stream.
-          cfg.warmup = Duration::seconds(20.0);
-        }
+        // Low load stretches sequence-gap detection and stream warmup —
+        // figures::apply_low_load_timing (inside fig8) handles it.
+        const ScenarioConfig cfg = figures::fig8(
+            a, rate, static_cast<std::uint32_t>(pi), measure_s(2.0));
         configs.push_back({"rate=" + std::to_string(int(rate)) +
                                " pi=" + std::to_string(int(pi)) + " " +
                                algo_label(a),

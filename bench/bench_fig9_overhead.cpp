@@ -28,8 +28,8 @@ void wire_vs_nominal() {
   for (double n : sizes) {
     for (Algorithm a : kAlgos) {
       for (SizingMode mode : {SizingMode::Nominal, SizingMode::Wire}) {
-        ScenarioConfig cfg = base_config(a, 3.0);
-        cfg.nodes = static_cast<std::uint32_t>(n);
+        ScenarioConfig cfg = figures::fig6(
+            a, static_cast<std::uint32_t>(n), measure_s(3.0));
         cfg.sizing_mode = mode;
         configs.push_back({"N=" + std::to_string(int(n)) + " " +
                                algo_label(a) + " " + to_string(mode),
@@ -94,22 +94,18 @@ int main(int argc, char** argv) {
 
   std::vector<double> sizes = {40, 80, 120, 160, 200};
   if (fast_mode()) sizes = {40, 120, 200};
+  // Fig. 9(a) measures overhead on the Fig. 6 scenario (β scaled for ~4 s
+  // persistence) — both go through figures::fig6.
   sweep("Fig. 9(a)", "N", sizes, [](ScenarioConfig& cfg, double n) {
-    cfg.nodes = static_cast<std::uint32_t>(n);
-    PatternUniverse universe(cfg.pattern_universe);
-    const double cached_per_s =
-        n * cfg.publish_rate_hz *
-            universe.match_probability(cfg.patterns_per_subscriber,
-                                       cfg.patterns_per_event) +
-        cfg.publish_rate_hz;
-    cfg.gossip.buffer_size = static_cast<std::size_t>(cached_per_s * 4.0);
+    cfg = figures::fig6(cfg.algorithm, static_cast<std::uint32_t>(n),
+                        cfg.measure.to_seconds());
   });
 
   std::vector<double> pis = {2, 6, 10, 20, 30};
   if (fast_mode()) pis = {2, 10, 30};
   sweep("Fig. 9(b)", "pi_max", pis, [](ScenarioConfig& cfg, double pi) {
-    cfg.patterns_per_subscriber = static_cast<std::uint32_t>(pi);
-    cfg.gossip.buffer_size = 4000;
+    cfg = figures::fig9b(cfg.algorithm, static_cast<std::uint32_t>(pi),
+                         cfg.measure.to_seconds());
   });
 
   wire_vs_nominal();

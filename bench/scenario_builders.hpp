@@ -1,0 +1,157 @@
+// Shared figure-scenario builders — the single source of truth for how each
+// paper figure's scenario is configured.
+//
+// Both the figure benches (bench_fig*.cpp, via bench_common.hpp) and the
+// conformance shape tests (tests/conformance/) build their configs through
+// these functions, so the shape a CI test asserts is measured on exactly
+// the scenario the corresponding bench regenerates — only scale knobs
+// (nodes, windows, seed) differ, and those are explicit parameters or
+// explicit field overrides at the call site.
+//
+// Builders are pure: no environment reads, no fast-mode shrinking — that
+// stays in bench_common.hpp / the tests.
+#pragma once
+
+#include <cstdint>
+
+#include "epicast/epicast.hpp"
+
+namespace epicast::figures {
+
+/// The seed EXPERIMENTS.md's single-seed tables use (ICDCS 2004 — any
+/// fixed seed works; the seed-replication test pins the spread).
+inline constexpr std::uint64_t kFigureSeed = 20040301;
+
+/// Paper defaults (Fig. 2) with a fixed seed and an explicit measurement
+/// window.
+inline ScenarioConfig base(Algorithm algorithm, double measure_seconds,
+                           std::uint64_t seed = kFigureSeed) {
+  ScenarioConfig cfg = ScenarioConfig::paper_defaults(algorithm);
+  cfg.measure = Duration::seconds(measure_seconds);
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// β giving ~`persistence_seconds` of event persistence at `cfg`'s N and
+/// load: events cached per second are the matching traffic (N publishers ×
+/// rate × match probability) plus the node's own publishes. Used wherever a
+/// figure scales the buffer with N (Fig. 6, Fig. 9a) so persistence stays
+/// constant — the paper does the same.
+inline std::size_t scaled_buffer(const ScenarioConfig& cfg,
+                                 double persistence_seconds) {
+  PatternUniverse universe(cfg.pattern_universe);
+  const double cached_per_s =
+      cfg.nodes * cfg.publish_rate_hz *
+          universe.match_probability(cfg.patterns_per_subscriber,
+                                     cfg.patterns_per_event) +
+      cfg.publish_rate_hz;
+  return static_cast<std::size_t>(cached_per_s * persistence_seconds);
+}
+
+/// Timing adjustments every low-publish-rate scenario needs (Fig. 8 and
+/// Fig. 10 at 5 /s): pull detects losses from sequence gaps, and at low
+/// load the next event on a (source, pattern) stream is seconds away, so
+/// the recovery horizon and lost-entry TTL must cover several gaps — and
+/// the streams must be initialized before measuring, because a loss before
+/// the first-ever received event on a stream is undetectable (§III-B).
+inline void apply_low_load_timing(ScenarioConfig& cfg) {
+  cfg.recovery_horizon = Duration::seconds(20.0);
+  cfg.gossip.lost_entry_ttl = Duration::seconds(20.0);
+  cfg.warmup = Duration::seconds(20.0);
+}
+
+/// Fig. 3(a): delivery over time on lossy links at error rate `eps`.
+inline ScenarioConfig fig3a(Algorithm a, double eps, double measure_seconds,
+                            std::uint64_t seed = kFigureSeed) {
+  ScenarioConfig cfg = base(a, measure_seconds, seed);
+  cfg.link_error_rate = eps;
+  cfg.bucket_width = Duration::millis(200);
+  return cfg;
+}
+
+/// Fig. 3(b): delivery over time under reconfiguration every `rho_seconds`,
+/// reliable links (losses come from churn alone).
+inline ScenarioConfig fig3b(Algorithm a, double rho_seconds,
+                            double measure_seconds,
+                            std::uint64_t seed = kFigureSeed) {
+  ScenarioConfig cfg = base(a, measure_seconds, seed);
+  cfg.link_error_rate = 0.0;
+  cfg.reconfiguration_interval = Duration::seconds(rho_seconds);
+  cfg.bucket_width = Duration::millis(100);
+  return cfg;
+}
+
+/// Fig. 4 (top): delivery vs buffer size β at the default ε = 0.1.
+inline ScenarioConfig fig4_buffer(Algorithm a, std::size_t beta,
+                                  double measure_seconds,
+                                  std::uint64_t seed = kFigureSeed) {
+  ScenarioConfig cfg = base(a, measure_seconds, seed);
+  cfg.gossip.buffer_size = beta;
+  return cfg;
+}
+
+/// Fig. 4 (bottom): delivery vs gossip interval T at the default ε = 0.1.
+inline ScenarioConfig fig4_interval(Algorithm a, double interval_seconds,
+                                    double measure_seconds,
+                                    std::uint64_t seed = kFigureSeed) {
+  ScenarioConfig cfg = base(a, measure_seconds, seed);
+  cfg.gossip.interval = Duration::seconds(interval_seconds);
+  return cfg;
+}
+
+/// Fig. 5: β/T interplay for combined pull.
+inline ScenarioConfig fig5(double interval_seconds, std::size_t beta,
+                           double measure_seconds,
+                           std::uint64_t seed = kFigureSeed) {
+  ScenarioConfig cfg = base(Algorithm::CombinedPull, measure_seconds, seed);
+  cfg.gossip.interval = Duration::seconds(interval_seconds);
+  cfg.gossip.buffer_size = beta;
+  return cfg;
+}
+
+/// Fig. 6: delivery vs system size N, buffer scaled for ~4 s persistence.
+/// Fig. 9(a) measures overhead on this same scenario.
+inline ScenarioConfig fig6(Algorithm a, std::uint32_t nodes,
+                           double measure_seconds,
+                           std::uint64_t seed = kFigureSeed) {
+  ScenarioConfig cfg = base(a, measure_seconds, seed);
+  cfg.nodes = nodes;
+  cfg.gossip.buffer_size = scaled_buffer(cfg, 4.0);
+  return cfg;
+}
+
+/// Fig. 8: delivery vs πmax under `rate_hz` publish load, β = 4000 (the
+/// paper's fixed choice here).
+inline ScenarioConfig fig8(Algorithm a, double rate_hz, std::uint32_t pi,
+                           double measure_seconds,
+                           std::uint64_t seed = kFigureSeed) {
+  ScenarioConfig cfg = base(a, measure_seconds, seed);
+  cfg.publish_rate_hz = rate_hz;
+  cfg.patterns_per_subscriber = pi;
+  cfg.gossip.buffer_size = 4000;
+  if (rate_hz <= 5.0) apply_low_load_timing(cfg);
+  return cfg;
+}
+
+/// Fig. 9(b): overhead vs πmax at the default load, β = 4000.
+inline ScenarioConfig fig9b(Algorithm a, std::uint32_t pi,
+                            double measure_seconds,
+                            std::uint64_t seed = kFigureSeed) {
+  ScenarioConfig cfg = base(a, measure_seconds, seed);
+  cfg.patterns_per_subscriber = pi;
+  cfg.gossip.buffer_size = 4000;
+  return cfg;
+}
+
+/// Fig. 10: overhead vs link error rate ε under `rate_hz` publish load.
+inline ScenarioConfig fig10(Algorithm a, double rate_hz, double eps,
+                            double measure_seconds,
+                            std::uint64_t seed = kFigureSeed) {
+  ScenarioConfig cfg = base(a, measure_seconds, seed);
+  cfg.publish_rate_hz = rate_hz;
+  cfg.link_error_rate = eps;
+  if (rate_hz <= 5.0) apply_low_load_timing(cfg);
+  return cfg;
+}
+
+}  // namespace epicast::figures

@@ -31,6 +31,8 @@
 #include "epicast/metrics/message_stats.hpp"
 #include "epicast/metrics/time_series.hpp"
 #include "epicast/net/link_model.hpp"
+#include "epicast/oracle/checks.hpp"
+#include "epicast/oracle/oracle.hpp"
 #include "epicast/net/message.hpp"
 #include "epicast/net/reconfigurator.hpp"
 #include "epicast/net/topology.hpp"

@@ -50,6 +50,9 @@ class GossipProtocolBase : public RecoveryProtocol {
   [[nodiscard]] const GossipStats* gossip_stats() const override {
     return &stats_;
   }
+  [[nodiscard]] const EventCache* event_cache() const override {
+    return &cache_;
+  }
 
  protected:
   /// One gossip round. Return true if the round did useful work (drives the

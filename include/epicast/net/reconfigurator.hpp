@@ -39,7 +39,9 @@ class Reconfigurator {
   struct Repair {
     Link removed;
     std::optional<Link> added;  ///< nullopt if the components had already
-                                ///< been reconnected by a concurrent repair
+                                ///< been reconnected by a concurrent repair,
+                                ///< or if no node had degree headroom
+                                ///< (see exhausted_repairs())
   };
 
   /// Called when a link breaks.
@@ -75,6 +77,13 @@ class Reconfigurator {
   [[nodiscard]] std::uint64_t skipped_repairs() const {
     return skipped_repairs_;
   }
+  /// Repairs abandoned because a separated component had no node with
+  /// degree headroom left (possible with a degree cap of 1 or links added
+  /// outside the reconfigurator); the partition persists until a later
+  /// repair can reconnect it.
+  [[nodiscard]] std::uint64_t exhausted_repairs() const {
+    return exhausted_repairs_;
+  }
   /// Links currently down (broken, repair pending).
   [[nodiscard]] std::uint32_t pending_repairs() const { return pending_; }
 
@@ -94,6 +103,7 @@ class Reconfigurator {
   std::uint64_t breaks_ = 0;
   std::uint64_t repairs_ = 0;
   std::uint64_t skipped_repairs_ = 0;
+  std::uint64_t exhausted_repairs_ = 0;
   std::uint32_t pending_ = 0;
 };
 

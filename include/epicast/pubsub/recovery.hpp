@@ -18,6 +18,7 @@
 namespace epicast {
 
 struct GossipStats;
+class EventCache;
 
 class RecoveryProtocol {
  public:
@@ -56,6 +57,13 @@ class RecoveryProtocol {
   /// keep none (e.g. the no-recovery baseline). Lets aggregation code sum
   /// stats without downcasting to a concrete protocol type.
   [[nodiscard]] virtual const GossipStats* gossip_stats() const {
+    return nullptr;
+  }
+
+  /// The retransmission buffer (β) of this protocol, or nullptr for
+  /// protocols that keep none. Read-only introspection for the metrics and
+  /// conformance-oracle layers (buffer-bound and digest-coverage checks).
+  [[nodiscard]] virtual const EventCache* event_cache() const {
     return nullptr;
   }
 };

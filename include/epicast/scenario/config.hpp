@@ -60,6 +60,17 @@ struct ScenarioConfig {
   /// frame size of each message. Defaults from EPICAST_SIZING.
   SizingMode sizing_mode = default_sizing_mode();
 
+  /// Wire the runtime conformance oracles (epicast/oracle) into the run:
+  /// pure observers checking delivery/buffer/digest/wire safety properties
+  /// live, aborting on the first violation. Defaults on; EPICAST_ORACLES=0
+  /// (or a library built with -DEPICAST_ORACLES=OFF) turns them off for
+  /// overhead-sensitive benchmarking.
+  bool oracles = oracle_default_enabled();
+
+  /// oracle::oracles_enabled_by_default(), re-declared here so this header
+  /// stays independent of the oracle module.
+  [[nodiscard]] static bool oracle_default_enabled();
+
   // -- link details -------------------------------------------------------------
   double link_bandwidth_bps = 10e6;         ///< 10 Mbit/s Ethernet (§IV-A)
   Duration link_propagation = Duration::micros(50);

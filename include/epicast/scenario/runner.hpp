@@ -58,6 +58,9 @@ struct ScenarioResult {
 
   // -- bookkeeping ----------------------------------------------------------------
   std::uint64_t sim_events_executed = 0;
+  /// Conformance checks performed by the oracle suite (0 when oracles are
+  /// disabled). Tests assert this is non-zero to prove oracles were active.
+  std::uint64_t oracle_checks = 0;
   double wall_seconds = 0.0;
 };
 

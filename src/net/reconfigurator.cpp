@@ -69,14 +69,22 @@ void Reconfigurator::repair(Link removed) {
   } else {
     const auto left = pick_attachable(removed.a);
     const auto right = pick_attachable(removed.b);
-    // Tree components always contain a node below the degree cap (any leaf),
-    // so both picks must succeed.
-    EPICAST_ASSERT_MSG(left && right, "no attachable node in a component");
-    topology_.add_link(*left, *right);
-    result.added = Link{*left, *right};
-    EPICAST_DEBUG("reconfig: repaired with link "
-                  << left->value() << "-" << right->value() << " at "
-                  << to_string(sim_.now()));
+    if (left && right) {
+      topology_.add_link(*left, *right);
+      result.added = Link{*left, *right};
+      EPICAST_DEBUG("reconfig: repaired with link "
+                    << left->value() << "-" << right->value() << " at "
+                    << to_string(sim_.now()));
+    } else {
+      // Every node of a component sits at the degree cap. Tree churn alone
+      // never produces this for caps >= 2 (a tree component always has a
+      // leaf), but externally grown topologies or a cap of 1 can; leave
+      // the partition to a later repair instead of failing the run.
+      ++exhausted_repairs_;
+      EPICAST_WARN("reconfig: cannot rejoin "
+                   << removed.a.value() << "|" << removed.b.value()
+                   << " — a component has no node below the degree cap");
+    }
   }
   if (on_repair_) on_repair_(result);
 }

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "epicast/common/assert.hpp"
+#include "epicast/oracle/oracle.hpp"
 
 namespace epicast {
 
@@ -74,6 +75,10 @@ std::string ScenarioConfig::describe() const {
      << '\n'
      << "seed                             " << seed << '\n';
   return os.str();
+}
+
+bool ScenarioConfig::oracle_default_enabled() {
+  return oracle::oracles_enabled_by_default();
 }
 
 }  // namespace epicast

@@ -7,6 +7,7 @@
 #include "epicast/common/assert.hpp"
 #include "epicast/metrics/delivery_tracker.hpp"
 #include "epicast/net/reconfigurator.hpp"
+#include "epicast/oracle/checks.hpp"
 #include "epicast/net/topology.hpp"
 #include "epicast/net/transport.hpp"
 #include "epicast/pubsub/network.hpp"
@@ -83,6 +84,20 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   dc.record_routes = algorithm_needs_routes(cfg.algorithm);
   PubSubNetwork network(sim, transport, dc);
 
+  // Conformance oracles: pure observers (no sim events, no RNG draws), so
+  // enabling them leaves the run bit-identical. EPICAST_ORACLES=OFF builds
+  // compile the wiring out entirely for overhead-sensitive benchmarks.
+  std::unique_ptr<oracle::OracleSuite> oracles;
+#ifndef EPICAST_NO_ORACLES
+  if (cfg.oracles) {
+    oracles = std::make_unique<oracle::OracleSuite>(
+        oracle::OracleContext{&sim, &network, cfg.sizing_mode},
+        oracle::FailMode::Abort);
+    oracle::add_default_oracles(*oracles);
+    transport.add_observer(*oracles);
+  }
+#endif
+
   Workload workload(sim, network, cfg);
 
   // Phase 1: subscription forwarding settles over the reliable control
@@ -101,12 +116,15 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   DeliveryTracker tracker(cfg.bucket_width, cfg.recovery_horizon);
   tracker.set_measure_window(cfg.window_start(), cfg.window_end());
   network.set_delivery_listener(
-      [&tracker, &sim](NodeId node, const EventPtr& event, bool recovered) {
+      [&tracker, &sim, o = oracles.get()](NodeId node, const EventPtr& event,
+                                          bool recovered) {
+        if (o != nullptr) o->notify_delivery(node, event, recovered);
         tracker.on_delivery(node, event->id(), sim.now(), recovered);
       });
 
   ExpectedReceiverCounter expected(workload, cfg.nodes, cfg.pattern_universe);
   workload.set_publish_listener([&](const EventPtr& event) {
+    if (oracles != nullptr) oracles->notify_publish(event);
     tracker.on_publish(event->id(), sim.now(), expected.count(*event));
   });
 
@@ -184,6 +202,10 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     result.reconfig_repairs = churn->repairs();
   }
   result.drops_no_link = stats.snapshot().drops_no_link;
+  if (oracles != nullptr) {
+    oracles->notify_scenario_end();
+    result.oracle_checks = oracles->checks();
+  }
   result.sim_events_executed = sim.scheduler().executed();
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -1,0 +1,193 @@
+// Conformance shape-spec mini-framework.
+//
+// A figure's reproduction target is a *shape* — who wins, what rises, what
+// plateaus, what a ratio stays below — not a point value. Each test in this
+// tier declares a small spec struct naming its scenario scale and
+// tolerances, builds the figure's scenarios through the same
+// figures:: builders the benches use (bench/scenario_builders.hpp), and
+// asserts the shapes EXPERIMENTS.md records via the predicates below.
+//
+// Every predicate returns a testing::AssertionResult that renders the
+// offending curves, so a failing shape reads like the figure it pins.
+// Tolerances always come in as parameters from the calling spec — none are
+// hard-coded here.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "epicast/epicast.hpp"
+#include "scenario_builders.hpp"
+
+namespace epicast::conformance {
+
+/// A named series over a swept x: one curve of a figure.
+struct Curve {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+inline std::string render(const Curve& c) {
+  std::ostringstream os;
+  os << c.name << " = [";
+  for (std::size_t i = 0; i < c.ys.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << "(" << c.xs[i] << ": " << c.ys[i] << ")";
+  }
+  os << "]";
+  return os.str();
+}
+
+/// `hi` stays at least `margin` above `lo` at every shared x (orderings:
+/// "combined > subscriber-pull > no-recovery").
+inline ::testing::AssertionResult ordered_above(const Curve& hi,
+                                                const Curve& lo,
+                                                double margin) {
+  for (std::size_t i = 0; i < hi.ys.size() && i < lo.ys.size(); ++i) {
+    if (hi.ys[i] < lo.ys[i] + margin) {
+      return ::testing::AssertionFailure()
+             << hi.name << " is not above " << lo.name << " by " << margin
+             << " at x=" << hi.xs[i] << ": " << render(hi) << " vs "
+             << render(lo);
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// |a − b| ≤ tol at every shared x ("combined ≈ push").
+inline ::testing::AssertionResult within(const Curve& a, const Curve& b,
+                                         double tol) {
+  for (std::size_t i = 0; i < a.ys.size() && i < b.ys.size(); ++i) {
+    if (std::abs(a.ys[i] - b.ys[i]) > tol) {
+      return ::testing::AssertionFailure()
+             << a.name << " and " << b.name << " differ by more than " << tol
+             << " at x=" << a.xs[i] << ": " << render(a) << " vs "
+             << render(b);
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Monotone in `direction` (+1 rising, −1 falling) within `slack`: each
+/// step may move against the trend by at most `slack` (seed noise), and the
+/// last point must actually sit past the first in the trend direction.
+inline ::testing::AssertionResult monotone(const Curve& c, int direction,
+                                           double slack) {
+  for (std::size_t i = 1; i < c.ys.size(); ++i) {
+    const double step = (c.ys[i] - c.ys[i - 1]) * direction;
+    if (step < -slack) {
+      return ::testing::AssertionFailure()
+             << c.name << " is not "
+             << (direction > 0 ? "rising" : "falling") << " (slack " << slack
+             << ") at step x=" << c.xs[i] << ": " << render(c);
+    }
+  }
+  if (!c.ys.empty() &&
+      (c.ys.back() - c.ys.front()) * direction <= 0.0) {
+    return ::testing::AssertionFailure()
+           << c.name << " shows no net "
+           << (direction > 0 ? "rise" : "fall") << " end to end: "
+           << render(c);
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// max − min ≤ band (absolute plateau: "subscriber pull is flat in β").
+inline ::testing::AssertionResult plateau(const Curve& c, double band) {
+  double lo = c.ys.front(), hi = c.ys.front();
+  for (double y : c.ys) {
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+  }
+  if (hi - lo > band) {
+    return ::testing::AssertionFailure()
+           << c.name << " spreads " << (hi - lo) << " > band " << band << ": "
+           << render(c);
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// max ≤ factor × min (relative plateau, for count-valued curves whose
+/// absolute level depends on scale: "push overhead is ~flat in ε").
+inline ::testing::AssertionResult flat_within_factor(const Curve& c,
+                                                     double factor) {
+  double lo = c.ys.front(), hi = c.ys.front();
+  for (double y : c.ys) {
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+  }
+  if (lo <= 0.0 || hi > factor * lo) {
+    return ::testing::AssertionFailure()
+           << c.name << " varies by more than " << factor << "x: " << render(c);
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// The hi−lo gap at the last x exceeds the gap at the first x by at least
+/// `by` ("the recovery gap over the baseline widens with N").
+inline ::testing::AssertionResult gap_widens(const Curve& hi, const Curve& lo,
+                                             double by) {
+  const double first = hi.ys.front() - lo.ys.front();
+  const double last = hi.ys.back() - lo.ys.back();
+  if (last < first + by) {
+    return ::testing::AssertionFailure()
+           << "gap " << hi.name << " - " << lo.name << " does not widen by "
+           << by << " (first " << first << ", last " << last << "): "
+           << render(hi) << " vs " << render(lo);
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// value ≤ bound × reference (overhead-ratio claims: "pull costs below
+/// half of push at low load").
+inline ::testing::AssertionResult ratio_below(double value, double reference,
+                                              double bound) {
+  if (reference <= 0.0 || value > bound * reference) {
+    return ::testing::AssertionFailure()
+           << "ratio " << value << " / " << reference << " = "
+           << (reference > 0.0 ? value / reference : 0.0)
+           << " is not below " << bound;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Ties a predicate result to the figure and EXPERIMENTS.md claim it
+/// enforces, so a failure names the regressed figure directly.
+#define EXPECT_SHAPE(figure, claim, result) \
+  EXPECT_TRUE(result) << "\n" << (figure) << " — " << (claim)
+
+/// Reduced-scale knobs for shape runs: small N and short windows keep one
+/// scenario around a second of wall time while preserving the figure's
+/// qualitative shape. N sweeps (Fig. 6 / 9a) pass nodes through the
+/// builder instead, because β scales with N there.
+struct ShapeScale {
+  std::uint32_t nodes = 32;
+  double warmup_seconds = 1.0;
+};
+
+inline ScenarioConfig at_scale(ScenarioConfig cfg, const ShapeScale& s = {}) {
+  cfg.nodes = s.nodes;
+  cfg.warmup = Duration::seconds(s.warmup_seconds);
+  return cfg;
+}
+
+/// Runs configs on the parallel sweep runner without progress chatter.
+inline std::vector<LabeledResult> run_shapes(
+    std::vector<LabeledConfig> configs) {
+  return run_sweep(std::move(configs), /*max_parallel=*/0, /*verbose=*/false);
+}
+
+/// Prints the measured points (calibration aid: failing tolerances are
+/// retuned from this output, not guessed).
+inline void log_curves(const std::vector<Curve>& curves) {
+  for (const Curve& c : curves) {
+    std::printf("  %s\n", render(c).c_str());
+  }
+}
+
+}  // namespace epicast::conformance

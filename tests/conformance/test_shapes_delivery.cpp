@@ -1,0 +1,216 @@
+// Conformance tier — delivery-shape regressions for Fig. 3(a), Fig. 4, and
+// Fig. 6, at reduced scale (N≈25–40, short windows, fixed seeds).
+//
+// Each spec struct states the scenario scale and every tolerance used by
+// its assertions; the claims are the ones EXPERIMENTS.md records (see its
+// "Enforced by tests/conformance" annotations). Scenarios are built by the
+// same figures:: builders the benches use, so a shape asserted here is
+// measured on the bench's scenario at a smaller scale.
+#include "shape_spec.hpp"
+
+namespace {
+
+using namespace epicast;
+using namespace epicast::conformance;
+
+/// Every conformance scenario must have run with live oracles — this is
+/// the "all six oracles active in every ctest scenario run" guarantee.
+void expect_oracles_ran(const std::vector<LabeledResult>& results) {
+  for (const auto& r : results) {
+    EXPECT_GT(r.result.oracle_checks, 0u)
+        << "oracles were not active in scenario " << r.label;
+  }
+}
+
+// -- Fig. 3(a): delivery on lossy links ---------------------------------------
+
+struct Fig3aSpec {
+  std::vector<double> epsilons{0.05, 0.10};
+  double measure_seconds = 2.0;
+  ShapeScale scale;
+  /// combined pull ≈ push: their gap never exceeds this.
+  double near_equal = 0.10;
+  /// strict-ordering margin: the higher curve clears the lower by this.
+  double order_margin = 0.02;
+  /// ε-monotonicity: per-step counter-movement allowed (seed noise).
+  double fall_slack = 0.01;
+};
+
+TEST(Fig3a, OrderingsAndErrorMonotonicity) {
+  const Fig3aSpec spec;
+  const std::vector<Algorithm> algos = {
+      Algorithm::NoRecovery, Algorithm::SubscriberPull,
+      Algorithm::CombinedPull, Algorithm::Push};
+
+  std::vector<LabeledConfig> configs;
+  for (double eps : spec.epsilons) {
+    for (Algorithm a : algos) {
+      configs.push_back(
+          {std::string(to_string(a)) + " eps=" + std::to_string(eps),
+           at_scale(figures::fig3a(a, eps, spec.measure_seconds),
+                    spec.scale)});
+    }
+  }
+  const auto results = run_shapes(std::move(configs));
+  expect_oracles_ran(results);
+
+  std::vector<Curve> curves;
+  for (std::size_t s = 0; s < algos.size(); ++s) {
+    Curve c{to_string(algos[s]), {}, {}};
+    for (std::size_t e = 0; e < spec.epsilons.size(); ++e) {
+      c.xs.push_back(spec.epsilons[e]);
+      c.ys.push_back(results[e * algos.size() + s].result.delivery_rate);
+    }
+    curves.push_back(std::move(c));
+  }
+  log_curves(curves);
+  const Curve& norec = curves[0];
+  const Curve& subscriber = curves[1];
+  const Curve& combined = curves[2];
+  const Curve& push = curves[3];
+
+  EXPECT_SHAPE("Fig. 3(a)", "combined pull ~= push at every eps",
+               within(combined, push, spec.near_equal));
+  EXPECT_SHAPE("Fig. 3(a)", "push above subscriber-based pull",
+               ordered_above(push, subscriber, spec.order_margin));
+  EXPECT_SHAPE("Fig. 3(a)", "combined pull above subscriber-based pull",
+               ordered_above(combined, subscriber, spec.order_margin));
+  EXPECT_SHAPE("Fig. 3(a)", "subscriber-based pull above no-recovery",
+               ordered_above(subscriber, norec, spec.order_margin));
+  EXPECT_SHAPE("Fig. 3(a)", "no-recovery delivery falls with eps",
+               monotone(norec, -1, spec.fall_slack));
+  EXPECT_SHAPE("Fig. 3(a)", "push delivery falls with eps",
+               monotone(push, -1, spec.fall_slack));
+  EXPECT_SHAPE("Fig. 3(a)", "combined-pull delivery falls with eps",
+               monotone(combined, -1, spec.fall_slack));
+}
+
+// -- Fig. 4: buffer size and gossip interval ----------------------------------
+
+struct Fig4Spec {
+  std::vector<double> betas{250, 1000, 4000};
+  std::vector<double> intervals{0.010, 0.055};
+  double measure_seconds = 2.0;
+  ShapeScale scale;
+  /// β-monotonicity: per-step counter-movement allowed for push's rise.
+  double rise_slack = 0.015;
+  /// subscriber pull is resource-insensitive: its spread over β stays in
+  /// this band.
+  double subscriber_band = 0.06;
+  /// T-sensitivity: push must lose at least this much delivery from the
+  /// shortest to the longest interval…
+  double interval_drop_min = 0.03;
+  /// …and lose at least as much as combined pull does (steepest in T),
+  /// with this much tolerance.
+  double steepness_tol = 0.02;
+};
+
+TEST(Fig4, BufferAndIntervalMonotonicity) {
+  const Fig4Spec spec;
+
+  std::vector<LabeledConfig> configs;
+  for (double beta : spec.betas) {
+    for (Algorithm a : {Algorithm::Push, Algorithm::SubscriberPull}) {
+      configs.push_back(
+          {std::string(to_string(a)) + " beta=" + std::to_string(int(beta)),
+           at_scale(figures::fig4_buffer(a, static_cast<std::size_t>(beta),
+                                         spec.measure_seconds),
+                    spec.scale)});
+    }
+  }
+  for (double t : spec.intervals) {
+    for (Algorithm a : {Algorithm::Push, Algorithm::CombinedPull}) {
+      configs.push_back(
+          {std::string(to_string(a)) + " T=" + std::to_string(t),
+           at_scale(figures::fig4_interval(a, t, spec.measure_seconds),
+                    spec.scale)});
+    }
+  }
+  const auto results = run_shapes(std::move(configs));
+  expect_oracles_ran(results);
+
+  Curve push_beta{"push(beta)", {}, {}};
+  Curve subscriber_beta{"subscriber-pull(beta)", {}, {}};
+  for (std::size_t b = 0; b < spec.betas.size(); ++b) {
+    push_beta.xs.push_back(spec.betas[b]);
+    push_beta.ys.push_back(results[b * 2].result.delivery_rate);
+    subscriber_beta.xs.push_back(spec.betas[b]);
+    subscriber_beta.ys.push_back(results[b * 2 + 1].result.delivery_rate);
+  }
+  const std::size_t off = spec.betas.size() * 2;
+  Curve push_t{"push(T)", {}, {}};
+  Curve combined_t{"combined-pull(T)", {}, {}};
+  for (std::size_t i = 0; i < spec.intervals.size(); ++i) {
+    push_t.xs.push_back(spec.intervals[i]);
+    push_t.ys.push_back(results[off + i * 2].result.delivery_rate);
+    combined_t.xs.push_back(spec.intervals[i]);
+    combined_t.ys.push_back(results[off + i * 2 + 1].result.delivery_rate);
+  }
+  log_curves({push_beta, subscriber_beta, push_t, combined_t});
+
+  EXPECT_SHAPE("Fig. 4 (top)", "push delivery rises with beta",
+               monotone(push_beta, +1, spec.rise_slack));
+  EXPECT_SHAPE("Fig. 4 (top)",
+               "subscriber-based pull plateaus regardless of beta",
+               plateau(subscriber_beta, spec.subscriber_band));
+  EXPECT_SHAPE("Fig. 4 (bottom)", "push delivery falls as T grows",
+               monotone(push_t, -1, 0.0));
+  const double push_drop = push_t.ys.front() - push_t.ys.back();
+  const double combined_drop = combined_t.ys.front() - combined_t.ys.back();
+  EXPECT_GE(push_drop, spec.interval_drop_min)
+      << "Fig. 4 (bottom) — push must be clearly T-sensitive; "
+      << render(push_t);
+  EXPECT_GE(push_drop, combined_drop - spec.steepness_tol)
+      << "Fig. 4 (bottom) — push is the steepest in T; " << render(push_t)
+      << " vs " << render(combined_t);
+}
+
+// -- Fig. 6: scalability in N -------------------------------------------------
+
+struct Fig6Spec {
+  std::vector<std::uint32_t> sizes{20, 60};
+  double measure_seconds = 2.0;
+  double warmup_seconds = 1.0;
+  /// combined pull clears the no-recovery baseline by this at every N.
+  double order_margin = 0.05;
+  /// the recovery gap over the baseline grows with N by at least this.
+  double widen_min = 0.01;
+  /// epidemic scalability: combined pull stays within this band across N.
+  double combined_band = 0.08;
+};
+
+TEST(Fig6, ScalabilityTrend) {
+  const Fig6Spec spec;
+
+  std::vector<LabeledConfig> configs;
+  for (std::uint32_t n : spec.sizes) {
+    for (Algorithm a : {Algorithm::NoRecovery, Algorithm::CombinedPull}) {
+      // N goes through the builder: β scales with N for ~4 s persistence.
+      ScenarioConfig cfg = figures::fig6(a, n, spec.measure_seconds);
+      cfg.warmup = Duration::seconds(spec.warmup_seconds);
+      configs.push_back(
+          {std::string(to_string(a)) + " N=" + std::to_string(n), cfg});
+    }
+  }
+  const auto results = run_shapes(std::move(configs));
+  expect_oracles_ran(results);
+
+  Curve norec{"no-recovery(N)", {}, {}};
+  Curve combined{"combined-pull(N)", {}, {}};
+  for (std::size_t i = 0; i < spec.sizes.size(); ++i) {
+    norec.xs.push_back(spec.sizes[i]);
+    norec.ys.push_back(results[i * 2].result.delivery_rate);
+    combined.xs.push_back(spec.sizes[i]);
+    combined.ys.push_back(results[i * 2 + 1].result.delivery_rate);
+  }
+  log_curves({norec, combined});
+
+  EXPECT_SHAPE("Fig. 6", "combined pull above the baseline at every N",
+               ordered_above(combined, norec, spec.order_margin));
+  EXPECT_SHAPE("Fig. 6", "the recovery gap over the baseline widens with N",
+               gap_widens(combined, norec, spec.widen_min));
+  EXPECT_SHAPE("Fig. 6", "combined pull is roughly flat in N",
+               plateau(combined, spec.combined_band));
+}
+
+}  // namespace

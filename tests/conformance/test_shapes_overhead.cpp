@@ -1,0 +1,193 @@
+// Conformance tier — overhead-shape regressions for Fig. 9 and Fig. 10,
+// at reduced scale. The asserted quantities are the paper's §IV-E metrics:
+// gossip messages per dispatcher (absolute) and the gossip/event traffic
+// ratio. See EXPERIMENTS.md ("Enforced by tests/conformance").
+#include "shape_spec.hpp"
+
+namespace {
+
+using namespace epicast;
+using namespace epicast::conformance;
+
+void expect_oracles_ran(const std::vector<LabeledResult>& results) {
+  for (const auto& r : results) {
+    EXPECT_GT(r.result.oracle_checks, 0u)
+        << "oracles were not active in scenario " << r.label;
+  }
+}
+
+// -- Fig. 9: overhead vs N and vs πmax ----------------------------------------
+
+struct Fig9Spec {
+  /// Fig. 9(a)'s trends need the bench's N regime (40→200, EXPERIMENTS.md):
+  /// below N≈40 combined pull's gossip has not yet saturated and its ratio
+  /// is still flat. 40→120 is the smallest span that shows both trends.
+  std::vector<std::uint32_t> sizes{40, 120};
+  std::vector<std::uint32_t> pis{2, 10};
+  double measure_seconds = 2.0;
+  double warmup_seconds = 1.0;
+  ShapeScale scale;
+  /// ratio-falls monotonicity slack (per step).
+  double fall_slack = 0.02;
+  /// sublinearity: per-dispatcher gossip may grow by at most this fraction
+  /// of the N growth factor (1.0 would be exactly linear).
+  double sublinear_fraction = 0.75;
+};
+
+TEST(Fig9a, RatioFallsAndGossipSublinearInN) {
+  const Fig9Spec spec;
+  const std::vector<Algorithm> algos = {Algorithm::Push,
+                                        Algorithm::CombinedPull};
+
+  std::vector<LabeledConfig> configs;
+  for (std::uint32_t n : spec.sizes) {
+    for (Algorithm a : algos) {
+      // Fig. 9(a) measures overhead on the Fig. 6 scenario (β scaled with
+      // N for ~4 s persistence) — N goes through the builder.
+      ScenarioConfig cfg = figures::fig6(a, n, spec.measure_seconds);
+      cfg.warmup = Duration::seconds(spec.warmup_seconds);
+      configs.push_back(
+          {std::string(to_string(a)) + " N=" + std::to_string(n), cfg});
+    }
+  }
+  const auto results = run_shapes(std::move(configs));
+  expect_oracles_ran(results);
+
+  for (std::size_t s = 0; s < algos.size(); ++s) {
+    Curve ratio{std::string(to_string(algos[s])) + " ratio(N)", {}, {}};
+    Curve abs{std::string(to_string(algos[s])) + " msgs(N)", {}, {}};
+    for (std::size_t i = 0; i < spec.sizes.size(); ++i) {
+      const auto& r = results[i * algos.size() + s].result;
+      ratio.xs.push_back(spec.sizes[i]);
+      ratio.ys.push_back(r.gossip_event_ratio);
+      abs.xs.push_back(spec.sizes[i]);
+      abs.ys.push_back(r.gossip_msgs_per_dispatcher);
+    }
+    log_curves({ratio, abs});
+
+    EXPECT_SHAPE("Fig. 9(a)", "gossip/event ratio falls with N",
+                 monotone(ratio, -1, spec.fall_slack));
+    const double n_factor =
+        double(spec.sizes.back()) / double(spec.sizes.front());
+    const double growth = abs.ys.back() / abs.ys.front();
+    EXPECT_LE(growth, 1.0 + spec.sublinear_fraction * (n_factor - 1.0))
+        << "Fig. 9(a) — per-dispatcher gossip must grow well below "
+           "linearly with N; "
+        << render(abs);
+  }
+}
+
+TEST(Fig9b, RatioFallsWithPatternCount) {
+  const Fig9Spec spec;
+  const std::vector<Algorithm> algos = {Algorithm::Push,
+                                        Algorithm::CombinedPull};
+
+  std::vector<LabeledConfig> configs;
+  for (std::uint32_t pi : spec.pis) {
+    for (Algorithm a : algos) {
+      configs.push_back(
+          {std::string(to_string(a)) + " pi=" + std::to_string(pi),
+           at_scale(figures::fig9b(a, pi, spec.measure_seconds),
+                    spec.scale)});
+    }
+  }
+  const auto results = run_shapes(std::move(configs));
+  expect_oracles_ran(results);
+
+  for (std::size_t s = 0; s < algos.size(); ++s) {
+    Curve ratio{std::string(to_string(algos[s])) + " ratio(pi)", {}, {}};
+    for (std::size_t i = 0; i < spec.pis.size(); ++i) {
+      ratio.xs.push_back(spec.pis[i]);
+      ratio.ys.push_back(
+          results[i * algos.size() + s].result.gossip_event_ratio);
+    }
+    log_curves({ratio});
+    EXPECT_SHAPE("Fig. 9(b)", "gossip/event ratio falls with pi_max",
+                 monotone(ratio, -1, spec.fall_slack));
+  }
+}
+
+// -- Fig. 10: overhead vs ε ---------------------------------------------------
+
+struct Fig10Spec {
+  std::vector<double> epsilons{0.02, 0.10};
+  double high_rate_hz = 50.0;
+  double low_rate_hz = 5.0;
+  double low_eps = 0.01;
+  double measure_seconds = 2.0;
+  ShapeScale scale;
+  /// combined pull stays below push at every ε by this margin (msgs).
+  double below_push_margin = 0.0;
+  /// combined's reactive overhead rises with ε (per-step slack, msgs).
+  double rise_slack = 20.0;
+  /// push is ~flat in ε: its spread stays within this factor.
+  double push_flat_factor = 1.6;
+  /// the paper's headline: at low load and ε=0.01, pull's overhead is a
+  /// small fraction of push's — bound the ratio by this.
+  double low_load_ratio_bound = 0.5;
+};
+
+TEST(Fig10, HighLoadOverheadShapes) {
+  const Fig10Spec spec;
+  const std::vector<Algorithm> algos = {Algorithm::Push,
+                                        Algorithm::CombinedPull};
+
+  std::vector<LabeledConfig> configs;
+  for (double eps : spec.epsilons) {
+    for (Algorithm a : algos) {
+      configs.push_back(
+          {std::string(to_string(a)) + " eps=" + std::to_string(eps),
+           at_scale(figures::fig10(a, spec.high_rate_hz, eps,
+                                   spec.measure_seconds),
+                    spec.scale)});
+    }
+  }
+  const auto results = run_shapes(std::move(configs));
+  expect_oracles_ran(results);
+
+  Curve push{"push msgs(eps)", {}, {}};
+  Curve combined{"combined-pull msgs(eps)", {}, {}};
+  for (std::size_t i = 0; i < spec.epsilons.size(); ++i) {
+    push.xs.push_back(spec.epsilons[i]);
+    push.ys.push_back(results[i * 2].result.gossip_msgs_per_dispatcher);
+    combined.xs.push_back(spec.epsilons[i]);
+    combined.ys.push_back(
+        results[i * 2 + 1].result.gossip_msgs_per_dispatcher);
+  }
+  log_curves({push, combined});
+
+  EXPECT_SHAPE("Fig. 10 (high load)", "combined pull stays below push",
+               ordered_above(push, combined, spec.below_push_margin));
+  EXPECT_SHAPE("Fig. 10 (high load)",
+               "combined pull's reactive overhead rises with eps",
+               monotone(combined, +1, spec.rise_slack));
+  EXPECT_SHAPE("Fig. 10 (high load)", "push overhead is ~flat in eps",
+               flat_within_factor(push, spec.push_flat_factor));
+}
+
+TEST(Fig10, LowLoadPullIsFractionOfPush) {
+  const Fig10Spec spec;
+
+  std::vector<LabeledConfig> configs;
+  for (Algorithm a : {Algorithm::Push, Algorithm::CombinedPull}) {
+    // fig10 applies the low-load timing (20 s warm-up / horizon) itself;
+    // only N is reduced here.
+    ScenarioConfig cfg = figures::fig10(a, spec.low_rate_hz, spec.low_eps,
+                                        spec.measure_seconds);
+    cfg.nodes = spec.scale.nodes;
+    configs.push_back(
+        {std::string(to_string(a)) + " low-load eps=0.01", cfg});
+  }
+  const auto results = run_shapes(std::move(configs));
+  expect_oracles_ran(results);
+
+  const double push_msgs = results[0].result.gossip_msgs_per_dispatcher;
+  const double pull_msgs = results[1].result.gossip_msgs_per_dispatcher;
+  std::printf("  low-load msgs/dispatcher: push=%g combined=%g\n", push_msgs,
+              pull_msgs);
+  EXPECT_SHAPE("Fig. 10 (low load)",
+               "at eps=0.01 reactive pull costs a small fraction of push",
+               ratio_below(pull_msgs, push_msgs, spec.low_load_ratio_bound));
+}
+
+}  // namespace

@@ -12,6 +12,7 @@ struct Case {
   Algorithm algorithm;
   std::uint64_t seed;
   bool churn;
+  SizingMode sizing;
 };
 
 std::vector<Case> all_cases() {
@@ -22,7 +23,9 @@ std::vector<Case> all_cases() {
         Algorithm::RandomPull}) {
     for (std::uint64_t seed : {3ull, 17ull}) {
       for (bool churn : {false, true}) {
-        cases.push_back(Case{a, seed, churn});
+        for (SizingMode sizing : {SizingMode::Nominal, SizingMode::Wire}) {
+          cases.push_back(Case{a, seed, churn, sizing});
+        }
       }
     }
   }
@@ -39,6 +42,7 @@ TEST_P(InvariantSweep, HoldsUnderLossAndChurn) {
   cfg.warmup = Duration::seconds(0.5);
   cfg.measure = Duration::seconds(1.5);
   cfg.recovery_horizon = Duration::seconds(1.5);
+  cfg.sizing_mode = c.sizing;
   if (c.churn) {
     cfg.link_error_rate = 0.05;
     cfg.reconfiguration_interval = Duration::millis(150);
@@ -86,6 +90,10 @@ TEST_P(InvariantSweep, HoldsUnderLossAndChurn) {
     EXPECT_EQ(r.reconfig_breaks, 0u);
     EXPECT_EQ(r.drops_no_link, 0u);
   }
+
+  // I8: the conformance oracle suite was live — and silent — for this run
+  //     (a violation would have aborted before we got here).
+  EXPECT_GT(r.oracle_checks, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -97,6 +105,7 @@ INSTANTIATE_TEST_SUITE_P(
       }
       name += "_seed" + std::to_string(info.param.seed);
       name += info.param.churn ? "_churn" : "_lossy";
+      name += info.param.sizing == SizingMode::Wire ? "_wire" : "";
       return name;
     });
 

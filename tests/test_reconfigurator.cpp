@@ -103,6 +103,74 @@ TEST(Reconfigurator, OverlappingRepairsMaySkip) {
   EXPECT_EQ(topo.link_count(), 29u);
 }
 
+TEST(Reconfigurator, ExhaustedComponentsLeaveRepairPending) {
+  // Degree cap 1, single link 0-1 over four nodes. Break the only link,
+  // then saturate both components out-of-band before the repair fires:
+  // every node is at the cap, so the repair must give up gracefully —
+  // counted as exhausted, no link added, no assertion failure.
+  Simulator sim(5);
+  Topology topo(4, 1);
+  topo.add_link(NodeId{0}, NodeId{1});
+
+  ReconfigConfig cfg;
+  cfg.repair_time = Duration::millis(100);
+  Reconfigurator rec(sim, topo, cfg);
+
+  std::optional<Reconfigurator::Repair> seen;
+  rec.set_repair_listener(
+      [&](const Reconfigurator::Repair& r) { seen = r; });
+
+  rec.force_reconfiguration();  // only link 0-1 can be the victim
+  EXPECT_FALSE(topo.connected());
+  topo.add_link(NodeId{0}, NodeId{2});
+  topo.add_link(NodeId{1}, NodeId{3});
+
+  sim.run_until(SimTime::seconds(0.2));
+  EXPECT_EQ(rec.repairs(), 1u);
+  EXPECT_EQ(rec.exhausted_repairs(), 1u);
+  EXPECT_EQ(rec.skipped_repairs(), 0u);
+  EXPECT_EQ(rec.pending_repairs(), 0u);
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_FALSE(seen->added.has_value());
+  // The partition persists: {0,2} and {1,3} stay separate components.
+  EXPECT_FALSE(topo.distance(NodeId{0}, NodeId{1}).has_value());
+}
+
+TEST(Reconfigurator, BackToBackBreaksInsideOneRepairWindow) {
+  // Two breakages 30 ms apart, both inside the first break's 100 ms repair
+  // window: repairs run in break order, every pending repair completes,
+  // and the overlay is a degree-capped tree again afterwards.
+  Simulator sim(7);
+  Rng rng = sim.fork_rng();
+  Topology topo = Topology::random_tree(20, 4, rng);
+
+  ReconfigConfig cfg;
+  cfg.repair_time = Duration::millis(100);
+  Reconfigurator rec(sim, topo, cfg);
+
+  rec.force_reconfiguration();
+  EXPECT_EQ(rec.pending_repairs(), 1u);
+  sim.run_until(SimTime::seconds(0.03));
+  rec.force_reconfiguration();
+  EXPECT_EQ(rec.pending_repairs(), 2u);
+  EXPECT_EQ(topo.link_count(), 17u);
+
+  // After the first repair only the second is still open.
+  sim.run_until(SimTime::seconds(0.11));
+  EXPECT_EQ(rec.pending_repairs(), 1u);
+
+  sim.run_until(SimTime::seconds(0.3));
+  EXPECT_EQ(rec.pending_repairs(), 0u);
+  EXPECT_EQ(rec.breaks(), 2u);
+  EXPECT_EQ(rec.repairs(), 2u);
+  // Whether the second repair added a link or found the sides already
+  // reconnected, the quiet-point state is a full tree within the cap.
+  EXPECT_TRUE(topo.is_tree());
+  for (std::uint32_t i = 0; i < topo.node_count(); ++i) {
+    ASSERT_LE(topo.degree(NodeId{i}), 4u);
+  }
+}
+
 TEST(Reconfigurator, StopHaltsChurn) {
   Simulator sim(3);
   Rng rng = sim.fork_rng();
