@@ -124,8 +124,8 @@ int main(int argc, char** argv) {
       micro.events_per_second() / 1e6);
 
   const std::vector<LabeledConfig> configs = fig3a_sweep();
-  const unsigned jobs =
-      SweepRunner::resolve_jobs(BenchEnv::get().jobs);
+  const unsigned jobs_requested = BenchEnv::get().jobs;
+  const unsigned jobs = SweepRunner::resolve_jobs(jobs_requested);
 
   std::fprintf(stderr, "serial sweep (%zu scenarios, jobs=1)...\n",
                configs.size());
@@ -170,22 +170,26 @@ int main(int argc, char** argv) {
         "  },\n"
         "  \"sweep\": {\n"
         "    \"scenarios\": %zu,\n"
+        "    \"jobs_requested\": %u,\n"
         "    \"jobs\": %u,\n"
+        "    \"available_parallelism\": %u,\n"
         "    \"serial_wall_seconds\": %.6f,\n"
         "    \"parallel_wall_seconds\": %.6f,\n"
         "    \"speedup\": %.4f,\n"
         "    \"scenarios_per_sec\": %.4f,\n"
         "    \"sim_events_executed\": %" PRIu64 ",\n"
+        "    \"serial_events_per_sec\": %.0f,\n"
         "    \"events_per_sec\": %.0f,\n"
         "    \"results_identical\": %s\n"
         "  },\n"
         "  \"fast_mode\": %s\n"
         "}\n",
         micro.executed, micro.wall_seconds, micro.events_per_second(),
-        configs.size(), jobs, serial_stats.wall_seconds,
+        configs.size(), jobs_requested, jobs,
+        SweepRunner::available_parallelism(), serial_stats.wall_seconds,
         parallel_stats.wall_seconds, speedup,
         parallel_stats.scenarios_per_second(),
-        parallel_stats.sim_events_executed,
+        parallel_stats.sim_events_executed, serial_stats.events_per_second(),
         parallel_stats.events_per_second(), identical ? "true" : "false",
         fast_mode() ? "true" : "false");
     std::fclose(f);

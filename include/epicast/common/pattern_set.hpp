@@ -1,0 +1,136 @@
+// epicast — fixed-width bitset over the pattern universe.
+//
+// The paper's universe is Π ≤ 70 patterns, so a pattern set fits in two
+// 64-bit words. The hot paths that used to rebuild sorted
+// std::vector<Pattern> per event or per gossip round (matching, sampling
+// populations) operate on these masks instead: membership is a bit test,
+// intersection is two ANDs, and "the k-th pattern" is a select on set bits.
+//
+// Invariants:
+//   * only patterns with value() < kCapacity are representable — callers
+//     that admit larger universes must keep an overflow side structure
+//     (SubscriptionTable and LostBuffer do);
+//   * iteration and nth() enumerate set bits in ascending pattern order,
+//     which equals the sorted order of the vectors they replace — this is
+//     what keeps RNG-driven sampling (`patterns[rng.next_below(n)]`)
+//     bit-identical after the migration.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "epicast/common/assert.hpp"
+#include "epicast/common/ids.hpp"
+
+namespace epicast {
+
+class PatternSet {
+ public:
+  /// Largest representable pattern value + 1 (two 64-bit words).
+  static constexpr std::uint32_t kCapacity = 128;
+
+  constexpr PatternSet() = default;
+
+  /// True if `p` can be held in the bitset at all.
+  [[nodiscard]] static constexpr bool representable(Pattern p) {
+    return p.value() < kCapacity;
+  }
+
+  /// Sets the bit for `p`. Returns true if it was newly set.
+  /// Precondition: representable(p).
+  constexpr bool set(Pattern p) {
+    EPICAST_ASSERT(representable(p));
+    std::uint64_t& w = w_[p.value() >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (p.value() & 63);
+    const bool added = (w & bit) == 0;
+    w |= bit;
+    return added;
+  }
+
+  /// Clears the bit for `p`. Returns true if it was set.
+  /// Precondition: representable(p).
+  constexpr bool clear(Pattern p) {
+    EPICAST_ASSERT(representable(p));
+    std::uint64_t& w = w_[p.value() >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (p.value() & 63);
+    const bool removed = (w & bit) != 0;
+    w &= ~bit;
+    return removed;
+  }
+
+  /// Membership test; false for non-representable patterns (they are never
+  /// stored here), so a mask can safely pre-filter an overflow lookup.
+  [[nodiscard]] constexpr bool test(Pattern p) const {
+    if (!representable(p)) return false;
+    return (w_[p.value() >> 6] >> (p.value() & 63)) & 1;
+  }
+
+  [[nodiscard]] constexpr bool any() const { return (w_[0] | w_[1]) != 0; }
+  [[nodiscard]] constexpr bool none() const { return !any(); }
+
+  [[nodiscard]] constexpr std::size_t count() const {
+    return static_cast<std::size_t>(std::popcount(w_[0]) +
+                                    std::popcount(w_[1]));
+  }
+
+  /// True if the two sets share at least one pattern.
+  [[nodiscard]] constexpr bool intersects(const PatternSet& o) const {
+    return ((w_[0] & o.w_[0]) | (w_[1] & o.w_[1])) != 0;
+  }
+
+  constexpr PatternSet& operator|=(const PatternSet& o) {
+    w_[0] |= o.w_[0];
+    w_[1] |= o.w_[1];
+    return *this;
+  }
+  constexpr PatternSet& operator&=(const PatternSet& o) {
+    w_[0] &= o.w_[0];
+    w_[1] &= o.w_[1];
+    return *this;
+  }
+  friend constexpr PatternSet operator|(PatternSet a, const PatternSet& b) {
+    return a |= b;
+  }
+  friend constexpr PatternSet operator&(PatternSet a, const PatternSet& b) {
+    return a &= b;
+  }
+
+  friend constexpr bool operator==(const PatternSet&,
+                                   const PatternSet&) = default;
+
+  /// Calls `f(Pattern)` for every member, in ascending pattern order.
+  template <typename F>
+  constexpr void for_each(F&& f) const {
+    for (int word = 0; word < 2; ++word) {
+      std::uint64_t w = w_[word];
+      while (w != 0) {
+        const int bit = std::countr_zero(w);
+        f(Pattern{static_cast<std::uint32_t>(word * 64 + bit)});
+        w &= w - 1;  // clear lowest set bit
+      }
+    }
+  }
+
+  /// The k-th member in ascending order. Precondition: k < count().
+  [[nodiscard]] constexpr Pattern nth(std::size_t k) const {
+    std::uint64_t w = w_[0];
+    std::uint32_t base = 0;
+    const auto pop0 = static_cast<std::size_t>(std::popcount(w));
+    if (k >= pop0) {
+      k -= pop0;
+      w = w_[1];
+      base = 64;
+    }
+    EPICAST_ASSERT(k < static_cast<std::size_t>(std::popcount(w)));
+    // Pattern counts are tiny (Π ≤ 70), so a clear-lowest-bit loop beats
+    // fancier selects in practice and stays portable.
+    while (k-- > 0) w &= w - 1;
+    return Pattern{base + static_cast<std::uint32_t>(std::countr_zero(w))};
+  }
+
+ private:
+  std::uint64_t w_[2] = {0, 0};
+};
+
+}  // namespace epicast

@@ -9,18 +9,18 @@
 //   * by event id        — serves push requests;
 //   * by (source, pattern, seq) — serves pull digests;
 //   * ids matching a pattern    — builds push digests (amortized via a
-//     per-pattern index with lazy purge of evicted entries).
+//     per-pattern index, purged eagerly on eviction and lazily on lookup).
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <list>
 #include <unordered_map>
 #include <vector>
 
 #include "epicast/common/ids.hpp"
 #include "epicast/common/rng.hpp"
 #include "epicast/gossip/config.hpp"
+#include "epicast/metrics/hotpath_profiler.hpp"
 #include "epicast/pubsub/event.hpp"
 
 namespace epicast {
@@ -28,6 +28,10 @@ namespace epicast {
 class EventCache {
  public:
   EventCache(std::size_t capacity, CachePolicy policy, Rng rng);
+
+  /// Optional hot-path profiler: every public cache operation counts one
+  /// HotPhase::CacheOp. Pass nullptr to detach.
+  void set_profiler(HotpathProfiler* profiler) { profiler_ = profiler; }
 
   /// Inserts an event, evicting per policy if full. Returns false (and does
   /// nothing) if the event is already cached. Precondition: capacity > 0.
@@ -45,6 +49,15 @@ class EventCache {
   /// `max_entries` (0 = all).
   [[nodiscard]] std::vector<EventId> ids_matching(Pattern pattern,
                                                   std::size_t max_entries);
+
+  /// As above into a caller-owned scratch buffer (cleared first) — the push
+  /// round builds one digest per round per node.
+  void ids_matching_into(Pattern pattern, std::size_t max_entries,
+                         std::vector<EventId>& out);
+
+  /// Total entries across the per-pattern id index, live + stale
+  /// (introspection: tests pin the eager-purge bound on this).
+  [[nodiscard]] std::size_t pattern_index_entries() const;
 
   [[nodiscard]] std::size_t size() const { return by_id_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
@@ -73,24 +86,45 @@ class EventCache {
   void drop(const EventId& id);
   void index_patterns(const EventPtr& event);
   void unindex_patterns(const EventData& event);
+  /// get() without the profiler hook (shared by get and find).
+  [[nodiscard]] EventPtr lookup(const EventId& id);
+
+  static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+  void link_back(std::uint32_t slot);
+  void unlink(std::uint32_t slot);
 
   std::size_t capacity_;
   CachePolicy policy_;
   Rng rng_;
   Stats stats_;
+  HotpathProfiler* profiler_ = nullptr;
 
-  /// Eviction order. FIFO: push_back on insert, evict front. LRU: also
-  /// splice-to-back on access. Random: evict a uniformly random element
-  /// (found via by_id_ → iterator).
-  std::list<EventPtr> order_;
-  std::unordered_map<EventId, std::list<EventPtr>::iterator> by_id_;
+  /// Eviction-order storage: a flat slot vector threaded with an intrusive
+  /// doubly-linked index list (head_ = next victim for FIFO/LRU, tail_ =
+  /// newest). Slots recycle through free_, so the steady state allocates
+  /// nothing per insert/evict — the caches' insert-evict churn at full β is
+  /// the hottest allocation site a scenario has. LRU refresh is an
+  /// unlink/link_back pair; Random evicts a uniform element of the dense
+  /// pool below.
+  struct Node {
+    EventPtr event;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+  };
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t head_ = kNil;
+  std::uint32_t tail_ = kNil;
+  std::unordered_map<EventId, std::uint32_t> by_id_;
   /// For Random eviction: dense id vector enabling O(1) uniform sampling.
   std::vector<EventId> random_pool_;
   std::unordered_map<EventId, std::size_t> random_pos_;
 
   std::unordered_map<SpKey, EventId, SpKeyHash> by_source_pattern_;
-  /// Per-pattern id index, insertion-ordered; entries are lazily purged when
-  /// the event has been evicted.
+  /// Per-pattern id index, insertion-ordered. Stale (evicted) ids are
+  /// purged eagerly from the deque fronts on every eviction — under FIFO
+  /// the victim *is* the front, so the index stays tight at small β — and
+  /// lazily elsewhere in ids_matching() (LRU/random scatter).
   std::unordered_map<Pattern, std::deque<EventId>> by_pattern_;
 };
 

@@ -5,6 +5,9 @@
 // paper's accounting assigns (GossipConfig::gossip_message_bytes), and —
 // because every product is a codec-encodable Message — the byte-accurate
 // frame size SizingMode::Wire charges via Message::wire_size_bytes().
+// When constructed with a MessagePool (the scenario path hands it the
+// Simulator's), every product is pool-allocated via make_pooled; without
+// one it falls back to std::make_shared (standalone/test construction).
 // Future wire features (MTU fragmentation, digest batching) hook in here
 // without touching the protocol logic.
 #pragma once
@@ -15,6 +18,7 @@
 #include <vector>
 
 #include "epicast/common/ids.hpp"
+#include "epicast/common/message_pool.hpp"
 #include "epicast/gossip/messages.hpp"
 #include "epicast/pubsub/event.hpp"
 
@@ -23,9 +27,11 @@ namespace epicast {
 class GossipMessageFactory {
  public:
   /// `self` is the owning dispatcher — the gossiper of every message that
-  /// originates locally (requests, replies, round-0 digests).
-  GossipMessageFactory(NodeId self, std::size_t nominal_bytes)
-      : self_(self), nominal_bytes_(nominal_bytes) {}
+  /// originates locally (requests, replies, round-0 digests). `pool`, when
+  /// given, must outlive the factory (the Simulator's pool does).
+  GossipMessageFactory(NodeId self, std::size_t nominal_bytes,
+                       const MessagePool* pool = nullptr)
+      : self_(self), nominal_bytes_(nominal_bytes), pool_(pool) {}
 
   [[nodiscard]] NodeId self() const { return self_; }
   [[nodiscard]] std::size_t nominal_bytes() const { return nominal_bytes_; }
@@ -35,44 +41,55 @@ class GossipMessageFactory {
   [[nodiscard]] MessagePtr push_digest(NodeId gossiper, Pattern pattern,
                                        std::vector<EventId> ids,
                                        std::uint32_t hops) const {
-    return std::make_shared<PushDigestMessage>(gossiper, nominal_bytes_,
-                                               pattern, std::move(ids), hops);
+    return build<PushDigestMessage>(gossiper, nominal_bytes_, pattern,
+                                    std::move(ids), hops);
   }
 
   [[nodiscard]] MessagePtr subscriber_pull_digest(
       NodeId gossiper, Pattern pattern, std::vector<LostEntryInfo> wanted,
       std::uint32_t hops) const {
-    return std::make_shared<SubscriberPullDigestMessage>(
-        gossiper, nominal_bytes_, pattern, std::move(wanted), hops);
+    return build<SubscriberPullDigestMessage>(gossiper, nominal_bytes_,
+                                              pattern, std::move(wanted),
+                                              hops);
   }
 
   [[nodiscard]] MessagePtr publisher_pull_digest(
       NodeId gossiper, NodeId source, std::vector<LostEntryInfo> wanted,
       std::vector<NodeId> route) const {
-    return std::make_shared<PublisherPullDigestMessage>(
-        gossiper, nominal_bytes_, source, std::move(wanted), std::move(route));
+    return build<PublisherPullDigestMessage>(gossiper, nominal_bytes_, source,
+                                             std::move(wanted),
+                                             std::move(route));
   }
 
   [[nodiscard]] MessagePtr random_pull_digest(NodeId gossiper,
                                               std::vector<LostEntryInfo> wanted,
                                               std::uint32_t hops) const {
-    return std::make_shared<RandomPullDigestMessage>(
-        gossiper, nominal_bytes_, std::move(wanted), hops);
+    return build<RandomPullDigestMessage>(gossiper, nominal_bytes_,
+                                          std::move(wanted), hops);
   }
 
   [[nodiscard]] MessagePtr request(std::vector<EventId> ids) const {
-    return std::make_shared<RecoveryRequestMessage>(self_, nominal_bytes_,
-                                                    std::move(ids));
+    return build<RecoveryRequestMessage>(self_, nominal_bytes_,
+                                         std::move(ids));
   }
 
   [[nodiscard]] MessagePtr reply(std::vector<EventPtr> events) const {
-    return std::make_shared<RecoveryReplyMessage>(self_, nominal_bytes_,
-                                                  std::move(events));
+    return build<RecoveryReplyMessage>(self_, nominal_bytes_,
+                                       std::move(events));
   }
 
  private:
+  template <typename T, typename... Args>
+  [[nodiscard]] MessagePtr build(Args&&... args) const {
+    if (pool_ != nullptr) {
+      return make_pooled<T>(*pool_, std::forward<Args>(args)...);
+    }
+    return std::make_shared<T>(std::forward<Args>(args)...);
+  }
+
   NodeId self_;
   std::size_t nominal_bytes_;
+  const MessagePool* pool_;
 };
 
 }  // namespace epicast

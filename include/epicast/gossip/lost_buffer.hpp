@@ -6,13 +6,16 @@
 // buffer overflows (oldest first).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
 #include "epicast/common/ids.hpp"
+#include "epicast/common/pattern_set.hpp"
 #include "epicast/gossip/messages.hpp"
 #include "epicast/sim/time.hpp"
 
@@ -41,6 +44,11 @@ class LostBuffer {
   [[nodiscard]] std::vector<LostEntryInfo> entries_for_pattern(
       Pattern p, std::size_t max_entries) const;
 
+  /// As above into a caller-owned scratch buffer (cleared first) — pull
+  /// rounds build one digest per round per node.
+  void entries_for_pattern_into(Pattern p, std::size_t max_entries,
+                                std::vector<LostEntryInfo>& out) const;
+
   /// Entries whose source is `s` (publisher-based digests), oldest first.
   [[nodiscard]] std::vector<LostEntryInfo> entries_for_source(
       NodeId s, std::size_t max_entries) const;
@@ -51,6 +59,15 @@ class LostBuffer {
 
   /// Distinct patterns with at least one entry, sorted.
   [[nodiscard]] std::vector<Pattern> patterns_with_losses() const;
+
+  /// Number of distinct patterns with at least one entry — the pull
+  /// sampling population size, without materializing the vector.
+  [[nodiscard]] std::size_t patterns_with_losses_count() const {
+    return pattern_mask_.count() + overflow_counts_.size();
+  }
+  /// The k-th distinct pattern in ascending order
+  /// (k < patterns_with_losses_count()) — equals patterns_with_losses()[k].
+  [[nodiscard]] Pattern pattern_with_losses_at(std::size_t k) const;
 
   /// Distinct sources with at least one entry, sorted.
   [[nodiscard]] std::vector<NodeId> sources_with_losses() const;
@@ -89,11 +106,27 @@ class LostBuffer {
   [[nodiscard]] std::vector<LostEntryInfo> collect(
       Pred&& pred, std::size_t max_entries) const;
 
+  void note_added(Pattern p);
+  void note_removed(Pattern p);
+  /// True if no entry can possibly have this pattern — lets remove() (one
+  /// call per pattern of every received event, overwhelmingly misses)
+  /// skip the hash lookup.
+  [[nodiscard]] bool surely_absent(Pattern p) const {
+    if (PatternSet::representable(p)) return !pattern_mask_.test(p);
+    return overflow_counts_.empty() || !overflow_counts_.contains(p);
+  }
+
   std::size_t capacity_;
   Duration ttl_;
   std::list<Node> order_;  // oldest first
   std::unordered_map<LostEntryInfo, std::list<Node>::iterator, KeyHash>
       by_key_;
+  /// Distinct-pattern summary: a bit per pattern with >= 1 entry plus
+  /// per-pattern entry counts (so the bit can be cleared on last removal);
+  /// oversized patterns live in the sorted overflow map.
+  PatternSet pattern_mask_;
+  std::array<std::uint32_t, PatternSet::kCapacity> pattern_counts_{};
+  std::map<Pattern, std::uint32_t> overflow_counts_;
   Stats stats_;
 };
 

@@ -16,6 +16,7 @@
 #include "epicast/gossip/factory.hpp"
 #include "epicast/gossip/messages.hpp"
 #include "epicast/gossip/stats.hpp"
+#include "epicast/metrics/hotpath_profiler.hpp"
 #include "epicast/pubsub/dispatcher.hpp"
 #include "epicast/pubsub/recovery.hpp"
 
@@ -83,6 +84,11 @@ class GossipProtocolBase : public RecoveryProtocol {
   [[nodiscard]] std::vector<NodeId> fanout(std::vector<NodeId> candidates,
                                            bool ensure_progress);
 
+  /// As fanout() into a caller-owned buffer (cleared first; must not alias
+  /// `candidates`). Identical RNG draw sequence.
+  void fanout_into(const std::vector<NodeId>& candidates, bool ensure_progress,
+                   std::vector<NodeId>& out);
+
   void send_digest(NodeId to, MessagePtr msg, bool originated);
   void send_request(NodeId to, std::vector<EventId> ids);
   void send_reply(NodeId to, std::vector<EventPtr> events);
@@ -94,12 +100,23 @@ class GossipProtocolBase : public RecoveryProtocol {
   Dispatcher& d_;
   GossipConfig cfg_;
   EventCache cache_;
-  /// Builds every outgoing gossip message (digests, requests, replies).
+  /// Builds every outgoing gossip message (digests, requests, replies) —
+  /// pool-allocated from the owning Simulator's MessagePool.
   GossipMessageFactory msgs_;
   Stats stats_;
 
+  /// Per-round / per-handler scratch buffers. Safe to reuse: sends are
+  /// asynchronous (the transport schedules delivery), so no callee
+  /// re-enters the protocol while a round or digest handler is running.
+  std::vector<NodeId> targets_scratch_;
+  std::vector<NodeId> fanout_scratch_;
+  std::vector<EventId> ids_scratch_;
+  std::vector<LostEntryInfo> wanted_scratch_;
+
  private:
   void run_round();
+
+  HotpathProfiler& prof_;
 
   AdaptiveIntervalController adaptive_;
   PeriodicTimer timer_;

@@ -20,7 +20,6 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "epicast/common/ids.hpp"
@@ -29,6 +28,7 @@
 #include "epicast/pubsub/event.hpp"
 #include "epicast/pubsub/messages.hpp"
 #include "epicast/pubsub/recovery.hpp"
+#include "epicast/pubsub/seen_set.hpp"
 #include "epicast/pubsub/subscription_table.hpp"
 #include "epicast/sim/simulator.hpp"
 
@@ -173,7 +173,7 @@ class Dispatcher final : public TransportReceiver {
   std::unique_ptr<RecoveryProtocol> recovery_;
   DeliveryListener on_delivery_;
 
-  std::unordered_set<EventId> seen_;
+  SeenSet seen_;
   /// Duplicate-suppression state of subscription forwarding: for each
   /// pattern, the neighbours a sub() was sent to.
   std::unordered_map<Pattern, std::vector<NodeId>> sub_sent_;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "epicast/common/ids.hpp"
+#include "epicast/common/pattern_set.hpp"
 #include "epicast/sim/time.hpp"
 
 namespace epicast {
@@ -52,12 +53,22 @@ class EventData {
   /// The per-(source, p) sequence number, if the event matches p.
   [[nodiscard]] std::optional<SeqNo> seq_for(Pattern p) const;
 
+  /// Bitset of the event's representable patterns (value <
+  /// PatternSet::kCapacity) — the matching hot path is a mask AND against
+  /// SubscriptionTable's masks. Patterns outside the bitset range (possible
+  /// only with CLI-configured universes > 128) are absent from the mask;
+  /// mask_complete() tells whether the mask covers every pattern.
+  [[nodiscard]] const PatternSet& pattern_mask() const { return mask_; }
+  [[nodiscard]] bool mask_complete() const { return mask_complete_; }
+
   [[nodiscard]] std::size_t payload_bytes() const { return payload_bytes_; }
   [[nodiscard]] SimTime published_at() const { return published_at_; }
 
  private:
   EventId id_;
   std::vector<PatternSeq> patterns_;  // sorted by pattern
+  PatternSet mask_;
+  bool mask_complete_ = true;
   std::size_t payload_bytes_;
   SimTime published_at_;
 };

@@ -1,0 +1,59 @@
+// epicast — duplicate-suppression set over event ids.
+//
+// Event ids are (source, per-source counter) with counters assigned densely
+// from 0 (paper footnote 3), so "which ids has this dispatcher seen" is a
+// per-source bitmap, not a hash set: membership is two array indexations
+// and a bit test. Dispatchers consult this on every event reception and —
+// hotter still — once per id of every push digest received, where the hash
+// set's cold-bucket probes dominated the gossip-handling profile.
+//
+// Memory: one bit per published event per source, ~e.g. a 10 s run at 50
+// events/s/source costs 63 bytes per source row. Rows grow on demand.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "epicast/common/ids.hpp"
+
+namespace epicast {
+
+class SeenSet {
+ public:
+  /// Marks `id` as seen. Returns true if it was not seen before (mirrors
+  /// std::unordered_set::insert().second).
+  bool insert(const EventId& id) {
+    std::vector<std::uint64_t>& row = row_for(id.source);
+    const std::size_t word = id.source_seq >> 6;
+    if (word >= row.size()) row.resize(word + 1, 0);
+    const std::uint64_t bit = std::uint64_t{1} << (id.source_seq & 63);
+    if ((row[word] & bit) != 0) return false;
+    row[word] |= bit;
+    ++size_;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(const EventId& id) const {
+    const std::size_t src = id.source.value();
+    if (src >= rows_.size()) return false;
+    const std::vector<std::uint64_t>& row = rows_[src];
+    const std::size_t word = id.source_seq >> 6;
+    return word < row.size() &&
+           (row[word] & (std::uint64_t{1} << (id.source_seq & 63))) != 0;
+  }
+
+  /// Number of distinct ids inserted.
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+
+ private:
+  std::vector<std::uint64_t>& row_for(NodeId source) {
+    const std::size_t src = source.value();
+    if (src >= rows_.size()) rows_.resize(src + 1);
+    return rows_[src];
+  }
+
+  std::vector<std::vector<std::uint64_t>> rows_;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace epicast

@@ -8,19 +8,31 @@
 // The push algorithm draws its gossip pattern from the *whole* table (local
 // + routes), the pull algorithms only from local subscriptions (§III-B) —
 // hence the separate enumeration helpers.
+//
+// Hot-path layout: patterns below PatternSet::kCapacity (all of the paper's
+// Π ≤ 70) live in a dense array indexed by pattern value, with `known_mask_`
+// / `local_mask_` bitsets summarizing which entries exist — matching an
+// event is a mask AND, and the per-round sampling populations are popcounts
+// + bit selects instead of rebuilt vectors. Larger patterns (possible only
+// via CLI-configured universes) fall back to a sorted overflow map; every
+// enumeration keeps ascending pattern order, identical to the sorted
+// vectors this replaced.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "epicast/common/ids.hpp"
+#include "epicast/common/pattern_set.hpp"
 #include "epicast/pubsub/event.hpp"
 
 namespace epicast {
 
 class SubscriptionTable {
  public:
+  SubscriptionTable() : dense_(PatternSet::kCapacity) {}
+
   /// Marks this dispatcher as a subscriber for `p`.
   /// Returns false if it already was.
   bool add_local(Pattern p);
@@ -48,7 +60,9 @@ class SubscriptionTable {
   [[nodiscard]] bool knows(Pattern p) const;
 
   /// True if this dispatcher is locally subscribed to any of the event's
-  /// patterns — i.e., the event must be delivered here.
+  /// patterns — i.e., the event must be delivered here. A mask intersection
+  /// on the fast path; events/universes beyond the bitset range fall back
+  /// to per-pattern lookups.
   [[nodiscard]] bool matches_local(const EventData& event) const;
 
   /// Union of next-hops for all the event's patterns, minus `exclude`
@@ -66,11 +80,30 @@ class SubscriptionTable {
   [[nodiscard]] std::vector<NodeId> route_targets(Pattern p,
                                                   NodeId exclude) const;
 
+  /// Scratch-buffer variant of the above (gossip rounds route one digest
+  /// per round per node).
+  void route_targets_into(Pattern p, NodeId exclude,
+                          std::vector<NodeId>& out) const;
+
   /// Patterns with any entry — the push algorithm's sampling population.
   [[nodiscard]] std::vector<Pattern> known_patterns() const;
+  /// As above into a caller-owned scratch buffer (cleared first).
+  void known_patterns_into(std::vector<Pattern>& out) const;
+  /// Size of the sampling population without materializing it.
+  [[nodiscard]] std::size_t known_pattern_count() const;
+  /// The k-th known pattern in ascending order (k < known_pattern_count())
+  /// — equals known_patterns()[k], without building the vector.
+  [[nodiscard]] Pattern known_pattern_at(std::size_t k) const;
 
   /// Patterns with a local subscription — the pull sampling population.
   [[nodiscard]] std::vector<Pattern> local_patterns() const;
+  /// As above into a caller-owned scratch buffer (cleared first).
+  void local_patterns_into(std::vector<Pattern>& out) const;
+
+  /// Bitset of locally subscribed patterns (below PatternSet::kCapacity).
+  [[nodiscard]] const PatternSet& local_mask() const { return local_mask_; }
+  /// Bitset of all known patterns (below PatternSet::kCapacity).
+  [[nodiscard]] const PatternSet& known_mask() const { return known_mask_; }
 
   [[nodiscard]] std::size_t entry_count() const;
 
@@ -82,10 +115,21 @@ class SubscriptionTable {
     [[nodiscard]] bool empty() const { return !local && next_hops.empty(); }
   };
 
-  /// Erases `p` if its entry became empty (keeps known_patterns() exact).
-  void prune(Pattern p);
+  [[nodiscard]] Entry* find_entry(Pattern p);
+  [[nodiscard]] const Entry* find_entry(Pattern p) const;
+  [[nodiscard]] Entry& entry_for(Pattern p);
+  /// Reconciles the masks / overflow map after `p`'s entry changed.
+  void note_changed(Pattern p);
 
-  std::unordered_map<Pattern, Entry> entries_;
+  /// Entries for patterns < PatternSet::kCapacity, indexed by value;
+  /// existence is tracked by known_mask_ (an entry outside the mask is
+  /// empty and ignored).
+  std::vector<Entry> dense_;
+  PatternSet known_mask_;
+  PatternSet local_mask_;
+  /// Entries for oversized patterns; std::map keeps ascending order so
+  /// enumerations stay sorted.
+  std::map<Pattern, Entry> overflow_;
 };
 
 }  // namespace epicast

@@ -71,6 +71,16 @@ struct ScenarioConfig {
   /// stays independent of the oracle module.
   [[nodiscard]] static bool oracle_default_enabled();
 
+  /// Nanosecond timing for the hot-path phase profiler. Op counts are always
+  /// collected (ScenarioResult::hotpath); enabling this adds two clock reads
+  /// per phase entry, so it is off by default. Defaults from
+  /// EPICAST_PROFILE=1. Timing changes no RNG draw and no simulated time:
+  /// results stay bit-identical either way.
+  bool profile_hotpath = profile_default_enabled();
+
+  /// True iff EPICAST_PROFILE is set to a truthy value ("1", "on").
+  [[nodiscard]] static bool profile_default_enabled();
+
   // -- link details -------------------------------------------------------------
   double link_bandwidth_bps = 10e6;         ///< 10 Mbit/s Ethernet (§IV-A)
   Duration link_propagation = Duration::micros(50);

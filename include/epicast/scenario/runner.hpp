@@ -15,7 +15,9 @@
 
 #include <cstdint>
 
+#include "epicast/common/message_pool.hpp"
 #include "epicast/gossip/protocol.hpp"
+#include "epicast/metrics/hotpath_profiler.hpp"
 #include "epicast/metrics/message_stats.hpp"
 #include "epicast/metrics/time_series.hpp"
 #include "epicast/scenario/config.hpp"
@@ -55,6 +57,13 @@ struct ScenarioResult {
   std::uint64_t reconfig_breaks = 0;
   std::uint64_t reconfig_repairs = 0;
   std::uint64_t drops_no_link = 0;      ///< stale-route drops, whole run
+
+  // -- hot-path attribution ------------------------------------------------------
+  /// Per-phase op counts (always) and inclusive nanoseconds (when
+  /// ScenarioConfig::profile_hotpath was set).
+  HotpathProfiler::Snapshot hotpath;
+  /// Message-pool counters for the run (allocations, reuses, slab bytes).
+  MessagePool::Stats pool;
 
   // -- bookkeeping ----------------------------------------------------------------
   std::uint64_t sim_events_executed = 0;

@@ -76,8 +76,15 @@ class SweepRunner {
   [[nodiscard]] const SweepStats& last_stats() const { return stats_; }
 
   /// 0 → EPICAST_JOBS environment variable, if unset/invalid →
-  /// hardware_concurrency, never less than 1.
+  /// available_parallelism(), never less than 1. An explicit request (arg
+  /// or env) is honored verbatim; only the auto-detected default is clamped
+  /// to the CPUs this process may actually run on.
   [[nodiscard]] static unsigned resolve_jobs(unsigned requested);
+
+  /// CPUs available to this process: hardware_concurrency clamped to the
+  /// scheduling affinity mask (a container limited to 1 CPU reports 1 here
+  /// even when the machine has more cores). Never less than 1.
+  [[nodiscard]] static unsigned available_parallelism();
 
  private:
   std::vector<ScenarioResult> run_indexed(

@@ -11,7 +11,9 @@
 #include <functional>
 #include <memory>
 
+#include "epicast/common/message_pool.hpp"
 #include "epicast/common/rng.hpp"
+#include "epicast/metrics/hotpath_profiler.hpp"
 #include "epicast/sim/scheduler.hpp"
 #include "epicast/sim/time.hpp"
 
@@ -100,10 +102,22 @@ class Simulator {
   /// Seed this simulator was constructed with (for reports).
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
+  /// Per-scenario message/event allocation pool. Scenarios are
+  /// single-threaded, so the pool is unsynchronized by design; everything
+  /// allocated through it may outlive this Simulator (the pool state is
+  /// reference-counted by outstanding allocations).
+  [[nodiscard]] MessagePool& pool() { return pool_; }
+
+  /// Hot-path phase counters (ops always, ns when a scenario enables
+  /// timing); aggregated into ScenarioResult.
+  [[nodiscard]] HotpathProfiler& profiler() { return profiler_; }
+
  private:
   std::uint64_t seed_;
   Scheduler scheduler_;
   Rng root_rng_;
+  MessagePool pool_;
+  HotpathProfiler profiler_;
 };
 
 }  // namespace epicast

@@ -18,15 +18,60 @@ std::size_t EventCache::SpKeyHash::operator()(const SpKey& k) const noexcept {
 EventCache::EventCache(std::size_t capacity, CachePolicy policy, Rng rng)
     : capacity_(capacity), policy_(policy), rng_(rng) {
   EPICAST_ASSERT_MSG(capacity > 0, "cache capacity must be positive");
+  // The cache runs at exactly `capacity` entries in steady state; sizing
+  // everything up front keeps the insert-evict churn rehash- and
+  // reallocation-free.
+  nodes_.reserve(capacity);
+  by_id_.reserve(capacity);
+  if (policy == CachePolicy::Random) {
+    random_pool_.reserve(capacity);
+    random_pos_.reserve(capacity);
+  }
+}
+
+void EventCache::link_back(std::uint32_t slot) {
+  Node& n = nodes_[slot];
+  n.prev = tail_;
+  n.next = kNil;
+  if (tail_ != kNil) {
+    nodes_[tail_].next = slot;
+  } else {
+    head_ = slot;
+  }
+  tail_ = slot;
+}
+
+void EventCache::unlink(std::uint32_t slot) {
+  Node& n = nodes_[slot];
+  if (n.prev != kNil) {
+    nodes_[n.prev].next = n.next;
+  } else {
+    head_ = n.next;
+  }
+  if (n.next != kNil) {
+    nodes_[n.next].prev = n.prev;
+  } else {
+    tail_ = n.prev;
+  }
 }
 
 bool EventCache::insert(const EventPtr& event) {
   EPICAST_ASSERT(event != nullptr);
+  HotpathProfiler::MaybeScope scope(profiler_, HotPhase::CacheOp);
   if (by_id_.contains(event->id())) return false;
   while (by_id_.size() >= capacity_) evict_one();
 
-  order_.push_back(event);
-  by_id_.emplace(event->id(), std::prev(order_.end()));
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  nodes_[slot].event = event;
+  link_back(slot);
+  by_id_.emplace(event->id(), slot);
   if (policy_ == CachePolicy::Random) {
     random_pos_.emplace(event->id(), random_pool_.size());
     random_pool_.push_back(event->id());
@@ -45,19 +90,29 @@ void EventCache::index_patterns(const EventPtr& event) {
 }
 
 void EventCache::unindex_patterns(const EventData& event) {
+  // Precondition (see drop()): the event is already out of by_id_, so its
+  // ids count as stale below.
   for (const PatternSeq& ps : event.patterns()) {
     by_source_pattern_.erase(SpKey{event.source(), ps.pattern, ps.seq});
-    // by_pattern_ entries are purged lazily in ids_matching().
+    // Eager head purge: under FIFO eviction the victim sits at the front
+    // of its pattern deques, so the index cannot grow unboundedly at small
+    // β. Stale ids in the middle (LRU/random) fall to ids_matching()'s
+    // lazy purge.
+    auto bucket = by_pattern_.find(ps.pattern);
+    if (bucket == by_pattern_.end()) continue;
+    std::deque<EventId>& ids = bucket->second;
+    while (!ids.empty() && !by_id_.contains(ids.front())) ids.pop_front();
+    if (ids.empty()) by_pattern_.erase(bucket);
   }
 }
 
 void EventCache::evict_one() {
-  EPICAST_ASSERT(!order_.empty());
+  EPICAST_ASSERT(head_ != kNil);
   EventId victim;
   if (policy_ == CachePolicy::Random) {
     victim = random_pool_[rng_.next_below(random_pool_.size())];
   } else {
-    victim = order_.front()->id();  // FIFO and LRU both evict the front
+    victim = nodes_[head_].event->id();  // FIFO and LRU evict the head
   }
   drop(victim);
   ++stats_.evictions;
@@ -66,9 +121,14 @@ void EventCache::evict_one() {
 void EventCache::drop(const EventId& id) {
   auto it = by_id_.find(id);
   EPICAST_ASSERT(it != by_id_.end());
-  unindex_patterns(**it->second);
-  order_.erase(it->second);
+  const std::uint32_t slot = it->second;
+  // Remove from by_id_ before unindexing so the eager purge sees the
+  // victim's own ids as stale.
+  const EventPtr victim = std::move(nodes_[slot].event);
+  unlink(slot);
+  free_.push_back(slot);
   by_id_.erase(it);
+  unindex_patterns(*victim);
   if (policy_ == CachePolicy::Random) {
     // Swap-pop keeps the sampling pool dense.
     const std::size_t pos = random_pos_.at(id);
@@ -84,37 +144,66 @@ bool EventCache::contains(const EventId& id) const {
   return by_id_.contains(id);
 }
 
-EventPtr EventCache::get(const EventId& id) {
+EventPtr EventCache::lookup(const EventId& id) {
   auto it = by_id_.find(id);
   if (it == by_id_.end()) {
     ++stats_.misses;
     return nullptr;
   }
   ++stats_.hits;
-  if (policy_ == CachePolicy::Lru) {
-    order_.splice(order_.end(), order_, it->second);  // refresh recency
+  if (policy_ == CachePolicy::Lru && it->second != tail_) {
+    unlink(it->second);  // refresh recency
+    link_back(it->second);
   }
-  return *it->second;
+  return nodes_[it->second].event;
+}
+
+EventPtr EventCache::get(const EventId& id) {
+  HotpathProfiler::MaybeScope scope(profiler_, HotPhase::CacheOp);
+  return lookup(id);
 }
 
 EventPtr EventCache::find(NodeId source, Pattern pattern, SeqNo seq) {
+  HotpathProfiler::MaybeScope scope(profiler_, HotPhase::CacheOp);
   auto it = by_source_pattern_.find(SpKey{source, pattern, seq});
   if (it == by_source_pattern_.end()) {
     ++stats_.misses;
     return nullptr;
   }
-  return get(it->second);
+  return lookup(it->second);
 }
 
 std::vector<EventId> EventCache::ids_matching(Pattern pattern,
                                               std::size_t max_entries) {
   std::vector<EventId> out;
+  ids_matching_into(pattern, max_entries, out);
+  return out;
+}
+
+void EventCache::ids_matching_into(Pattern pattern, std::size_t max_entries,
+                                   std::vector<EventId>& out) {
+  out.clear();
+  HotpathProfiler::MaybeScope scope(profiler_, HotPhase::CacheOp);
   auto bucket = by_pattern_.find(pattern);
-  if (bucket == by_pattern_.end()) return out;
+  if (bucket == by_pattern_.end()) return;
 
   std::deque<EventId>& ids = bucket->second;
-  // Lazy purge: evicted ids are dropped as they are encountered. Under FIFO
-  // they cluster at the front, making the purge amortized O(1) per insert.
+  if (policy_ == CachePolicy::Fifo) {
+    // FIFO invariant: every eviction removes the globally oldest event,
+    // whose ids sit at the fronts of its own pattern deques — the eager
+    // purge in unindex_patterns() strips them immediately, so the deques
+    // hold live ids only and no per-id liveness probe is needed. Copy the
+    // newest max_entries straight out (they are the ones receivers most
+    // likely miss and the ones that survive longest in our own buffer).
+    const std::size_t n = (max_entries != 0 && ids.size() > max_entries)
+                              ? max_entries
+                              : ids.size();
+    out.insert(out.end(), ids.end() - static_cast<std::ptrdiff_t>(n),
+               ids.end());
+    return;
+  }
+  // Lazy purge: evicted ids are dropped as they are encountered (LRU and
+  // random eviction scatter stale ids through the deque).
   std::size_t live = 0;
   for (const EventId& id : ids) {
     if (!by_id_.contains(id)) continue;
@@ -134,7 +223,12 @@ std::vector<EventId> EventCache::ids_matching(Pattern pattern,
     out.erase(out.begin(),
               out.end() - static_cast<std::ptrdiff_t>(max_entries));
   }
-  return out;
+}
+
+std::size_t EventCache::pattern_index_entries() const {
+  std::size_t n = 0;
+  for (const auto& [p, ids] : by_pattern_) n += ids.size();
+  return n;
 }
 
 }  // namespace epicast

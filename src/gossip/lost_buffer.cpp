@@ -12,26 +12,51 @@ LostBuffer::LostBuffer(std::size_t capacity, Duration ttl)
   EPICAST_ASSERT(ttl > Duration::zero());
 }
 
+void LostBuffer::note_added(Pattern p) {
+  if (PatternSet::representable(p)) {
+    if (pattern_counts_[p.value()]++ == 0) pattern_mask_.set(p);
+  } else {
+    ++overflow_counts_[p];
+  }
+}
+
+void LostBuffer::note_removed(Pattern p) {
+  if (PatternSet::representable(p)) {
+    EPICAST_ASSERT(pattern_counts_[p.value()] > 0);
+    if (--pattern_counts_[p.value()] == 0) pattern_mask_.clear(p);
+  } else {
+    auto it = overflow_counts_.find(p);
+    EPICAST_ASSERT(it != overflow_counts_.end());
+    if (--it->second == 0) overflow_counts_.erase(it);
+  }
+}
+
 bool LostBuffer::add(const LostEntryInfo& entry, SimTime now) {
   if (by_key_.contains(entry)) return false;
   if (by_key_.size() >= capacity_) {
     // Overflow: the oldest entry is the least likely to still be cached
     // anywhere, so it is the right one to abandon.
+    note_removed(order_.front().info.pattern);
     by_key_.erase(order_.front().info);
     order_.pop_front();
     ++stats_.overflowed;
   }
   order_.push_back(Node{entry, now});
   by_key_.emplace(entry, std::prev(order_.end()));
+  note_added(entry.pattern);
   ++stats_.added;
   return true;
 }
 
 bool LostBuffer::remove(const LostEntryInfo& entry) {
+  // Fast reject via the pattern summary: this runs once per pattern of
+  // every received event and almost always misses.
+  if (surely_absent(entry.pattern)) return false;
   auto it = by_key_.find(entry);
   if (it == by_key_.end()) return false;
   order_.erase(it->second);
   by_key_.erase(it);
+  note_removed(entry.pattern);
   ++stats_.recovered;
   return true;
 }
@@ -39,6 +64,7 @@ bool LostBuffer::remove(const LostEntryInfo& entry) {
 std::size_t LostBuffer::expire(SimTime now) {
   std::size_t n = 0;
   while (!order_.empty() && now - order_.front().detected_at > ttl_) {
+    note_removed(order_.front().info.pattern);
     by_key_.erase(order_.front().info);
     order_.pop_front();
     ++n;
@@ -65,8 +91,21 @@ std::vector<LostEntryInfo> LostBuffer::collect(Pred&& pred,
 
 std::vector<LostEntryInfo> LostBuffer::entries_for_pattern(
     Pattern p, std::size_t max_entries) const {
-  return collect([p](const LostEntryInfo& e) { return e.pattern == p; },
-                 max_entries);
+  std::vector<LostEntryInfo> out;
+  entries_for_pattern_into(p, max_entries, out);
+  return out;
+}
+
+void LostBuffer::entries_for_pattern_into(
+    Pattern p, std::size_t max_entries,
+    std::vector<LostEntryInfo>& out) const {
+  out.clear();
+  if (surely_absent(p)) return;
+  for (const Node& node : order_) {
+    if (node.info.pattern != p) continue;
+    out.push_back(node.info);
+    if (max_entries != 0 && out.size() >= max_entries) break;
+  }
 }
 
 std::vector<LostEntryInfo> LostBuffer::entries_for_source(
@@ -81,11 +120,24 @@ std::vector<LostEntryInfo> LostBuffer::all_entries(
 }
 
 std::vector<Pattern> LostBuffer::patterns_with_losses() const {
+  // The summary already holds the distinct patterns in ascending order —
+  // no walk over order_, no sort (the old implementation rescanned the
+  // whole list every gossip round).
   std::vector<Pattern> out;
-  for (const Node& node : order_) out.push_back(node.info.pattern);
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
+  out.reserve(patterns_with_losses_count());
+  pattern_mask_.for_each([&out](Pattern p) { out.push_back(p); });
+  for (const auto& [p, n] : overflow_counts_) out.push_back(p);
   return out;
+}
+
+Pattern LostBuffer::pattern_with_losses_at(std::size_t k) const {
+  const std::size_t in_mask = pattern_mask_.count();
+  if (k < in_mask) return pattern_mask_.nth(k);
+  k -= in_mask;
+  EPICAST_ASSERT(k < overflow_counts_.size());
+  auto it = overflow_counts_.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(k));
+  return it->first;
 }
 
 std::vector<NodeId> LostBuffer::oldest_sources(

@@ -37,8 +37,11 @@ GossipProtocolBase::GossipProtocolBase(Dispatcher& dispatcher,
     : d_(dispatcher),
       cfg_(config),
       cache_(config.buffer_size, config.cache_policy, dispatcher.rng().fork()),
-      msgs_(dispatcher.id(), config.gossip_message_bytes),
+      msgs_(dispatcher.id(), config.gossip_message_bytes,
+            &dispatcher.simulator().pool()),
+      prof_(dispatcher.simulator().profiler()),
       adaptive_(config.adaptive, config.interval) {
+  cache_.set_profiler(&prof_);
   EPICAST_ASSERT(cfg_.interval > Duration::zero());
   EPICAST_ASSERT(cfg_.forward_probability >= 0.0 &&
                  cfg_.forward_probability <= 1.0);
@@ -59,6 +62,7 @@ void GossipProtocolBase::start() {
 void GossipProtocolBase::stop() { timer_.stop(); }
 
 void GossipProtocolBase::run_round() {
+  HotpathProfiler::Scope scope(prof_, HotPhase::GossipRound);
   ++stats_.rounds;
   const bool had_activity = on_round();
   if (!had_activity) ++stats_.rounds_skipped;
@@ -86,6 +90,7 @@ bool GossipProtocolBase::responsible_for(const EventData& event,
 }
 
 void GossipProtocolBase::on_gossip(NodeId from, const MessagePtr& msg) {
+  HotpathProfiler::Scope scope(prof_, HotPhase::GossipHandle);
   const auto& gmsg = static_cast<const GossipMessage&>(*msg);
   switch (gmsg.kind()) {
     case GossipKind::Request:
@@ -154,6 +159,14 @@ void GossipProtocolBase::handle_reply(const RecoveryReplyMessage& msg) {
 std::vector<NodeId> GossipProtocolBase::fanout(std::vector<NodeId> candidates,
                                                bool ensure_progress) {
   std::vector<NodeId> out;
+  fanout_into(candidates, ensure_progress, out);
+  return out;
+}
+
+void GossipProtocolBase::fanout_into(const std::vector<NodeId>& candidates,
+                                     bool ensure_progress,
+                                     std::vector<NodeId>& out) {
+  out.clear();
   out.reserve(candidates.size());
   for (NodeId n : candidates) {
     if (d_.rng().chance(cfg_.forward_probability)) out.push_back(n);
@@ -161,7 +174,6 @@ std::vector<NodeId> GossipProtocolBase::fanout(std::vector<NodeId> candidates,
   if (out.empty() && ensure_progress && !candidates.empty()) {
     out.push_back(candidates[d_.rng().next_below(candidates.size())]);
   }
-  return out;
 }
 
 void GossipProtocolBase::send_digest(NodeId to, MessagePtr msg,

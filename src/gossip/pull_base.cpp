@@ -43,17 +43,23 @@ bool PullProtocolBase::round_subscriber() {
   // goal is retrieving events relevant to itself, not dissemination
   // (§III-B). Lost entries only ever involve local patterns, so the
   // buffer's pattern set is exactly that population.
-  const std::vector<Pattern> patterns = lost_.patterns_with_losses();
-  if (patterns.empty()) return false;
-  const Pattern p = patterns[d_.rng().next_below(patterns.size())];
+  const std::size_t n_patterns = lost_.patterns_with_losses_count();
+  if (n_patterns == 0) return false;
+  const Pattern p =
+      lost_.pattern_with_losses_at(d_.rng().next_below(n_patterns));
 
-  std::vector<LostEntryInfo> wanted =
-      lost_.entries_for_pattern(p, cfg_.max_digest_entries);
-  EPICAST_ASSERT(!wanted.empty());
+  lost_.entries_for_pattern_into(p, cfg_.max_digest_entries, wanted_scratch_);
+  EPICAST_ASSERT(!wanted_scratch_.empty());
 
-  for (NodeId to : fanout(d_.table().route_targets(p, NodeId::invalid()), true)) {
-    send_digest(to, msgs_.subscriber_pull_digest(d_.id(), p, wanted, /*hops=*/0),
-                /*originated=*/true);
+  d_.table().route_targets_into(p, NodeId::invalid(), targets_scratch_);
+  fanout_into(targets_scratch_, true, fanout_scratch_);
+  if (!fanout_scratch_.empty()) {
+    // One immutable digest shared by every target this round.
+    const MessagePtr digest =
+        msgs_.subscriber_pull_digest(d_.id(), p, wanted_scratch_, /*hops=*/0);
+    for (NodeId to : fanout_scratch_) {
+      send_digest(to, digest, /*originated=*/true);
+    }
   }
   return true;
 }
@@ -168,11 +174,14 @@ void PullProtocolBase::handle_subscriber_digest(
       serve_from_cache(msg.gossiper(), msg.wanted());
   if (remaining.empty()) return;  // fully short-circuited
   if (msg.hops() + 1 > cfg_.max_hops) return;
-  for (NodeId to : fanout(d_.table().route_targets(msg.pattern(), from), true)) {
-    send_digest(to,
-                msgs_.subscriber_pull_digest(msg.gossiper(), msg.pattern(),
-                                             remaining, msg.hops() + 1),
-                /*originated=*/false);
+  d_.table().route_targets_into(msg.pattern(), from, targets_scratch_);
+  fanout_into(targets_scratch_, true, fanout_scratch_);
+  if (!fanout_scratch_.empty()) {
+    const MessagePtr fwd = msgs_.subscriber_pull_digest(
+        msg.gossiper(), msg.pattern(), std::move(remaining), msg.hops() + 1);
+    for (NodeId to : fanout_scratch_) {
+      send_digest(to, fwd, /*originated=*/false);
+    }
   }
 }
 
@@ -194,15 +203,17 @@ void PullProtocolBase::handle_random_digest(
       serve_from_cache(msg.gossiper(), msg.wanted());
   if (remaining.empty()) return;
   if (msg.hops() + 1 > cfg_.max_hops) return;
-  std::vector<NodeId> candidates;
+  targets_scratch_.clear();
   for (NodeId n : d_.neighbors()) {
-    if (n != from) candidates.push_back(n);
+    if (n != from) targets_scratch_.push_back(n);
   }
-  for (NodeId to : fanout(std::move(candidates), false)) {
-    send_digest(to,
-                msgs_.random_pull_digest(msg.gossiper(), remaining,
-                                         msg.hops() + 1),
-                /*originated=*/false);
+  fanout_into(targets_scratch_, false, fanout_scratch_);
+  if (!fanout_scratch_.empty()) {
+    const MessagePtr fwd = msgs_.random_pull_digest(
+        msg.gossiper(), std::move(remaining), msg.hops() + 1);
+    for (NodeId to : fanout_scratch_) {
+      send_digest(to, fwd, /*originated=*/false);
+    }
   }
 }
 

@@ -13,18 +13,23 @@ bool PushProtocol::on_round() {
   // p is drawn from the whole table: patterns the dispatcher subscribes to
   // *or* routes for. This widens dissemination and speeds up convergence
   // (§III-B).
-  const std::vector<Pattern> patterns = d_.table().known_patterns();
-  if (patterns.empty()) return activity;
-  const Pattern p = patterns[d_.rng().next_below(patterns.size())];
+  const std::size_t n_patterns = d_.table().known_pattern_count();
+  if (n_patterns == 0) return activity;
+  const Pattern p =
+      d_.table().known_pattern_at(d_.rng().next_below(n_patterns));
 
-  std::vector<EventId> ids = cache_.ids_matching(p, cfg_.max_digest_entries);
-  if (ids.empty()) return activity;  // nothing worth advertising
+  cache_.ids_matching_into(p, cfg_.max_digest_entries, ids_scratch_);
+  if (ids_scratch_.empty()) return activity;  // nothing worth advertising
 
-  const std::vector<NodeId> targets =
-      fanout(d_.table().route_targets(p, NodeId::invalid()), true);
-  for (NodeId to : targets) {
-    send_digest(to, msgs_.push_digest(d_.id(), p, ids, /*hops=*/0),
-                /*originated=*/true);
+  d_.table().route_targets_into(p, NodeId::invalid(), targets_scratch_);
+  fanout_into(targets_scratch_, true, fanout_scratch_);
+  if (!fanout_scratch_.empty()) {
+    // One immutable digest shared by every target this round.
+    const MessagePtr digest =
+        msgs_.push_digest(d_.id(), p, ids_scratch_, /*hops=*/0);
+    for (NodeId to : fanout_scratch_) {
+      send_digest(to, digest, /*originated=*/true);
+    }
   }
   // Proactive sends are not "activity": only observed demand (requests)
   // keeps the adaptive interval at its minimum.
@@ -72,11 +77,14 @@ void PushProtocol::handle_digest(NodeId from, const GossipMessage& msg) {
   // Propagate along the tree like an event matching p, with P_forward
   // subsetting at every hop.
   if (digest.hops() + 1 > cfg_.max_hops) return;
-  for (NodeId to : fanout(d_.table().route_targets(p, from), true)) {
-    send_digest(to,
-                msgs_.push_digest(digest.gossiper(), p, digest.ids(),
-                                  digest.hops() + 1),
-                /*originated=*/false);
+  d_.table().route_targets_into(p, from, targets_scratch_);
+  fanout_into(targets_scratch_, true, fanout_scratch_);
+  if (!fanout_scratch_.empty()) {
+    const MessagePtr fwd = msgs_.push_digest(digest.gossiper(), p,
+                                             digest.ids(), digest.hops() + 1);
+    for (NodeId to : fanout_scratch_) {
+      send_digest(to, fwd, /*originated=*/false);
+    }
   }
 }
 

@@ -10,13 +10,16 @@ bool RandomPullProtocol::on_round() {
 
   // Same per-round scope as the steered pulls — losses of one randomly
   // chosen pattern — so the only difference under test is the routing.
-  const std::vector<Pattern> patterns = lost_.patterns_with_losses();
-  const Pattern p = patterns[d_.rng().next_below(patterns.size())];
-  std::vector<LostEntryInfo> wanted =
-      lost_.entries_for_pattern(p, cfg_.max_digest_entries);
-  for (NodeId to : fanout(d_.neighbors(), false)) {
-    send_digest(to, msgs_.random_pull_digest(d_.id(), wanted, /*hops=*/0),
-                /*originated=*/true);
+  const Pattern p = lost_.pattern_with_losses_at(
+      d_.rng().next_below(lost_.patterns_with_losses_count()));
+  lost_.entries_for_pattern_into(p, cfg_.max_digest_entries, wanted_scratch_);
+  fanout_into(d_.neighbors(), false, fanout_scratch_);
+  if (!fanout_scratch_.empty()) {
+    const MessagePtr digest =
+        msgs_.random_pull_digest(d_.id(), wanted_scratch_, /*hops=*/0);
+    for (NodeId to : fanout_scratch_) {
+      send_digest(to, digest, /*originated=*/true);
+    }
   }
   return true;
 }

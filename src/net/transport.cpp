@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "epicast/common/assert.hpp"
+#include "epicast/metrics/hotpath_profiler.hpp"
 
 namespace epicast {
 
@@ -34,6 +35,7 @@ TransportReceiver& Transport::receiver_for(NodeId node) const {
 }
 
 void Transport::send_overlay(NodeId from, NodeId to, MessagePtr msg) {
+  HotpathProfiler::Scope scope(sim_.profiler(), HotPhase::TransportOverlay);
   EPICAST_ASSERT(msg != nullptr);
   EPICAST_ASSERT(from != to);
   for (TransportObserver* o : observers_) o->on_send(from, to, *msg, /*overlay=*/true);
@@ -80,6 +82,7 @@ void Transport::send_overlay(NodeId from, NodeId to, MessagePtr msg) {
 }
 
 void Transport::send_direct(NodeId from, NodeId to, MessagePtr msg) {
+  HotpathProfiler::Scope scope(sim_.profiler(), HotPhase::TransportDirect);
   EPICAST_ASSERT(msg != nullptr);
   EPICAST_ASSERT_MSG(from != to, "direct send to self");
   for (TransportObserver* o : observers_) o->on_send(from, to, *msg, /*overlay=*/false);

@@ -5,6 +5,8 @@
 
 #include "epicast/common/assert.hpp"
 #include "epicast/common/logging.hpp"
+#include "epicast/common/message_pool.hpp"
+#include "epicast/metrics/hotpath_profiler.hpp"
 
 namespace epicast {
 
@@ -45,11 +47,16 @@ void Dispatcher::subscribe(Pattern p) {
   table_.add_local(p);
   // Flood towards every direction not already covered by a previous
   // propagation of the same pattern ("avoid forwarding the same event
-  // pattern in the same direction").
+  // pattern in the same direction"). Messages are immutable, so one pooled
+  // frame serves every direction.
+  MessagePtr sub;
   for (NodeId m : neighbors()) {
     if (sub_sent(p, m)) continue;
     note_sub_sent(p, m);
-    send_overlay(m, std::make_shared<SubscribeMessage>(p, /*subscribe=*/true));
+    if (!sub) {
+      sub = make_pooled<SubscribeMessage>(sim_.pool(), p, /*subscribe=*/true);
+    }
+    send_overlay(m, sub);
   }
 }
 
@@ -65,6 +72,7 @@ void Dispatcher::maybe_propagate_unsub(Pattern p, NodeId skip) {
   auto it = sub_sent_.find(p);
   if (it == sub_sent_.end()) return;
   std::vector<NodeId> sent = it->second;  // copy: we mutate while iterating
+  MessagePtr unsub;
   for (NodeId m : sent) {
     if (m == skip) continue;
     if (table_.has_local(p)) continue;
@@ -77,8 +85,11 @@ void Dispatcher::maybe_propagate_unsub(Pattern p, NodeId skip) {
     if (interest_elsewhere) continue;
     auto& live = sub_sent_[p];
     live.erase(std::remove(live.begin(), live.end(), m), live.end());
-    send_overlay(m,
-                 std::make_shared<SubscribeMessage>(p, /*subscribe=*/false));
+    if (!unsub) {
+      unsub =
+          make_pooled<SubscribeMessage>(sim_.pool(), p, /*subscribe=*/false);
+    }
+    send_overlay(m, unsub);
   }
   if (sub_sent_[p].empty()) sub_sent_.erase(p);
 }
@@ -119,20 +130,25 @@ void Dispatcher::handle_link_add(NodeId neighbor) {
                           !table_.route_targets(p, neighbor).empty();
     if (!interest || sub_sent(p, neighbor)) continue;
     note_sub_sent(p, neighbor);
-    send_overlay(neighbor,
-                 std::make_shared<SubscribeMessage>(p, /*subscribe=*/true));
+    send_overlay(neighbor, make_pooled<SubscribeMessage>(sim_.pool(), p,
+                                                         /*subscribe=*/true));
   }
 }
 
 void Dispatcher::handle_control(NodeId from, const SubscribeMessage& msg) {
+  HotpathProfiler::Scope scope(sim_.profiler(), HotPhase::Control);
   const Pattern p = msg.pattern();
   if (msg.is_subscribe()) {
     table_.add_route(p, from);
+    MessagePtr sub;
     for (NodeId m : neighbors()) {
       if (m == from || sub_sent(p, m)) continue;
       note_sub_sent(p, m);
-      send_overlay(m,
-                   std::make_shared<SubscribeMessage>(p, /*subscribe=*/true));
+      if (!sub) {
+        sub =
+            make_pooled<SubscribeMessage>(sim_.pool(), p, /*subscribe=*/true);
+      }
+      send_overlay(m, sub);
     }
   } else {
     table_.remove_route(p, from);
@@ -158,9 +174,9 @@ EventPtr Dispatcher::publish(const std::vector<Pattern>& content,
     const std::uint64_t seq = ++next_pattern_seq_[p];
     patterns.push_back(PatternSeq{p, SeqNo{seq}});
   }
-  auto event = std::make_shared<EventData>(
-      EventId{id_, next_source_seq_++}, std::move(patterns), payload_bytes,
-      sim_.now());
+  auto event = make_pooled<EventData>(
+      sim_.pool(), EventId{id_, next_source_seq_++}, std::move(patterns),
+      payload_bytes, sim_.now());
   ++stats_.published;
 
   seen_.insert(event->id());
@@ -185,6 +201,7 @@ void Dispatcher::accept_event(const EventPtr& event,
 
 void Dispatcher::forward_event(const EventPtr& event, NodeId exclude,
                                const std::vector<NodeId>& route_so_far) {
+  HotpathProfiler::Scope scope(sim_.profiler(), HotPhase::Forward);
   std::vector<NodeId>& targets = forward_targets_scratch_;
   table_.route_targets_into(*event, exclude, targets);
   if (targets.empty()) return;
@@ -194,15 +211,19 @@ void Dispatcher::forward_event(const EventPtr& event, NodeId exclude,
     route = route_so_far;
     if (route.empty() || route.back() != id_) route.push_back(id_);
   }
+  // Every target receives the same (event, route): one pooled frame, shared.
+  const MessagePtr frame =
+      make_pooled<EventMessage>(sim_.pool(), event, std::move(route));
   for (NodeId to : targets) {
     ++stats_.forwarded;
-    send_overlay(to, std::make_shared<EventMessage>(event, route));
+    send_overlay(to, frame);
   }
 }
 
 void Dispatcher::handle_event(NodeId from, const EventMessage& msg) {
+  HotpathProfiler::Scope scope(sim_.profiler(), HotPhase::Dispatch);
   const EventPtr& event = msg.event();
-  if (!seen_.insert(event->id()).second) {
+  if (!seen_.insert(event->id())) {
     ++stats_.duplicates;
     return;
   }
@@ -214,7 +235,7 @@ void Dispatcher::handle_event(NodeId from, const EventMessage& msg) {
 }
 
 bool Dispatcher::accept_recovered(const EventPtr& event) {
-  if (!seen_.insert(event->id()).second) {
+  if (!seen_.insert(event->id())) {
     ++stats_.duplicates;
     return false;
   }

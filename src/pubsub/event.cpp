@@ -21,9 +21,19 @@ EventData::EventData(EventId id, std::vector<PatternSeq> patterns,
     EPICAST_ASSERT_MSG(patterns_[i - 1].pattern != patterns_[i].pattern,
                        "event patterns must be distinct");
   }
+  for (const PatternSeq& ps : patterns_) {
+    if (PatternSet::representable(ps.pattern)) {
+      mask_.set(ps.pattern);
+    } else {
+      mask_complete_ = false;
+    }
+  }
 }
 
 bool EventData::matches(Pattern p) const {
+  // For representable patterns the mask is exact; only oversized universes
+  // (CLI-configured Π > 128) need the linear fallback.
+  if (PatternSet::representable(p)) return mask_.test(p);
   return seq_for(p).has_value();
 }
 

@@ -41,9 +41,10 @@ PubSubNetwork::Oracle PubSubNetwork::compute_oracle() const {
   // (p → predecessor of v on the path from s), i.e. v's next hop towards s.
   std::vector<NodeId> pred(nodes_.size());
   std::vector<bool> seen(nodes_.size());
+  std::vector<Pattern> patterns;
   for (const auto& sub : nodes_) {
     const NodeId s = sub->id();
-    const auto patterns = sub->table().local_patterns();
+    sub->table().local_patterns_into(patterns);
     if (patterns.empty()) continue;
 
     std::fill(seen.begin(), seen.end(), false);
@@ -106,11 +107,15 @@ void PubSubNetwork::enable_protocol_reconfiguration() {
 
 bool PubSubNetwork::routes_consistent() const {
   const Oracle oracle = compute_oracle();
+  std::vector<Pattern> patterns;
+  std::vector<NodeId> hops;
   for (std::uint32_t v = 0; v < nodes_.size(); ++v) {
     const SubscriptionTable& table = nodes_[v]->table();
     std::vector<std::pair<Pattern, NodeId>> actual;
-    for (Pattern p : table.known_patterns()) {
-      for (NodeId hop : table.route_targets(p, NodeId::invalid())) {
+    table.known_patterns_into(patterns);
+    for (Pattern p : patterns) {
+      table.route_targets_into(p, NodeId::invalid(), hops);
+      for (NodeId hop : hops) {
         actual.emplace_back(p, hop);
       }
     }

@@ -6,24 +6,67 @@
 
 namespace epicast {
 
+SubscriptionTable::Entry* SubscriptionTable::find_entry(Pattern p) {
+  if (PatternSet::representable(p)) {
+    return known_mask_.test(p) ? &dense_[p.value()] : nullptr;
+  }
+  auto it = overflow_.find(p);
+  return it == overflow_.end() ? nullptr : &it->second;
+}
+
+const SubscriptionTable::Entry* SubscriptionTable::find_entry(
+    Pattern p) const {
+  if (PatternSet::representable(p)) {
+    return known_mask_.test(p) ? &dense_[p.value()] : nullptr;
+  }
+  auto it = overflow_.find(p);
+  return it == overflow_.end() ? nullptr : &it->second;
+}
+
+SubscriptionTable::Entry& SubscriptionTable::entry_for(Pattern p) {
+  if (PatternSet::representable(p)) {
+    known_mask_.set(p);
+    return dense_[p.value()];
+  }
+  return overflow_[p];
+}
+
+void SubscriptionTable::note_changed(Pattern p) {
+  if (PatternSet::representable(p)) {
+    Entry& e = dense_[p.value()];
+    if (e.empty()) {
+      known_mask_.clear(p);
+      local_mask_.clear(p);
+    } else if (e.local) {
+      local_mask_.set(p);
+    } else {
+      local_mask_.clear(p);
+    }
+    return;
+  }
+  auto it = overflow_.find(p);
+  if (it != overflow_.end() && it->second.empty()) overflow_.erase(it);
+}
+
 bool SubscriptionTable::add_local(Pattern p) {
-  Entry& e = entries_[p];
+  Entry& e = entry_for(p);
   if (e.local) return false;
   e.local = true;
+  note_changed(p);
   return true;
 }
 
 bool SubscriptionTable::remove_local(Pattern p) {
-  auto it = entries_.find(p);
-  if (it == entries_.end() || !it->second.local) return false;
-  it->second.local = false;
-  prune(p);
+  Entry* e = find_entry(p);
+  if (e == nullptr || !e->local) return false;
+  e->local = false;
+  note_changed(p);
   return true;
 }
 
 bool SubscriptionTable::add_route(Pattern p, NodeId next_hop) {
   EPICAST_ASSERT(next_hop.valid());
-  Entry& e = entries_[p];
+  Entry& e = entry_for(p);
   auto it = std::lower_bound(e.next_hops.begin(), e.next_hops.end(), next_hop);
   if (it != e.next_hops.end() && *it == next_hop) return false;
   e.next_hops.insert(it, next_hop);
@@ -31,23 +74,29 @@ bool SubscriptionTable::add_route(Pattern p, NodeId next_hop) {
 }
 
 bool SubscriptionTable::remove_route(Pattern p, NodeId next_hop) {
-  auto it = entries_.find(p);
-  if (it == entries_.end()) return false;
-  auto& hops = it->second.next_hops;
+  Entry* e = find_entry(p);
+  if (e == nullptr) return false;
+  auto& hops = e->next_hops;
   auto pos = std::lower_bound(hops.begin(), hops.end(), next_hop);
   if (pos == hops.end() || *pos != next_hop) return false;
   hops.erase(pos);
-  prune(p);
+  note_changed(p);
   return true;
 }
 
 void SubscriptionTable::remove_neighbor(NodeId neighbor) {
-  for (auto it = entries_.begin(); it != entries_.end();) {
+  known_mask_.for_each([this, neighbor](Pattern p) {
+    auto& hops = dense_[p.value()].next_hops;
+    auto pos = std::lower_bound(hops.begin(), hops.end(), neighbor);
+    if (pos != hops.end() && *pos == neighbor) hops.erase(pos);
+    note_changed(p);
+  });
+  for (auto it = overflow_.begin(); it != overflow_.end();) {
     auto& hops = it->second.next_hops;
     auto pos = std::lower_bound(hops.begin(), hops.end(), neighbor);
     if (pos != hops.end() && *pos == neighbor) hops.erase(pos);
     if (it->second.empty()) {
-      it = entries_.erase(it);
+      it = overflow_.erase(it);
     } else {
       ++it;
     }
@@ -55,10 +104,14 @@ void SubscriptionTable::remove_neighbor(NodeId neighbor) {
 }
 
 void SubscriptionTable::clear_routes() {
-  for (auto it = entries_.begin(); it != entries_.end();) {
+  known_mask_.for_each([this](Pattern p) {
+    dense_[p.value()].next_hops.clear();
+    note_changed(p);
+  });
+  for (auto it = overflow_.begin(); it != overflow_.end();) {
     it->second.next_hops.clear();
     if (it->second.empty()) {
-      it = entries_.erase(it);
+      it = overflow_.erase(it);
     } else {
       ++it;
     }
@@ -66,24 +119,31 @@ void SubscriptionTable::clear_routes() {
 }
 
 bool SubscriptionTable::has_local(Pattern p) const {
-  auto it = entries_.find(p);
-  return it != entries_.end() && it->second.local;
+  if (PatternSet::representable(p)) return local_mask_.test(p);
+  const Entry* e = find_entry(p);
+  return e != nullptr && e->local;
 }
 
 bool SubscriptionTable::has_route(Pattern p, NodeId next_hop) const {
-  auto it = entries_.find(p);
-  if (it == entries_.end()) return false;
-  const auto& hops = it->second.next_hops;
+  const Entry* e = find_entry(p);
+  if (e == nullptr) return false;
+  const auto& hops = e->next_hops;
   return std::binary_search(hops.begin(), hops.end(), next_hop);
 }
 
 bool SubscriptionTable::knows(Pattern p) const {
-  return entries_.find(p) != entries_.end();
+  if (PatternSet::representable(p)) return known_mask_.test(p);
+  return overflow_.contains(p);
 }
 
 bool SubscriptionTable::matches_local(const EventData& event) const {
+  if (local_mask_.intersects(event.pattern_mask())) return true;
+  if (event.mask_complete()) return false;
+  // Oversized patterns are absent from the event mask; check them directly.
   for (const PatternSeq& ps : event.patterns()) {
-    if (has_local(ps.pattern)) return true;
+    if (!PatternSet::representable(ps.pattern) && has_local(ps.pattern)) {
+      return true;
+    }
   }
   return false;
 }
@@ -99,10 +159,14 @@ void SubscriptionTable::route_targets_into(const EventData& event,
                                            NodeId exclude,
                                            std::vector<NodeId>& out) const {
   out.clear();
+  if (!known_mask_.intersects(event.pattern_mask()) &&
+      event.mask_complete() && overflow_.empty()) {
+    return;  // mask fast-reject: no pattern of this event is known here
+  }
   for (const PatternSeq& ps : event.patterns()) {
-    auto it = entries_.find(ps.pattern);
-    if (it == entries_.end()) continue;
-    for (NodeId hop : it->second.next_hops) {
+    const Entry* e = find_entry(ps.pattern);
+    if (e == nullptr) continue;
+    for (NodeId hop : e->next_hops) {
       if (hop != exclude) out.push_back(hop);
     }
   }
@@ -113,42 +177,70 @@ void SubscriptionTable::route_targets_into(const EventData& event,
 std::vector<NodeId> SubscriptionTable::route_targets(Pattern p,
                                                      NodeId exclude) const {
   std::vector<NodeId> out;
-  auto it = entries_.find(p);
-  if (it == entries_.end()) return out;
-  for (NodeId hop : it->second.next_hops) {
+  route_targets_into(p, exclude, out);
+  return out;
+}
+
+void SubscriptionTable::route_targets_into(Pattern p, NodeId exclude,
+                                           std::vector<NodeId>& out) const {
+  out.clear();
+  const Entry* e = find_entry(p);
+  if (e == nullptr) return;
+  for (NodeId hop : e->next_hops) {
     if (hop != exclude) out.push_back(hop);
   }
-  return out;
 }
 
 std::vector<Pattern> SubscriptionTable::known_patterns() const {
   std::vector<Pattern> out;
-  out.reserve(entries_.size());
-  for (const auto& [p, e] : entries_) out.push_back(p);
-  std::sort(out.begin(), out.end());
+  known_patterns_into(out);
   return out;
+}
+
+void SubscriptionTable::known_patterns_into(std::vector<Pattern>& out) const {
+  out.clear();
+  known_mask_.for_each([&out](Pattern p) { out.push_back(p); });
+  for (const auto& [p, e] : overflow_) out.push_back(p);
+}
+
+std::size_t SubscriptionTable::known_pattern_count() const {
+  return known_mask_.count() + overflow_.size();
+}
+
+Pattern SubscriptionTable::known_pattern_at(std::size_t k) const {
+  const std::size_t in_mask = known_mask_.count();
+  if (k < in_mask) return known_mask_.nth(k);
+  k -= in_mask;
+  EPICAST_ASSERT(k < overflow_.size());
+  auto it = overflow_.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(k));
+  return it->first;
 }
 
 std::vector<Pattern> SubscriptionTable::local_patterns() const {
   std::vector<Pattern> out;
-  for (const auto& [p, e] : entries_) {
+  local_patterns_into(out);
+  return out;
+}
+
+void SubscriptionTable::local_patterns_into(std::vector<Pattern>& out) const {
+  out.clear();
+  local_mask_.for_each([&out](Pattern p) { out.push_back(p); });
+  for (const auto& [p, e] : overflow_) {
     if (e.local) out.push_back(p);
   }
-  std::sort(out.begin(), out.end());
-  return out;
 }
 
 std::size_t SubscriptionTable::entry_count() const {
   std::size_t n = 0;
-  for (const auto& [p, e] : entries_) {
+  known_mask_.for_each([this, &n](Pattern p) {
+    const Entry& e = dense_[p.value()];
+    n += e.next_hops.size() + (e.local ? 1 : 0);
+  });
+  for (const auto& [p, e] : overflow_) {
     n += e.next_hops.size() + (e.local ? 1 : 0);
   }
   return n;
-}
-
-void SubscriptionTable::prune(Pattern p) {
-  auto it = entries_.find(p);
-  if (it != entries_.end() && it->second.empty()) entries_.erase(it);
 }
 
 }  // namespace epicast

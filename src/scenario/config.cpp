@@ -1,6 +1,8 @@
 #include "epicast/scenario/config.hpp"
 
+#include <cstdlib>
 #include <sstream>
+#include <string_view>
 
 #include "epicast/common/assert.hpp"
 #include "epicast/oracle/oracle.hpp"
@@ -79,6 +81,16 @@ std::string ScenarioConfig::describe() const {
 
 bool ScenarioConfig::oracle_default_enabled() {
   return oracle::oracles_enabled_by_default();
+}
+
+bool ScenarioConfig::profile_default_enabled() {
+  static const bool enabled = []() {
+    const char* env = std::getenv("EPICAST_PROFILE");
+    if (env == nullptr) return false;
+    const std::string_view v(env);
+    return v == "1" || v == "on" || v == "ON";
+  }();
+  return enabled;
 }
 
 }  // namespace epicast

@@ -60,6 +60,7 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   const auto wall_start = std::chrono::steady_clock::now();
 
   Simulator sim(cfg.seed);
+  sim.profiler().enable_timing(cfg.profile_hotpath);
 
   Rng topo_rng = sim.fork_rng();
   Topology topology =
@@ -206,6 +207,8 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     oracles->notify_scenario_end();
     result.oracle_checks = oracles->checks();
   }
+  result.hotpath = sim.profiler().snapshot();
+  result.pool = sim.pool().stats();
   result.sim_events_executed = sim.scheduler().executed();
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

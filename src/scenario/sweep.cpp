@@ -1,11 +1,16 @@
 #include "epicast/scenario/sweep.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 namespace epicast {
 namespace {
@@ -30,8 +35,24 @@ unsigned SweepRunner::resolve_jobs(unsigned requested) {
       return static_cast<unsigned>(parsed);
     }
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
+  return available_parallelism();
+}
+
+unsigned SweepRunner::available_parallelism() {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+#if defined(__linux__)
+  // hardware_concurrency() reports the machine; a cgroup/affinity-restricted
+  // process (CI runners, containers) may be allowed far fewer CPUs. Spawning
+  // more workers than that only adds contention.
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    const int allowed = CPU_COUNT(&mask);
+    if (allowed > 0) hw = std::min(hw, static_cast<unsigned>(allowed));
+  }
+#endif
+  return hw;
 }
 
 std::vector<ScenarioResult> SweepRunner::run(

@@ -164,5 +164,92 @@ INSTANTIATE_TEST_SUITE_P(Policies, CachePolicySweep,
                          ::testing::Values(CachePolicy::Fifo, CachePolicy::Lru,
                                            CachePolicy::Random));
 
+TEST_P(CachePolicySweep, IdsMatchingIntoAgreesWithAllocatingVariant) {
+  EventCache a(16, GetParam(), Rng{5});
+  EventCache b(16, GetParam(), Rng{5});
+  Rng rng(123);
+  std::vector<EventId> scratch;
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    auto e = ev(static_cast<std::uint32_t>(rng.next_below(3)), i,
+                {{Pattern{static_cast<std::uint32_t>(rng.next_below(6))},
+                  SeqNo{i + 1}}});
+    a.insert(e);
+    b.insert(e);
+    const Pattern probe{static_cast<std::uint32_t>(rng.next_below(6))};
+    const std::size_t cap = rng.next_below(4);  // include cap=0 (= all)
+    // ids_matching() may compact the bucket, so query twin caches with
+    // identical history rather than the same cache twice.
+    b.ids_matching_into(probe, cap, scratch);
+    ASSERT_EQ(scratch, a.ids_matching(probe, cap));
+  }
+}
+
+TEST(EventCache, PatternIndexStaysTightUnderFifoChurn) {
+  // The eager head purge keeps the per-pattern index at O(live entries)
+  // under FIFO eviction: every victim's ids sit at its buckets' fronts.
+  EventCache cache(8, CachePolicy::Fifo, Rng{1});
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    cache.insert(ev(0, i,
+                    {{Pattern{static_cast<std::uint32_t>(i % 2)},
+                      SeqNo{i + 1}}}));
+    ASSERT_LE(cache.pattern_index_entries(), cache.size());
+  }
+  EXPECT_EQ(cache.pattern_index_entries(), 8u);
+}
+
+TEST(EventCache, FifoDigestNeedsNoLivenessFiltering) {
+  // Interleave two patterns so evictions hit buckets the query never
+  // touches; the FIFO digest must still be exactly the live ids.
+  EventCache cache(4, CachePolicy::Fifo, Rng{1});
+  std::vector<EventPtr> events;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    auto e = ev(0, i,
+                {{Pattern{static_cast<std::uint32_t>(i % 3)}, SeqNo{i + 1}}});
+    events.push_back(e);
+    cache.insert(e);
+  }
+  // Live ids are the newest 4 insertions: seqs 8..11 → patterns 2,0,1,2.
+  EXPECT_EQ(cache.ids_matching(Pattern{0}, 0),
+            (std::vector<EventId>{events[9]->id()}));
+  EXPECT_EQ(cache.ids_matching(Pattern{2}, 0),
+            (std::vector<EventId>{events[8]->id(), events[11]->id()}));
+}
+
+TEST(EventCache, LruRefreshSurvivesLongChurn) {
+  // Pin one event by touching it before every insert; the flat-slot LRU
+  // list must keep it resident across many evictions.
+  EventCache cache(4, CachePolicy::Lru, Rng{1});
+  auto pinned = ev(9, 0, {{Pattern{1}, SeqNo{1}}});
+  cache.insert(pinned);
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    ASSERT_EQ(cache.get(pinned->id()), pinned);
+    cache.insert(ev(0, i, {{Pattern{1}, SeqNo{i + 1}}}));
+  }
+  EXPECT_TRUE(cache.contains(pinned->id()));
+  EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST(EventCache, SlotRecyclingPreservesLookups) {
+  // Heavy insert/evict churn recycles slots; spot-check both lookup paths
+  // for the survivors after every batch.
+  EventCache cache(6, CachePolicy::Fifo, Rng{1});
+  std::vector<EventPtr> events;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    auto e = ev(static_cast<std::uint32_t>(i % 2), i,
+                {{Pattern{2}, SeqNo{i + 1}}});
+    events.push_back(e);
+    cache.insert(e);
+    if (i < 6) continue;
+    for (std::uint64_t back = 0; back < 6; ++back) {
+      const auto& live = events[i - back];
+      ASSERT_EQ(cache.get(live->id()), live);
+      ASSERT_EQ(cache.find(live->source(), Pattern{2},
+                           live->patterns()[0].seq),
+                live);
+    }
+    ASSERT_FALSE(cache.contains(events[i - 6]->id()));
+  }
+}
+
 }  // namespace
 }  // namespace epicast

@@ -1,0 +1,169 @@
+// Unit and property tests for the two-word pattern bitset: set/clear/test,
+// ascending iteration order, nth() select, and set algebra — all checked
+// against a std::set<Pattern> reference implementation under random
+// workloads, since the hot paths rely on bit-for-bit agreement with the
+// sorted vectors the bitset replaced.
+#include "epicast/common/pattern_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "epicast/common/rng.hpp"
+
+namespace epicast {
+namespace {
+
+std::vector<Pattern> members(const PatternSet& s) {
+  std::vector<Pattern> out;
+  s.for_each([&out](Pattern p) { out.push_back(p); });
+  return out;
+}
+
+TEST(PatternSet, StartsEmpty) {
+  PatternSet s;
+  EXPECT_TRUE(s.none());
+  EXPECT_FALSE(s.any());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_FALSE(s.test(Pattern{0}));
+  EXPECT_TRUE(members(s).empty());
+}
+
+TEST(PatternSet, SetClearTestRoundTrip) {
+  PatternSet s;
+  EXPECT_TRUE(s.set(Pattern{5}));
+  EXPECT_FALSE(s.set(Pattern{5}));  // already present
+  EXPECT_TRUE(s.test(Pattern{5}));
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_TRUE(s.clear(Pattern{5}));
+  EXPECT_FALSE(s.clear(Pattern{5}));  // already absent
+  EXPECT_TRUE(s.none());
+}
+
+TEST(PatternSet, WordBoundaryPatterns) {
+  // Bits 63/64 straddle the two words; 127 is the last representable bit.
+  PatternSet s;
+  for (std::uint32_t v : {0u, 63u, 64u, 127u}) {
+    ASSERT_TRUE(PatternSet::representable(Pattern{v}));
+    EXPECT_TRUE(s.set(Pattern{v}));
+  }
+  EXPECT_EQ(s.count(), 4u);
+  const auto m = members(s);
+  ASSERT_EQ(m.size(), 4u);
+  EXPECT_EQ(m[0], Pattern{0});
+  EXPECT_EQ(m[1], Pattern{63});
+  EXPECT_EQ(m[2], Pattern{64});
+  EXPECT_EQ(m[3], Pattern{127});
+  for (std::size_t k = 0; k < m.size(); ++k) EXPECT_EQ(s.nth(k), m[k]);
+}
+
+TEST(PatternSet, NonRepresentableTestsFalse) {
+  EXPECT_FALSE(PatternSet::representable(Pattern{PatternSet::kCapacity}));
+  PatternSet s;
+  s.set(Pattern{3});
+  EXPECT_FALSE(s.test(Pattern{PatternSet::kCapacity}));
+  EXPECT_FALSE(s.test(Pattern{1u << 20}));
+}
+
+TEST(PatternSet, FullSet) {
+  PatternSet s;
+  for (std::uint32_t v = 0; v < PatternSet::kCapacity; ++v)
+    s.set(Pattern{v});
+  EXPECT_EQ(s.count(), static_cast<std::size_t>(PatternSet::kCapacity));
+  for (std::uint32_t v = 0; v < PatternSet::kCapacity; ++v) {
+    EXPECT_TRUE(s.test(Pattern{v}));
+    EXPECT_EQ(s.nth(v), Pattern{v});
+  }
+}
+
+TEST(PatternSet, AlgebraMatchesSetOperations) {
+  PatternSet a, b;
+  for (std::uint32_t v : {1u, 5u, 64u, 100u}) a.set(Pattern{v});
+  for (std::uint32_t v : {5u, 7u, 100u, 127u}) b.set(Pattern{v});
+
+  const PatternSet u = a | b;
+  const PatternSet i = a & b;
+  EXPECT_EQ(u.count(), 6u);
+  EXPECT_EQ(i.count(), 2u);
+  EXPECT_TRUE(i.test(Pattern{5}));
+  EXPECT_TRUE(i.test(Pattern{100}));
+  EXPECT_TRUE(a.intersects(b));
+
+  PatternSet disjoint;
+  disjoint.set(Pattern{2});
+  EXPECT_FALSE(a.intersects(disjoint));
+  EXPECT_TRUE((a & disjoint).none());
+}
+
+TEST(PatternSet, EqualityIsValueEquality) {
+  PatternSet a, b;
+  a.set(Pattern{9});
+  b.set(Pattern{9});
+  EXPECT_EQ(a, b);
+  b.set(Pattern{64});
+  EXPECT_NE(a, b);
+}
+
+// Property test: a long random stream of set/clear operations keeps the
+// bitset in lockstep with std::set<Pattern> — membership, count, ascending
+// iteration, and nth() select at every step.
+TEST(PatternSet, PropertyAgainstReferenceSet) {
+  Rng rng(42);
+  PatternSet s;
+  std::set<Pattern> ref;
+
+  for (int step = 0; step < 5000; ++step) {
+    const Pattern p{static_cast<std::uint32_t>(
+        rng.next_below(PatternSet::kCapacity))};
+    if (rng.chance(0.6)) {
+      EXPECT_EQ(s.set(p), ref.insert(p).second);
+    } else {
+      EXPECT_EQ(s.clear(p), ref.erase(p) > 0);
+    }
+    ASSERT_EQ(s.count(), ref.size());
+    ASSERT_EQ(s.any(), !ref.empty());
+
+    if (step % 50 != 0) continue;  // full scans are O(|ref|); sample them
+    const std::vector<Pattern> expect(ref.begin(), ref.end());
+    ASSERT_EQ(members(s), expect);
+    for (std::size_t k = 0; k < expect.size(); ++k)
+      ASSERT_EQ(s.nth(k), expect[k]);
+    for (std::uint32_t v = 0; v < PatternSet::kCapacity; ++v)
+      ASSERT_EQ(s.test(Pattern{v}), ref.contains(Pattern{v}));
+  }
+}
+
+// The union/intersection operators must agree with element-wise reference
+// results for random operands.
+TEST(PatternSet, PropertyAlgebraAgainstReference) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    PatternSet a, b;
+    std::set<Pattern> ra, rb;
+    for (int i = 0; i < 12; ++i) {
+      const Pattern pa{static_cast<std::uint32_t>(
+          rng.next_below(PatternSet::kCapacity))};
+      const Pattern pb{static_cast<std::uint32_t>(
+          rng.next_below(PatternSet::kCapacity))};
+      a.set(pa);
+      ra.insert(pa);
+      b.set(pb);
+      rb.insert(pb);
+    }
+    std::set<Pattern> runion = ra;
+    runion.insert(rb.begin(), rb.end());
+    std::set<Pattern> rinter;
+    for (Pattern p : ra)
+      if (rb.contains(p)) rinter.insert(p);
+
+    EXPECT_EQ(members(a | b),
+              std::vector<Pattern>(runion.begin(), runion.end()));
+    EXPECT_EQ(members(a & b),
+              std::vector<Pattern>(rinter.begin(), rinter.end()));
+    EXPECT_EQ(a.intersects(b), !rinter.empty());
+  }
+}
+
+}  // namespace
+}  // namespace epicast

@@ -117,5 +117,93 @@ TEST(SubscriptionTable, EntryCountCountsLocalAndRoutes) {
   EXPECT_EQ(t.entry_count(), 3u);
 }
 
+TEST(SubscriptionTable, IntoVariantsMatchAllocatingVariants) {
+  SubscriptionTable t;
+  t.add_local(Pattern{4});
+  t.add_route(Pattern{4}, NodeId{1});
+  t.add_route(Pattern{9}, NodeId{2});
+  t.add_route(Pattern{9}, NodeId{5});
+  t.add_local(Pattern{70});  // near the top of the paper's universe
+
+  std::vector<Pattern> patterns{Pattern{999}};  // scratch must be cleared
+  t.known_patterns_into(patterns);
+  EXPECT_EQ(patterns, t.known_patterns());
+  t.local_patterns_into(patterns);
+  EXPECT_EQ(patterns, t.local_patterns());
+
+  std::vector<NodeId> hops{NodeId{42}};
+  t.route_targets_into(Pattern{9}, NodeId{5}, hops);
+  EXPECT_EQ(hops, t.route_targets(Pattern{9}, NodeId{5}));
+  const EventPtr ev = event_with({Pattern{4}, Pattern{9}});
+  t.route_targets_into(*ev, NodeId::invalid(), hops);
+  EXPECT_EQ(hops, t.route_targets(*ev, NodeId::invalid()));
+}
+
+TEST(SubscriptionTable, CountAndAtMatchKnownPatterns) {
+  SubscriptionTable t;
+  t.add_route(Pattern{63}, NodeId{1});
+  t.add_local(Pattern{0});
+  t.add_local(Pattern{64});
+  const auto known = t.known_patterns();
+  ASSERT_EQ(t.known_pattern_count(), known.size());
+  for (std::size_t k = 0; k < known.size(); ++k)
+    EXPECT_EQ(t.known_pattern_at(k), known[k]);
+}
+
+TEST(SubscriptionTable, MasksTrackLocalAndKnown) {
+  SubscriptionTable t;
+  t.add_local(Pattern{3});
+  t.add_route(Pattern{5}, NodeId{1});
+  EXPECT_TRUE(t.local_mask().test(Pattern{3}));
+  EXPECT_FALSE(t.local_mask().test(Pattern{5}));
+  EXPECT_TRUE(t.known_mask().test(Pattern{3}));
+  EXPECT_TRUE(t.known_mask().test(Pattern{5}));
+  t.remove_local(Pattern{3});
+  EXPECT_FALSE(t.local_mask().test(Pattern{3}));
+  EXPECT_FALSE(t.known_mask().test(Pattern{3}));
+}
+
+TEST(SubscriptionTable, OversizedPatternsUseOverflowPath) {
+  // Patterns >= PatternSet::kCapacity never enter the masks but must behave
+  // identically through every query and enumeration.
+  const Pattern big{PatternSet::kCapacity + 5};
+  SubscriptionTable t;
+  EXPECT_TRUE(t.add_local(big));
+  EXPECT_FALSE(t.add_local(big));
+  EXPECT_TRUE(t.add_route(big, NodeId{2}));
+  t.add_local(Pattern{1});
+
+  EXPECT_TRUE(t.has_local(big));
+  EXPECT_TRUE(t.knows(big));
+  EXPECT_FALSE(t.local_mask().test(big));
+  EXPECT_EQ(t.known_patterns(), (std::vector<Pattern>{Pattern{1}, big}));
+  EXPECT_EQ(t.local_patterns(), (std::vector<Pattern>{Pattern{1}, big}));
+  ASSERT_EQ(t.known_pattern_count(), 2u);
+  EXPECT_EQ(t.known_pattern_at(1), big);
+
+  const EventPtr ev = event_with({big});
+  EXPECT_TRUE(t.matches_local(*ev));
+  EXPECT_EQ(t.route_targets(*ev, NodeId::invalid()),
+            (std::vector<NodeId>{NodeId{2}}));
+
+  EXPECT_TRUE(t.remove_route(big, NodeId{2}));
+  EXPECT_TRUE(t.remove_local(big));
+  EXPECT_FALSE(t.knows(big));
+  EXPECT_EQ(t.known_patterns(), (std::vector<Pattern>{Pattern{1}}));
+}
+
+TEST(SubscriptionTable, MixedDenseAndOverflowEventMatching) {
+  const Pattern big{200};
+  SubscriptionTable t;
+  t.add_route(Pattern{2}, NodeId{1});
+  t.add_route(big, NodeId{3});
+  const EventPtr ev = event_with({Pattern{2}, big});
+  EXPECT_FALSE(t.matches_local(*ev));
+  EXPECT_EQ(t.route_targets(*ev, NodeId::invalid()),
+            (std::vector<NodeId>{NodeId{1}, NodeId{3}}));
+  t.add_local(big);
+  EXPECT_TRUE(t.matches_local(*ev));
+}
+
 }  // namespace
 }  // namespace epicast

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <thread>
 
 namespace epicast {
 namespace {
@@ -128,6 +129,21 @@ TEST(SweepRunner, ResolveJobsPrefersExplicitThenEnvThenHardware) {
   EXPECT_GE(SweepRunner::resolve_jobs(0), 1u);
   ASSERT_EQ(unsetenv("EPICAST_JOBS"), 0);
   EXPECT_GE(SweepRunner::resolve_jobs(0), 1u);
+}
+
+TEST(SweepRunner, AvailableParallelismIsClampedToAffinity) {
+  const unsigned avail = SweepRunner::available_parallelism();
+  EXPECT_GE(avail, 1u);
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) EXPECT_LE(avail, hw);
+
+  // Auto-detection (no explicit request, no env) must resolve to exactly
+  // the clamped value — oversubscribing a restricted affinity mask is the
+  // regression this pins.
+  ASSERT_EQ(unsetenv("EPICAST_JOBS"), 0);
+  EXPECT_EQ(SweepRunner::resolve_jobs(0), avail);
+  // Explicit requests are honoured verbatim, even beyond the clamp.
+  EXPECT_EQ(SweepRunner::resolve_jobs(avail + 7), avail + 7);
 }
 
 }  // namespace
