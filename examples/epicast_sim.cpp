@@ -24,6 +24,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (cli.emit_json) {
+    // Machine-readable mode: the JSON object is the whole output (CI's
+    // determinism smoke diffs two of these byte-for-byte).
+    const ScenarioResult result = run_scenario(cli.config);
+    std::cout << result_json(result);
+    return 0;
+  }
+
   std::cout << "--- configuration ---\n"
             << cli.config.describe() << "\n--- running ---\n";
   const ScenarioResult result = run_scenario(cli.config);

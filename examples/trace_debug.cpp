@@ -49,8 +49,8 @@ int main() {
   (void)publisher.publish({Pattern{42}});
   sim.run_until(SimTime::seconds(0.6));
   const EventPtr victim = publisher.publish({Pattern{42}});
-  transport.set_fault_filter(
-      [id = victim->id()](NodeId from, NodeId to, const Message& m) {
+  transport.add_fault_filter(
+      [id = victim->id()](NodeId from, NodeId to, const Message& m, bool) {
         if (m.message_class() != MessageClass::Event) return true;
         const auto& em = static_cast<const EventMessage&>(m);
         return !(from == NodeId{3} && to == NodeId{4} &&

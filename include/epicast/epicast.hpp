@@ -18,6 +18,10 @@
 #include "epicast/common/logging.hpp"
 #include "epicast/common/rng.hpp"
 #include "epicast/compare/pure_gossip.hpp"
+#include "epicast/fault/controller.hpp"
+#include "epicast/fault/gilbert_elliott.hpp"
+#include "epicast/fault/plan.hpp"
+#include "epicast/fault/restart_policy.hpp"
 #include "epicast/gossip/combined_pull.hpp"
 #include "epicast/gossip/config.hpp"
 #include "epicast/gossip/event_cache.hpp"

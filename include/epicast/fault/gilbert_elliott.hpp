@@ -1,0 +1,73 @@
+// epicast — Gilbert–Elliott two-state bursty loss channel.
+//
+// The paper evaluates reliability only under i.i.d. Bernoulli loss (ε per
+// message, LinkModel). Real links lose messages in *bursts*: a fading radio
+// path or a congested queue stays bad for a while. The classic model is a
+// two-state Markov chain — Good and Bad — with per-message transition
+// probabilities p (Good→Bad) and r (Bad→Good) and per-state loss rates
+// (≈0 in Good, ≈1 in Bad). The stationary loss rate has the closed form
+//
+//     L = (r·loss_good + p·loss_bad) / (p + r)
+//
+// which reduces to the textbook p/(p+r) for loss_good=0, loss_bad=1; the
+// mean burst length is 1/r messages. FaultController lazily forks one
+// channel per directed overlay link, layered on top of LinkModel's ε.
+#pragma once
+
+#include <cstdint>
+
+#include "epicast/common/rng.hpp"
+
+namespace epicast::fault {
+
+struct GilbertElliottParams {
+  double p_enter = 0.05;   ///< p: P(Good→Bad) per message
+  double p_exit = 0.5;     ///< r: P(Bad→Good) per message
+  double loss_good = 0.0;  ///< loss rate while Good
+  double loss_bad = 1.0;   ///< loss rate while Bad
+
+  /// True iff every probability is a valid probability and the chain can
+  /// actually leave the Bad state it enters (p_exit > 0 or p_enter == 0).
+  [[nodiscard]] bool valid() const;
+
+  /// Closed-form stationary loss rate of the chain.
+  [[nodiscard]] double stationary_loss_rate() const;
+
+  /// Expected burst length in messages (1 / p_exit); 0 if the chain never
+  /// enters the Bad state.
+  [[nodiscard]] double mean_burst_length() const;
+};
+
+/// One directed channel instance: owns its Markov state and RNG stream.
+/// Deterministic in (params, rng seed, call sequence).
+class GilbertElliottChannel {
+ public:
+  GilbertElliottChannel(GilbertElliottParams params, Rng rng);
+
+  /// Advances the chain by one message and draws its loss trial.
+  /// Transition-then-loss order: the state the message sees is the state
+  /// after this step's transition.
+  [[nodiscard]] bool transmit_lost();
+
+  [[nodiscard]] bool in_bad_state() const { return bad_; }
+  [[nodiscard]] const GilbertElliottParams& params() const { return params_; }
+
+  /// Returns to the Good state without consuming randomness (fault windows
+  /// reset the chain when they reopen).
+  void reset() { bad_ = false; }
+
+  struct Stats {
+    std::uint64_t messages = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t bursts_entered = 0;  ///< Good→Bad transitions
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  GilbertElliottParams params_;
+  Rng rng_;
+  bool bad_ = false;
+  Stats stats_;
+};
+
+}  // namespace epicast::fault

@@ -1,0 +1,21 @@
+// epicast — crash/restart state-loss policy.
+//
+// Lives in its own header (no dependencies) so the pubsub layer can declare
+// RecoveryProtocol::on_restart without pulling in the fault-plan machinery.
+#pragma once
+
+namespace epicast::fault {
+
+/// What a restarting node remembers (RecoveryProtocol::on_restart).
+/// Warm keeps the recovery layer's soft state (event cache, loss-detector
+/// watermarks, lost/routes buffers); Cold drops it, modelling a process
+/// that lost its in-memory state. Dispatcher-level duplicate suppression is
+/// treated as durable either way — delivery logs survive a crash, and the
+/// unique-delivery oracle holds across restarts.
+enum class RestartPolicy { Warm, Cold };
+
+[[nodiscard]] constexpr const char* to_string(RestartPolicy p) {
+  return p == RestartPolicy::Warm ? "warm" : "cold";
+}
+
+}  // namespace epicast::fault

@@ -106,6 +106,18 @@ struct GossipConfig {
   /// Desynchronizes the first round across dispatchers (uniform in [0, T)).
   bool start_jitter = true;
 
+  /// Pull-side fault hardening (zero = off, the paper's behaviour — and
+  /// the determinism seed guards pin that default). When positive, every
+  /// out-of-band retransmission request is tracked: ids still unseen after
+  /// this timeout count a timeout, are re-requested with exponential
+  /// backoff (request_backoff, at most request_max_retries times), then
+  /// abandoned. Digest exchanges that produce nothing within the timeout
+  /// mark their targets as silent; rounds then steer around peers with two
+  /// consecutive timeouts (crash-aware re-selection).
+  Duration request_timeout = Duration::zero();
+  std::uint32_t request_max_retries = 3;
+  double request_backoff = 2.0;
+
   AdaptiveIntervalConfig adaptive;
 };
 

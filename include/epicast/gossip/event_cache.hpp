@@ -63,6 +63,10 @@ class EventCache {
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] CachePolicy policy() const { return policy_; }
 
+  /// Drops every cached event and all indexes (cold restart). Counters are
+  /// kept — a crash does not un-happen the traffic that preceded it.
+  void clear();
+
   struct Stats {
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;

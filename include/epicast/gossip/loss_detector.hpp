@@ -38,6 +38,11 @@ class LossDetector {
     return static_cast<std::uint64_t>(high_.size());
   }
 
+  /// Forgets every per-stream watermark (cold restart): the next event from
+  /// each (source, pattern) re-baselines the expectation, so losses across
+  /// the restart are undetectable — exactly the paper's first-contact rule.
+  void reset() { high_.clear(); }
+
  private:
   struct Key {
     NodeId source;

@@ -79,6 +79,9 @@ class LostBuffer {
       std::size_t max_sources,
       const std::function<bool(NodeId)>& pred) const;
 
+  /// Forgets every pending entry (cold restart). Counters are kept.
+  void clear();
+
   struct Stats {
     std::uint64_t added = 0;
     std::uint64_t recovered = 0;  ///< removed because the event arrived

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "epicast/gossip/adaptive_interval.hpp"
@@ -28,6 +29,11 @@ class GossipProtocolBase : public RecoveryProtocol {
 
   void start() override;
   void stop() override;
+
+  /// Cold restarts drop the retransmission buffer and invalidate pending
+  /// retry deadlines (restart-epoch guard); peer-health observations are
+  /// discarded either way — the node's own outage garbles them.
+  void on_restart(fault::RestartPolicy policy) override;
 
   /// Default behaviour: cache the event iff this dispatcher is responsible
   /// for it — it is the publisher or a local subscriber (§IV-A). Pull
@@ -97,6 +103,27 @@ class GossipProtocolBase : public RecoveryProtocol {
   [[nodiscard]] bool responsible_for(const EventData& event,
                                      bool local_publish) const;
 
+  /// True when the pull-hardening machinery is active
+  /// (GossipConfig::request_timeout > 0).
+  [[nodiscard]] bool retry_hardening() const {
+    return cfg_.request_timeout > Duration::zero();
+  }
+  /// Peer-health bookkeeping, meaningful only under retry_hardening():
+  /// any gossip heard from a peer clears its record; a timed-out exchange
+  /// increments it; two consecutive timeouts make the peer suspect.
+  [[nodiscard]] bool peer_suspect(NodeId peer) const;
+  void note_peer_alive(NodeId peer);
+  void note_peer_timeout(NodeId peer);
+  /// Removes suspect peers from `targets` — unless every target is suspect,
+  /// in which case the set is left alone (a bad guess beats silence).
+  void prune_suspects(std::vector<NodeId>& targets) const;
+
+  /// Guards deadline callbacks across restarts: a callback scheduled before
+  /// a cold restart must not act on the reborn node's state.
+  [[nodiscard]] std::uint64_t restart_epoch() const { return restart_epoch_; }
+  /// True while the round timer runs (false while crashed or stopped).
+  [[nodiscard]] bool active() const { return timer_.running(); }
+
   Dispatcher& d_;
   GossipConfig cfg_;
   EventCache cache_;
@@ -115,11 +142,20 @@ class GossipProtocolBase : public RecoveryProtocol {
 
  private:
   void run_round();
+  /// Schedules the deadline check for a pending request (retry hardening).
+  void track_request(NodeId to, std::vector<EventId> ids,
+                     std::uint32_t attempt);
+
+  static constexpr std::uint32_t kSuspectAfterTimeouts = 2;
 
   HotpathProfiler& prof_;
 
   AdaptiveIntervalController adaptive_;
   PeriodicTimer timer_;
+  /// Consecutive timed-out exchanges per peer (keyed by NodeId value);
+  /// empty unless retry_hardening().
+  std::unordered_map<std::uint32_t, std::uint32_t> peer_timeouts_;
+  std::uint64_t restart_epoch_ = 0;
 };
 
 /// The baseline: plain best-effort dispatching, no recovery (§IV's

@@ -28,6 +28,11 @@ class PullProtocolBase : public GossipProtocolBase {
   /// only), Lost-buffer reconciliation, and route recording.
   void on_event(const EventPtr& event, const EventContext& ctx) override;
 
+  /// Cold restarts additionally drop the pull bookkeeping: loss watermarks
+  /// (losses across the outage become undetectable — the paper's
+  /// first-contact rule applies anew), pending losses, and stored routes.
+  void on_restart(fault::RestartPolicy policy) override;
+
   [[nodiscard]] const LostBuffer& lost() const { return lost_; }
   [[nodiscard]] const LossDetector& detector() const { return detector_; }
   [[nodiscard]] const RoutesBuffer& routes() const { return routes_; }
@@ -62,6 +67,12 @@ class PullProtocolBase : public GossipProtocolBase {
   void forward_towards_publisher(NodeId gossiper, NodeId source,
                                  std::vector<LostEntryInfo> wanted,
                                  std::vector<NodeId> route, bool originated);
+
+  /// Retry hardening: schedules a silence check for an originated digest —
+  /// if every wanted entry is still lost after the request timeout, the
+  /// exchange produced nothing and each target is noted as silent.
+  void watch_digest(const std::vector<NodeId>& targets,
+                    const std::vector<LostEntryInfo>& wanted);
 };
 
 }  // namespace epicast

@@ -21,6 +21,11 @@ class PushProtocol final : public GossipProtocolBase {
 
   [[nodiscard]] const char* name() const override { return "push"; }
 
+  void on_restart(fault::RestartPolicy policy) override {
+    GossipProtocolBase::on_restart(policy);
+    saw_request_since_round_ = false;
+  }
+
  protected:
   bool on_round() override;
   void handle_digest(NodeId from, const GossipMessage& msg) override;

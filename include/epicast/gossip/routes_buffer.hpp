@@ -37,6 +37,10 @@ class RoutesBuffer {
   /// Sources with a known route, sorted (deterministic sampling).
   [[nodiscard]] std::vector<NodeId> known_sources() const;
 
+  /// Forgets every stored route (cold restart); routes re-learn from the
+  /// next events received.
+  void clear() { routes_.clear(); }
+
  private:
   std::unordered_map<NodeId, std::vector<NodeId>> routes_;
   std::vector<NodeId> empty_;

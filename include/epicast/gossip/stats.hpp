@@ -20,6 +20,13 @@ struct GossipStats {
   std::uint64_t events_served = 0;     ///< events retransmitted to others
   std::uint64_t events_recovered = 0;  ///< new events obtained via gossip
   std::uint64_t reply_duplicates = 0;  ///< replies carrying known events
+  /// Retry hardening (GossipConfig::request_timeout > 0; all three stay 0
+  /// otherwise): exchanges that produced nothing within the timeout,
+  /// requests re-sent after a timeout, and requests given up on after
+  /// request_max_retries.
+  std::uint64_t request_timeouts = 0;
+  std::uint64_t request_retries = 0;
+  std::uint64_t requests_abandoned = 0;
 
   GossipStats& operator+=(const GossipStats& o) {
     rounds += o.rounds;
@@ -31,6 +38,9 @@ struct GossipStats {
     events_served += o.events_served;
     events_recovered += o.events_recovered;
     reply_duplicates += o.reply_duplicates;
+    request_timeouts += o.request_timeouts;
+    request_retries += o.request_retries;
+    requests_abandoned += o.requests_abandoned;
     return *this;
   }
 };

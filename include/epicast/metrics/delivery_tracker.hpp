@@ -62,6 +62,15 @@ class DeliveryTracker {
   /// 0 when nothing was recovered. q=0.5 is the median.
   [[nodiscard]] double recovery_latency_quantile(double q) const;
 
+  /// Pair counters restricted to events published in [start, end) — the
+  /// fault layer's per-epoch delivery ratios. O(tracked events) per call.
+  struct PairWindow {
+    std::uint64_t expected = 0;
+    std::uint64_t delivered = 0;      ///< within horizon
+    std::uint64_t delivered_any = 0;  ///< ignoring the horizon
+  };
+  [[nodiscard]] PairWindow pairs_in_range(SimTime start, SimTime end) const;
+
   [[nodiscard]] std::uint64_t events_tracked() const {
     return events_tracked_;
   }

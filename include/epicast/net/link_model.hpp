@@ -36,16 +36,23 @@ class LinkModel {
   Outcome transmit(NodeId from, NodeId to, std::size_t bytes, SimTime now,
                    bool lossless);
 
-  /// Transmission time of `bytes` at the configured bandwidth.
+  /// Transmission time of `bytes` at the current effective bandwidth.
   [[nodiscard]] Duration serialization_time(std::size_t bytes) const;
 
   [[nodiscard]] const LinkParams& params() const { return params_; }
+
+  /// Scales the effective bandwidth of every link to `scale` × the
+  /// configured rate (FaultController's timed degradation windows).
+  /// Must be in (0, 1]; 1.0 restores nominal behaviour.
+  void set_bandwidth_scale(double scale);
+  [[nodiscard]] double bandwidth_scale() const { return bandwidth_scale_; }
 
   /// Forgets per-link queue state (e.g., between scenario phases).
   void reset();
 
  private:
   LinkParams params_;
+  double bandwidth_scale_ = 1.0;
   Rng rng_;
   /// Key = directed link (from << 32 | to); value = when the sender side of
   /// that direction becomes free.

@@ -67,6 +67,14 @@ class Reconfigurator {
     on_repair_ = std::move(listener);
   }
 
+  /// Restricts which nodes may anchor a replacement link: the filter returns
+  /// false for nodes that must not be wired up right now (FaultController
+  /// marks crashed nodes). A repair whose only candidates are filtered out
+  /// is *deferred* — re-checked one repair_time later — rather than silently
+  /// installing a link to a dead endpoint. No filter = every node eligible.
+  using NodeFilter = std::function<bool(NodeId)>;
+  void set_node_filter(NodeFilter filter) { node_filter_ = std::move(filter); }
+
   /// Breaks one random link immediately and schedules its repair; usable
   /// directly in tests and examples without start().
   void force_reconfiguration();
@@ -84,14 +92,23 @@ class Reconfigurator {
   [[nodiscard]] std::uint64_t exhausted_repairs() const {
     return exhausted_repairs_;
   }
+  /// Repairs postponed because every attachable node on a side was rejected
+  /// by the node filter (e.g., the only candidates were crashed).
+  [[nodiscard]] std::uint64_t deferred_repairs() const {
+    return deferred_repairs_;
+  }
   /// Links currently down (broken, repair pending).
   [[nodiscard]] std::uint32_t pending_repairs() const { return pending_; }
 
  private:
   void break_one();
   void repair(Link removed);
-  /// Picks a node with degree headroom from the component of `anchor`.
+  /// Picks a node with degree headroom (passing the node filter, if any)
+  /// from the component of `anchor`.
   std::optional<NodeId> pick_attachable(NodeId anchor);
+  /// True iff `anchor`'s component has degree headroom somewhere but every
+  /// such node is currently rejected by the node filter.
+  bool side_blocked(NodeId anchor) const;
 
   Simulator& sim_;
   Topology& topology_;
@@ -100,10 +117,12 @@ class Reconfigurator {
   PeriodicTimer timer_;
   BreakListener on_break_;
   RepairListener on_repair_;
+  NodeFilter node_filter_;
   std::uint64_t breaks_ = 0;
   std::uint64_t repairs_ = 0;
   std::uint64_t skipped_repairs_ = 0;
   std::uint64_t exhausted_repairs_ = 0;
+  std::uint64_t deferred_repairs_ = 0;
   std::uint32_t pending_ = 0;
 };
 

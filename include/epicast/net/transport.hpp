@@ -88,12 +88,17 @@ class Transport {
     observers_.push_back(&observer);
   }
 
-  /// Deterministic fault injection (tests, failure-injection examples):
-  /// return false to drop that send. Evaluated before the stochastic loss
-  /// draw; dropped sends are reported to the observer as losses.
-  using FaultFilter =
-      std::function<bool(NodeId from, NodeId to, const Message& msg)>;
-  void set_fault_filter(FaultFilter filter) { fault_ = std::move(filter); }
+  /// Deterministic fault injection (FaultController, tests, failure-injection
+  /// examples): return false to drop that send. Filters stack — every
+  /// registered filter is consulted in registration order and any one of them
+  /// may drop. Evaluated before the stochastic loss draw; dropped sends are
+  /// reported to the observer as losses. `overlay` distinguishes the two
+  /// channels (true = overlay link, false = out-of-band).
+  using FaultFilter = std::function<bool(NodeId from, NodeId to,
+                                         const Message& msg, bool overlay)>;
+  void add_fault_filter(FaultFilter filter) {
+    faults_.push_back(std::move(filter));
+  }
 
   /// Sends over the overlay link (from → to). If the link does not exist
   /// the message is dropped (stale-route drop).
@@ -106,9 +111,13 @@ class Transport {
   [[nodiscard]] const TransportConfig& config() const { return config_; }
   [[nodiscard]] Topology& topology() { return topology_; }
   [[nodiscard]] Simulator& simulator() { return sim_; }
+  /// Link-behaviour knobs (FaultController's bandwidth degradation).
+  [[nodiscard]] LinkModel& link_model() { return link_model_; }
 
  private:
   TransportReceiver& receiver_for(NodeId node) const;
+  bool faults_allow(NodeId from, NodeId to, const Message& msg,
+                    bool overlay) const;
 
   Simulator& sim_;
   Topology& topology_;
@@ -117,7 +126,7 @@ class Transport {
   Rng direct_rng_;
   std::vector<TransportReceiver*> receivers_;
   std::vector<TransportObserver*> observers_;
-  FaultFilter fault_;
+  std::vector<FaultFilter> faults_;
 };
 
 }  // namespace epicast

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "epicast/common/ids.hpp"
+#include "epicast/fault/restart_policy.hpp"
 #include "epicast/net/message.hpp"
 #include "epicast/pubsub/event.hpp"
 
@@ -42,6 +43,14 @@ class RecoveryProtocol {
 
   /// Stops periodic activity.
   virtual void stop() {}
+
+  /// The node hosting this protocol came back from a crash (the protocol
+  /// was stop()ped at crash time; start() follows this call). Cold restarts
+  /// must drop recovery-layer soft state — event cache, loss watermarks,
+  /// pending-loss and route buffers — as a real process losing its memory
+  /// would; Warm restarts keep everything. The dispatcher's delivery-dedup
+  /// state is durable and survives either way.
+  virtual void on_restart(fault::RestartPolicy /*policy*/) {}
 
   /// A new (never seen before) event was accepted by the dispatcher.
   virtual void on_event(const EventPtr& event, const EventContext& ctx) = 0;

@@ -18,6 +18,7 @@ struct CliParse {
   ScenarioConfig config;
   bool show_help = false;
   bool emit_csv = false;     ///< --csv: print the delivery series as CSV
+  bool emit_json = false;    ///< --json: print the machine-readable result
   /// Set iff parsing failed; describes the offending flag.
   std::optional<std::string> error;
 };
@@ -31,7 +32,9 @@ struct CliParse {
 ///   --measure=SECONDS --warmup=SECONDS --horizon=SECONDS
 ///   --reconfig=RHO_SECONDS (enables churn; links become reliable unless
 ///                           --epsilon is also given)
-///   --oob-loss=E --csv --help
+///   --faults=PLAN (fault-plan grammar, see epicast/fault/plan.hpp)
+///   --pull-timeout=SECONDS --pull-retries=N (request retry hardening)
+///   --oob-loss=E --csv --json --help
 [[nodiscard]] CliParse parse_cli(const std::vector<std::string>& args);
 
 /// The --help text.

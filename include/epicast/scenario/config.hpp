@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 
+#include "epicast/fault/plan.hpp"
 #include "epicast/gossip/config.hpp"
 #include "epicast/net/message.hpp"
 #include "epicast/sim/time.hpp"
@@ -53,6 +54,13 @@ struct ScenarioConfig {
   // -- recovery ----------------------------------------------------------------
   Algorithm algorithm = Algorithm::NoRecovery;
   GossipConfig gossip;  ///< T, β, P_forward, P_source, …
+
+  // -- fault injection ---------------------------------------------------------
+  /// Declarative chaos plan (node churn, bursty links, slowdowns, scripted
+  /// partitions); times are relative to publish_start(). The default comes
+  /// from EPICAST_FAULTS; an empty plan constructs no controller at all and
+  /// the run is bit-identical to a fault-free build.
+  fault::FaultPlan faults = fault::default_fault_plan();
 
   /// How message sizes are charged to links and byte counters: `Nominal`
   /// uses the configured constants (the paper's equal-size assumption —

@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "epicast/common/message_pool.hpp"
+#include "epicast/fault/plan.hpp"
 #include "epicast/gossip/protocol.hpp"
 #include "epicast/metrics/hotpath_profiler.hpp"
 #include "epicast/metrics/message_stats.hpp"
@@ -56,7 +57,13 @@ struct ScenarioResult {
   double mean_pairwise_distance = 0.0;  ///< of the initial tree
   std::uint64_t reconfig_breaks = 0;
   std::uint64_t reconfig_repairs = 0;
+  std::uint64_t reconfig_deferred = 0;  ///< repairs re-queued (crashed side)
   std::uint64_t drops_no_link = 0;      ///< stale-route drops, whole run
+
+  // -- fault injection ------------------------------------------------------------
+  /// Execution counters, per-epoch delivery ratios, and post-heal
+  /// convergence latency for the run's FaultPlan (all-zero when empty).
+  fault::FaultSummary fault;
 
   // -- hot-path attribution ------------------------------------------------------
   /// Per-phase op counts (always) and inclusive nanoseconds (when

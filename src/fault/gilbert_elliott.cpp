@@ -1,0 +1,57 @@
+#include "epicast/fault/gilbert_elliott.hpp"
+
+#include <utility>
+
+#include "epicast/common/assert.hpp"
+
+namespace epicast::fault {
+namespace {
+
+bool is_probability(double p) { return p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+bool GilbertElliottParams::valid() const {
+  if (!is_probability(p_enter) || !is_probability(p_exit) ||
+      !is_probability(loss_good) || !is_probability(loss_bad)) {
+    return false;
+  }
+  // A chain that can enter Bad but never leave it is a permanent partition
+  // in disguise; model that with a PartitionSpec instead.
+  return p_enter == 0.0 || p_exit > 0.0;
+}
+
+double GilbertElliottParams::stationary_loss_rate() const {
+  const double denom = p_enter + p_exit;
+  if (denom == 0.0) return loss_good;  // chain never moves; starts Good
+  return (p_exit * loss_good + p_enter * loss_bad) / denom;
+}
+
+double GilbertElliottParams::mean_burst_length() const {
+  if (p_enter == 0.0) return 0.0;
+  return 1.0 / p_exit;
+}
+
+GilbertElliottChannel::GilbertElliottChannel(GilbertElliottParams params,
+                                             Rng rng)
+    : params_(params), rng_(rng) {
+  EPICAST_ASSERT_MSG(params_.valid(), "invalid Gilbert-Elliott parameters");
+}
+
+bool GilbertElliottChannel::transmit_lost() {
+  // Transition first, then the loss draw: the state a message sees already
+  // includes its own step's transition, which makes the burst-length
+  // distribution exactly geometric with mean 1/p_exit.
+  const bool flip = rng_.chance(bad_ ? params_.p_exit : params_.p_enter);
+  if (flip) {
+    bad_ = !bad_;
+    if (bad_) ++stats_.bursts_entered;
+  }
+  const bool lost =
+      rng_.chance(bad_ ? params_.loss_bad : params_.loss_good);
+  ++stats_.messages;
+  if (lost) ++stats_.lost;
+  return lost;
+}
+
+}  // namespace epicast::fault

@@ -140,6 +140,20 @@ void EventCache::drop(const EventId& id) {
   }
 }
 
+void EventCache::clear() {
+  nodes_.clear();
+  free_.clear();
+  head_ = kNil;
+  tail_ = kNil;
+  by_id_.clear();
+  random_pool_.clear();
+  random_pos_.clear();
+  by_source_pattern_.clear();
+  by_pattern_.clear();
+  nodes_.reserve(capacity_);
+  by_id_.reserve(capacity_);
+}
+
 bool EventCache::contains(const EventId& id) const {
   return by_id_.contains(id);
 }

@@ -77,6 +77,14 @@ bool LostBuffer::contains(const LostEntryInfo& entry) const {
   return by_key_.contains(entry);
 }
 
+void LostBuffer::clear() {
+  order_.clear();
+  by_key_.clear();
+  pattern_mask_ = PatternSet{};
+  pattern_counts_.fill(0);
+  overflow_counts_.clear();
+}
+
 template <typename Pred>
 std::vector<LostEntryInfo> LostBuffer::collect(Pred&& pred,
                                                std::size_t max_entries) const {

@@ -61,6 +61,39 @@ void GossipProtocolBase::start() {
 
 void GossipProtocolBase::stop() { timer_.stop(); }
 
+void GossipProtocolBase::on_restart(fault::RestartPolicy policy) {
+  peer_timeouts_.clear();
+  if (policy == fault::RestartPolicy::Cold) {
+    cache_.clear();
+    ++restart_epoch_;
+  }
+}
+
+bool GossipProtocolBase::peer_suspect(NodeId peer) const {
+  const auto it = peer_timeouts_.find(peer.value());
+  return it != peer_timeouts_.end() && it->second >= kSuspectAfterTimeouts;
+}
+
+void GossipProtocolBase::note_peer_alive(NodeId peer) {
+  if (!peer_timeouts_.empty()) peer_timeouts_.erase(peer.value());
+}
+
+void GossipProtocolBase::note_peer_timeout(NodeId peer) {
+  ++peer_timeouts_[peer.value()];
+}
+
+void GossipProtocolBase::prune_suspects(std::vector<NodeId>& targets) const {
+  bool any_healthy = false;
+  for (NodeId n : targets) {
+    if (!peer_suspect(n)) {
+      any_healthy = true;
+      break;
+    }
+  }
+  if (!any_healthy) return;  // no better choice; keep the set as picked
+  std::erase_if(targets, [this](NodeId n) { return peer_suspect(n); });
+}
+
 void GossipProtocolBase::run_round() {
   HotpathProfiler::Scope scope(prof_, HotPhase::GossipRound);
   ++stats_.rounds;
@@ -91,6 +124,7 @@ bool GossipProtocolBase::responsible_for(const EventData& event,
 
 void GossipProtocolBase::on_gossip(NodeId from, const MessagePtr& msg) {
   HotpathProfiler::Scope scope(prof_, HotPhase::GossipHandle);
+  if (retry_hardening()) note_peer_alive(from);
   const auto& gmsg = static_cast<const GossipMessage&>(*msg);
   switch (gmsg.kind()) {
     case GossipKind::Request:
@@ -189,7 +223,39 @@ void GossipProtocolBase::send_digest(NodeId to, MessagePtr msg,
 void GossipProtocolBase::send_request(NodeId to, std::vector<EventId> ids) {
   EPICAST_ASSERT(!ids.empty());
   ++stats_.requests_sent;
+  if (retry_hardening()) track_request(to, ids, /*attempt=*/0);
   d_.send_direct(to, msgs_.request(std::move(ids)));
+}
+
+void GossipProtocolBase::track_request(NodeId to, std::vector<EventId> ids,
+                                       std::uint32_t attempt) {
+  double scale = 1.0;
+  for (std::uint32_t i = 0; i < attempt; ++i) scale *= cfg_.request_backoff;
+  const Duration wait =
+      Duration::seconds(cfg_.request_timeout.to_seconds() * scale);
+  const std::uint64_t epoch = restart_epoch_;
+  d_.simulator().after(
+      wait, [this, to, ids = std::move(ids), attempt, epoch]() {
+        // Stale deadline: the node cold-restarted (epoch moved on) or is
+        // currently down / stopped — a dead node neither counts timeouts
+        // nor retries.
+        if (epoch != restart_epoch_ || !active()) return;
+        std::vector<EventId> missing;
+        for (const EventId& id : ids) {
+          if (!d_.has_seen(id)) missing.push_back(id);
+        }
+        if (missing.empty()) return;  // everything arrived in time
+        ++stats_.request_timeouts;
+        note_peer_timeout(to);
+        if (attempt >= cfg_.request_max_retries) {
+          ++stats_.requests_abandoned;
+          return;
+        }
+        ++stats_.request_retries;
+        ++stats_.requests_sent;
+        track_request(to, missing, attempt + 1);
+        d_.send_direct(to, msgs_.request(std::move(missing)));
+      });
 }
 
 void GossipProtocolBase::send_reply(NodeId to, std::vector<EventPtr> events) {

@@ -37,6 +37,31 @@ void PullProtocolBase::on_event(const EventPtr& event,
   }
 }
 
+void PullProtocolBase::on_restart(fault::RestartPolicy policy) {
+  GossipProtocolBase::on_restart(policy);
+  if (policy == fault::RestartPolicy::Cold) {
+    detector_.reset();
+    lost_.clear();
+    routes_.clear();
+  }
+}
+
+void PullProtocolBase::watch_digest(const std::vector<NodeId>& targets,
+                                    const std::vector<LostEntryInfo>& wanted) {
+  const std::uint64_t epoch = restart_epoch();
+  d_.simulator().after(
+      cfg_.request_timeout, [this, targets, wanted, epoch]() {
+        if (epoch != restart_epoch() || !active()) return;
+        for (const LostEntryInfo& w : wanted) {
+          if (!lost_.contains(w)) return;  // the exchange recovered something
+        }
+        // Every entry is still missing: the digest (or its replies) went
+        // nowhere. One timeout for the exchange; every target is suspect.
+        ++stats_.request_timeouts;
+        for (NodeId t : targets) note_peer_timeout(t);
+      });
+}
+
 bool PullProtocolBase::round_subscriber() {
   lost_.expire(d_.simulator().now());
   // The pull gossiper draws p from subscriptions issued *locally* — the
@@ -53,6 +78,7 @@ bool PullProtocolBase::round_subscriber() {
 
   d_.table().route_targets_into(p, NodeId::invalid(), targets_scratch_);
   fanout_into(targets_scratch_, true, fanout_scratch_);
+  if (retry_hardening()) prune_suspects(fanout_scratch_);
   if (!fanout_scratch_.empty()) {
     // One immutable digest shared by every target this round.
     const MessagePtr digest =
@@ -60,6 +86,7 @@ bool PullProtocolBase::round_subscriber() {
     for (NodeId to : fanout_scratch_) {
       send_digest(to, digest, /*originated=*/true);
     }
+    if (retry_hardening()) watch_digest(fanout_scratch_, wanted_scratch_);
   }
   return true;
 }
@@ -106,8 +133,15 @@ void PullProtocolBase::forward_towards_publisher(
   }
   if (route.empty()) return;  // reached the recorded end of the route
 
-  const NodeId next = route.front();
+  NodeId next = route.front();
   route.erase(route.begin());
+  // Crash-aware re-selection: hop over next hops the digest layer has seen
+  // go silent, as long as further hops remain — the final hop (the
+  // publisher itself) is always attempted.
+  while (retry_hardening() && peer_suspect(next) && !route.empty()) {
+    next = route.front();
+    route.erase(route.begin());
+  }
   MessagePtr msg = msgs_.publisher_pull_digest(gossiper, source,
                                                std::move(wanted),
                                                std::move(route));
@@ -176,6 +210,7 @@ void PullProtocolBase::handle_subscriber_digest(
   if (msg.hops() + 1 > cfg_.max_hops) return;
   d_.table().route_targets_into(msg.pattern(), from, targets_scratch_);
   fanout_into(targets_scratch_, true, fanout_scratch_);
+  if (retry_hardening()) prune_suspects(fanout_scratch_);
   if (!fanout_scratch_.empty()) {
     const MessagePtr fwd = msgs_.subscriber_pull_digest(
         msg.gossiper(), msg.pattern(), std::move(remaining), msg.hops() + 1);

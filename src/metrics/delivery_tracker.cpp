@@ -96,6 +96,18 @@ TimeSeries DeliveryTracker::delivery_series(const char* name) const {
   return series;
 }
 
+DeliveryTracker::PairWindow DeliveryTracker::pairs_in_range(SimTime start,
+                                                            SimTime end) const {
+  PairWindow w;
+  for (const auto& [id, rec] : events_) {
+    if (rec.published_at < start || rec.published_at >= end) continue;
+    w.expected += rec.expected;
+    w.delivered += rec.delivered;
+    w.delivered_any += rec.delivered_any;
+  }
+  return w;
+}
+
 double DeliveryTracker::receivers_per_event() const {
   return events_tracked_ == 0 ? 0.0
                               : static_cast<double>(expected_pairs_) /

@@ -21,7 +21,13 @@ LinkModel::LinkModel(LinkParams params, Rng rng)
 
 Duration LinkModel::serialization_time(std::size_t bytes) const {
   const double bits = static_cast<double>(bytes) * 8.0;
-  return Duration::seconds(bits / params_.bandwidth_bps);
+  return Duration::seconds(bits / (params_.bandwidth_bps * bandwidth_scale_));
+}
+
+void LinkModel::set_bandwidth_scale(double scale) {
+  EPICAST_ASSERT_MSG(scale > 0.0 && scale <= 1.0,
+                     "bandwidth scale must be in (0, 1]");
+  bandwidth_scale_ = scale;
 }
 
 LinkModel::Outcome LinkModel::transmit(NodeId from, NodeId to,

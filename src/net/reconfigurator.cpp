@@ -51,14 +51,42 @@ void Reconfigurator::break_one() {
 std::optional<NodeId> Reconfigurator::pick_attachable(NodeId anchor) {
   std::vector<NodeId> candidates;
   for (NodeId n : topology_.component_of(anchor)) {
-    if (topology_.degree(n) < topology_.max_degree()) candidates.push_back(n);
+    if (topology_.degree(n) < topology_.max_degree() &&
+        (!node_filter_ || node_filter_(n))) {
+      candidates.push_back(n);
+    }
   }
   if (candidates.empty()) return std::nullopt;
   return candidates[rng_.next_below(candidates.size())];
 }
 
+bool Reconfigurator::side_blocked(NodeId anchor) const {
+  bool headroom = false;
+  for (NodeId n : topology_.component_of(anchor)) {
+    if (topology_.degree(n) < topology_.max_degree()) {
+      headroom = true;
+      if (node_filter_(n)) return false;  // an eligible candidate exists
+    }
+  }
+  return headroom;
+}
+
 void Reconfigurator::repair(Link removed) {
   EPICAST_ASSERT(pending_ > 0);
+  if (node_filter_ &&
+      !topology_.distance(removed.a, removed.b).has_value() &&
+      (side_blocked(removed.a) || side_blocked(removed.b))) {
+    // The only attachable node(s) on a side are currently crashed: installing
+    // the link now would wire the tree to a dead endpoint. Hold the repair
+    // (pending_ stays up, the partition persists) and re-pick once the
+    // endpoint is back — or another node frees up headroom.
+    ++deferred_repairs_;
+    EPICAST_DEBUG("reconfig: repair of " << removed.a.value() << "-"
+                                         << removed.b.value()
+                                         << " deferred (endpoint down)");
+    sim_.after(config_.repair_time, [this, removed]() { repair(removed); });
+    return;
+  }
   --pending_;
   ++repairs_;
 

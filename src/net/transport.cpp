@@ -34,6 +34,14 @@ TransportReceiver& Transport::receiver_for(NodeId node) const {
   return *r;
 }
 
+bool Transport::faults_allow(NodeId from, NodeId to, const Message& msg,
+                             bool overlay) const {
+  for (const FaultFilter& f : faults_) {
+    if (!f(from, to, msg, overlay)) return false;
+  }
+  return true;
+}
+
 void Transport::send_overlay(NodeId from, NodeId to, MessagePtr msg) {
   HotpathProfiler::Scope scope(sim_.profiler(), HotPhase::TransportOverlay);
   EPICAST_ASSERT(msg != nullptr);
@@ -46,7 +54,7 @@ void Transport::send_overlay(NodeId from, NodeId to, MessagePtr msg) {
     return;
   }
 
-  if (fault_ && !fault_(from, to, *msg)) {
+  if (!faults_allow(from, to, *msg, /*overlay=*/true)) {
     for (TransportObserver* o : observers_) {
       o->on_loss(from, to, *msg, /*overlay=*/true);
     }
@@ -87,7 +95,7 @@ void Transport::send_direct(NodeId from, NodeId to, MessagePtr msg) {
   EPICAST_ASSERT_MSG(from != to, "direct send to self");
   for (TransportObserver* o : observers_) o->on_send(from, to, *msg, /*overlay=*/false);
 
-  if (fault_ && !fault_(from, to, *msg)) {
+  if (!faults_allow(from, to, *msg, /*overlay=*/false)) {
     for (TransportObserver* o : observers_) {
       o->on_loss(from, to, *msg, /*overlay=*/false);
     }

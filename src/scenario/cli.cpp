@@ -4,6 +4,8 @@
 #include <functional>
 #include <map>
 
+#include "epicast/fault/plan.hpp"
+
 namespace epicast {
 namespace {
 
@@ -48,6 +50,10 @@ CliParse parse_cli(const std::vector<std::string>& args) {
     }
     if (arg == "--csv") {
       out.emit_csv = true;
+      continue;
+    }
+    if (arg == "--json") {
+      out.emit_json = true;
       continue;
     }
     const auto eq = arg.find('=');
@@ -115,6 +121,18 @@ CliParse parse_cli(const std::vector<std::string>& args) {
     } else if (key == "oob-loss" && parse_double(value, d) && d >= 0 &&
                d <= 1) {
       cfg.oob_loss_rate = d;
+    } else if (key == "faults") {
+      std::string err;
+      const auto plan = fault::parse_plan(value, &err);
+      if (!plan) {
+        out.error = "bad fault plan: " + err;
+        return out;
+      }
+      cfg.faults = *plan;
+    } else if (key == "pull-timeout" && parse_double(value, d) && d >= 0) {
+      cfg.gossip.request_timeout = Duration::seconds(d);
+    } else if (key == "pull-retries" && parse_u64(value, u)) {
+      cfg.gossip.request_max_retries = static_cast<std::uint32_t>(u);
     } else {
       out.error = "bad flag or value: " + arg;
       return out;
@@ -156,8 +174,16 @@ std::string cli_usage() {
       "                  instant converged tables (default) or the\n"
       "                  distributed retraction/re-advertisement protocol\n"
       "  --oob-loss=E    out-of-band channel loss (default: epsilon)\n"
+      "  --faults=PLAN   chaos plan, ';'-separated processes, e.g.\n"
+      "                  'churn(period=1,down=0.3);burst(p=0.05,r=0.5)'\n"
+      "                  (also: EPICAST_FAULTS; times relative to publish\n"
+      "                  start; see include/epicast/fault/plan.hpp)\n"
+      "  --pull-timeout=S  request timeout enabling retry hardening\n"
+      "                  (default 0 = off, the paper's behaviour)\n"
+      "  --pull-retries=N  retries before a request is abandoned (3)\n"
       "  --seed=S        RNG seed (default 1)\n"
       "  --csv           also print the delivery time series as CSV\n"
+      "  --json          print the machine-readable result instead\n"
       "  --help          this text\n";
 }
 

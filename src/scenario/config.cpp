@@ -33,6 +33,9 @@ void ScenarioConfig::validate() const {
   EPICAST_ASSERT(bucket_width > Duration::zero());
   EPICAST_ASSERT(gossip.interval > Duration::zero());
   EPICAST_ASSERT(gossip.buffer_size > 0);
+  EPICAST_ASSERT(gossip.request_timeout >= Duration::zero());
+  EPICAST_ASSERT(gossip.request_backoff >= 1.0);
+  faults.validate();
 }
 
 ScenarioConfig ScenarioConfig::paper_defaults(Algorithm algorithm) {
@@ -70,6 +73,8 @@ std::string ScenarioConfig::describe() const {
      << '\n'
      << "cache policy                     " << to_string(gossip.cache_policy)
      << '\n'
+     << "fault plan                       "
+     << (faults.empty() ? std::string("none") : faults.describe()) << '\n'
      << "sizing mode                      " << to_string(sizing_mode) << '\n'
      << "link bandwidth [bit/s]           " << link_bandwidth_bps << '\n'
      << "measurement window [s]           " << measure.to_seconds() << '\n'

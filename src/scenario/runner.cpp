@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "epicast/common/assert.hpp"
+#include "epicast/fault/controller.hpp"
 #include "epicast/metrics/delivery_tracker.hpp"
 #include "epicast/net/reconfigurator.hpp"
 #include "epicast/oracle/checks.hpp"
@@ -116,10 +117,14 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
 
   DeliveryTracker tracker(cfg.bucket_width, cfg.recovery_horizon);
   tracker.set_measure_window(cfg.window_start(), cfg.window_end());
+  SimTime last_recovery_at = SimTime::zero();
   network.set_delivery_listener(
-      [&tracker, &sim, o = oracles.get()](NodeId node, const EventPtr& event,
-                                          bool recovered) {
+      [&tracker, &sim, &last_recovery_at, o = oracles.get()](
+          NodeId node, const EventPtr& event, bool recovered) {
         if (o != nullptr) o->notify_delivery(node, event, recovered);
+        if (recovered && last_recovery_at < sim.now()) {
+          last_recovery_at = sim.now();
+        }
         tracker.on_delivery(node, event->id(), sim.now(), recovered);
       });
 
@@ -150,6 +155,26 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     }
     churn_owner->start();
     churn = churn_owner.get();
+  }
+
+  // Fault injection. The controller forks its RNG streams last, so an empty
+  // plan (no controller at all) leaves every other stream — and the run —
+  // bit-identical to a fault-free build.
+  std::unique_ptr<fault::FaultController> faults;
+  if (!cfg.faults.empty()) {
+    faults = std::make_unique<fault::FaultController>(
+        sim, transport, network, cfg.faults,
+        fault::FaultControllerConfig{cfg.publish_start(), cfg.end_time()});
+    if (churn != nullptr) {
+      // A Reconfigurator repair must not attach a link to a crashed node —
+      // defer it until the victim restarts.
+      churn->set_node_filter(
+          [f = faults.get()](NodeId n) { return !f->is_crashed(n); });
+    }
+    if (cfg.route_repair == ScenarioConfig::RouteRepair::Oracle) {
+      faults->set_heal_listener([&network]() { network.rebuild_routes(); });
+    }
+    faults->start();
   }
 
   workload.start_publishing(cfg.publish_start(), cfg.end_time());
@@ -201,6 +226,27 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   if (churn) {
     result.reconfig_breaks = churn->breaks();
     result.reconfig_repairs = churn->repairs();
+    result.reconfig_deferred = churn->deferred_repairs();
+  }
+  if (faults) {
+    result.fault.stats = faults->stats();
+    result.fault.epochs = faults->epoch_windows();
+    for (fault::FaultEpoch& epoch : result.fault.epochs) {
+      const DeliveryTracker::PairWindow w = tracker.pairs_in_range(
+          SimTime::zero() + Duration::seconds(epoch.start_s),
+          SimTime::zero() + Duration::seconds(epoch.end_s));
+      epoch.expected_pairs = w.expected;
+      epoch.delivered_pairs = w.delivered;
+      epoch.eventual_pairs = w.delivered_any;
+    }
+    const SimTime last_heal = faults->last_heal();
+    if (last_heal > SimTime::zero()) {
+      result.fault.last_heal_s = last_heal.to_seconds();
+      result.fault.post_heal_convergence_s =
+          last_recovery_at > last_heal
+              ? (last_recovery_at - last_heal).to_seconds()
+              : 0.0;
+    }
   }
   result.drops_no_link = stats.snapshot().drops_no_link;
   if (oracles != nullptr) {

@@ -29,6 +29,15 @@ class GossipHarness {
         stats_(nodes),
         net_(sim_, transport_, dispatcher_config(algorithm)) {
     transport_.add_observer(stats_);
+    // One composable filter installed up front; the drop_* mutators only
+    // edit the rule sets it consults.
+    transport_.add_fault_filter(
+        [this](NodeId from, NodeId to, const Message& msg, bool /*overlay*/) {
+          if (msg.message_class() != MessageClass::Event) return true;
+          if (dropped_links_.contains({from, to})) return false;
+          const auto& em = static_cast<const EventMessage&>(msg);
+          return !dropped_.contains(DropRule{from, to, em.event()->id()});
+        });
     net_.for_each([&](Dispatcher& d) {
       d.set_recovery(make_recovery(algorithm, d, gossip));
     });
@@ -75,19 +84,16 @@ class GossipHarness {
   /// Drops event messages carrying `id` on the directed link from→to.
   void drop_event_on_link(NodeId from, NodeId to, EventId id) {
     dropped_.insert(DropRule{from, to, id});
-    install_filter();
   }
 
   /// Drops every event message on the directed link from→to.
   void drop_all_events_on_link(NodeId from, NodeId to) {
     dropped_links_.insert({from, to});
-    install_filter();
   }
 
   void clear_drops() {
     dropped_.clear();
     dropped_links_.clear();
-    install_filter();
   }
 
   void run_for(double seconds) {
@@ -115,6 +121,7 @@ class GossipHarness {
   PubSubNetwork& net() { return net_; }
   MessageStats& stats() { return stats_; }
   Topology& topology() { return topo_; }
+  Transport& transport() { return transport_; }
 
  private:
   struct DropRule {
@@ -122,16 +129,6 @@ class GossipHarness {
     EventId id;
     friend auto operator<=>(const DropRule&, const DropRule&) = default;
   };
-
-  void install_filter() {
-    transport_.set_fault_filter(
-        [this](NodeId from, NodeId to, const Message& msg) {
-          if (msg.message_class() != MessageClass::Event) return true;
-          if (dropped_links_.contains({from, to})) return false;
-          const auto& em = static_cast<const EventMessage&>(msg);
-          return !dropped_.contains(DropRule{from, to, em.event()->id()});
-        });
-  }
 
   Simulator sim_;
   Topology topo_;

@@ -142,6 +142,25 @@ TEST(Determinism, WireModeMatchesSeedReference) {
   }
 }
 
+TEST(Determinism, EmptyFaultPlanAndRetryDefaultsAreInert) {
+  // The chaos subsystem must be invisible when unused: the default config
+  // carries an empty plan (no controller, no forked RNG streams — the seed
+  // guards above pin the bit-identity) and request_timeout = 0 keeps every
+  // retry counter at zero. Assert directly so a regression names the
+  // culprit instead of showing up as a seed-guard mismatch.
+  ScenarioConfig cfg = quick(Algorithm::CombinedPull, 404);
+  EXPECT_TRUE(cfg.faults.empty());
+  const ScenarioResult r = run_scenario(cfg);
+  EXPECT_EQ(r.fault.stats.crashes, 0u);
+  EXPECT_EQ(r.fault.stats.burst_drops, 0u);
+  EXPECT_EQ(r.fault.stats.partitions_applied, 0u);
+  EXPECT_TRUE(r.fault.epochs.empty());
+  EXPECT_DOUBLE_EQ(r.fault.last_heal_s, 0.0);
+  EXPECT_EQ(r.gossip_totals.request_timeouts, 0u);
+  EXPECT_EQ(r.gossip_totals.request_retries, 0u);
+  EXPECT_EQ(r.gossip_totals.requests_abandoned, 0u);
+}
+
 TEST(Determinism, PoolModeDoesNotAffectResults) {
   // EPICAST_POOL only switches the allocator under the shared_ptrs; pooled
   // and pass-through builds must be bit-identical. (CI exercises the env

@@ -159,5 +159,127 @@ TEST(FailureInjection, GossipStormDoesNotDuplicateDeliveries) {
             3u);  // three events, once each
 }
 
+TEST(RetryHardening, PushRequestRetriesAfterLostRequest) {
+  // Push flow: digest → request → reply. Kill the subscriber's first two
+  // requests on the out-of-band channel; with request_timeout set the
+  // protocol must notice the silence, re-send, and still recover.
+  GossipConfig g = GossipHarness::default_gossip();
+  g.request_timeout = Duration::millis(60);
+  g.request_max_retries = 4;
+  GossipHarness h(3, Algorithm::Push, g);
+  h.subscribe_and_settle({{0, 1}, {2, 1}});
+  h.start_recovery();
+
+  int requests_killed = 0;
+  h.transport().add_fault_filter(
+      [&requests_killed](NodeId from, NodeId, const Message& m, bool) {
+        if (from == NodeId{2} &&
+            m.message_class() == MessageClass::GossipRequest &&
+            requests_killed < 2) {
+          ++requests_killed;
+          return false;
+        }
+        return true;
+      });
+
+  auto& pub = h.net().node(NodeId{0});
+  const EventPtr lost = pub.publish({Pattern{1}});
+  h.drop_event_on_link(NodeId{1}, NodeId{2}, lost->id());
+  h.run_for(3.0);
+
+  EXPECT_EQ(requests_killed, 2);
+  EXPECT_TRUE(h.recovered(2, lost->id()));
+  // Each push round may open a fresh exchange for the same id, and a timer
+  // whose ids arrived meanwhile counts nothing — so the floor is one
+  // timeout and one retry, not one per killed request.
+  const GossipStats& s = h.protocol(2)->stats();
+  EXPECT_GE(s.request_timeouts, 1u);
+  EXPECT_GE(s.request_retries, 1u);
+  EXPECT_EQ(s.requests_abandoned, 0u);
+}
+
+TEST(RetryHardening, RequestIsAbandonedAfterMaxRetries) {
+  // Nothing ever answers: after request_max_retries re-sends the request
+  // must be given up on — bounded, not an infinite retry loop.
+  GossipConfig g = GossipHarness::default_gossip();
+  g.request_timeout = Duration::millis(50);
+  g.request_max_retries = 2;
+  GossipHarness h(3, Algorithm::Push, g);
+  h.subscribe_and_settle({{0, 1}, {2, 1}});
+  h.start_recovery();
+
+  h.transport().add_fault_filter([](NodeId from, NodeId, const Message& m,
+                                    bool) {
+    return !(from == NodeId{2} &&
+             m.message_class() == MessageClass::GossipRequest);
+  });
+
+  auto& pub = h.net().node(NodeId{0});
+  const EventPtr lost = pub.publish({Pattern{1}});
+  h.drop_event_on_link(NodeId{1}, NodeId{2}, lost->id());
+  h.run_for(3.0);
+
+  EXPECT_FALSE(h.delivered(2, lost->id()));
+  const GossipStats& s = h.protocol(2)->stats();
+  EXPECT_GE(s.requests_abandoned, 1u);
+  // Bounded: every exchange costs at most request_max_retries re-sends, so
+  // retries can never outrun timeouts.
+  EXPECT_LE(s.request_retries, s.request_timeouts);
+}
+
+TEST(RetryHardening, PullDigestSilenceCountsTimeouts) {
+  // Swallow every pull digest the subscriber originates: the watch fires,
+  // counts one timeout per silent exchange, and marks the targets suspect.
+  GossipConfig g = GossipHarness::default_gossip();
+  g.request_timeout = Duration::millis(60);
+  GossipHarness h(3, Algorithm::CombinedPull, g);
+  h.subscribe_and_settle({{0, 1}, {2, 1}});
+  h.start_recovery();
+
+  h.transport().add_fault_filter([](NodeId from, NodeId, const Message& m,
+                                    bool) {
+    return !(from == NodeId{2} &&
+             m.message_class() == MessageClass::GossipDigest);
+  });
+
+  auto& pub = h.net().node(NodeId{0});
+  (void)pub.publish({Pattern{1}});
+  h.run_for(0.1);
+  const EventPtr lost = pub.publish({Pattern{1}});
+  h.drop_event_on_link(NodeId{1}, NodeId{2}, lost->id());
+  h.run_for(0.1);
+  (void)pub.publish({Pattern{1}});  // reveals the gap
+  h.run_for(2.0);
+
+  EXPECT_FALSE(h.recovered(2, lost->id()));
+  EXPECT_GE(h.protocol(2)->stats().request_timeouts, 1u);
+}
+
+TEST(RetryHardening, DisabledByDefaultKeepsCountersZero) {
+  // request_timeout defaults to zero: even under heavy loss no timer is
+  // armed and every retry counter stays exactly zero (the paper's
+  // behaviour, pinned by the determinism seed guards).
+  GossipHarness h(3, Algorithm::CombinedPull);
+  h.subscribe_and_settle({{0, 1}, {2, 1}});
+  h.start_recovery();
+
+  auto& pub = h.net().node(NodeId{0});
+  (void)pub.publish({Pattern{1}});
+  h.run_for(0.1);
+  const EventPtr lost = pub.publish({Pattern{1}});
+  h.drop_event_on_link(NodeId{1}, NodeId{2}, lost->id());
+  h.run_for(0.1);
+  (void)pub.publish({Pattern{1}});
+  h.run_for(2.0);
+
+  EXPECT_TRUE(h.recovered(2, lost->id()));
+  for (std::uint32_t n = 0; n < 3; ++n) {
+    const GossipStats& s = h.protocol(n)->stats();
+    EXPECT_EQ(s.request_timeouts, 0u);
+    EXPECT_EQ(s.request_retries, 0u);
+    EXPECT_EQ(s.requests_abandoned, 0u);
+  }
+}
+
 }  // namespace
 }  // namespace epicast

@@ -1,0 +1,135 @@
+// Gilbert–Elliott channel: the empirical chain must match the closed
+// forms the header documents — stationary loss rate, geometric burst
+// lengths — and the degenerate parameterizations must collapse to the
+// i.i.d. cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "epicast/fault/gilbert_elliott.hpp"
+
+namespace epicast::fault {
+namespace {
+
+GilbertElliottParams textbook(double p, double r) {
+  GilbertElliottParams params;
+  params.p_enter = p;
+  params.p_exit = r;
+  params.loss_good = 0.0;
+  params.loss_bad = 1.0;
+  return params;
+}
+
+TEST(GilbertElliott, ClosedFormsMatchHandComputation) {
+  const GilbertElliottParams params = textbook(0.1, 0.4);
+  EXPECT_TRUE(params.valid());
+  // Textbook loss_good=0 / loss_bad=1 reduces L to p/(p+r).
+  EXPECT_DOUBLE_EQ(params.stationary_loss_rate(), 0.1 / 0.5);
+  EXPECT_DOUBLE_EQ(params.mean_burst_length(), 2.5);
+
+  GilbertElliottParams leaky = textbook(0.05, 0.5);
+  leaky.loss_good = 0.01;
+  leaky.loss_bad = 0.9;
+  EXPECT_DOUBLE_EQ(leaky.stationary_loss_rate(),
+                   (0.5 * 0.01 + 0.05 * 0.9) / 0.55);
+}
+
+TEST(GilbertElliott, StationaryLossMatchesClosedFormAcrossSeeds) {
+  const GilbertElliottParams params = textbook(0.1, 0.4);
+  const double expected = params.stationary_loss_rate();
+  constexpr std::uint64_t kMessages = 200000;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    GilbertElliottChannel channel(params, Rng(seed));
+    std::uint64_t lost = 0;
+    for (std::uint64_t i = 0; i < kMessages; ++i) {
+      if (channel.transmit_lost()) ++lost;
+    }
+    const double empirical =
+        static_cast<double>(lost) / static_cast<double>(kMessages);
+    EXPECT_NEAR(empirical, expected, 0.01) << "seed " << seed;
+    EXPECT_EQ(channel.stats().messages, kMessages);
+    EXPECT_EQ(channel.stats().lost, lost);
+  }
+}
+
+TEST(GilbertElliott, MeanBurstLengthIsGeometric) {
+  // Transition-then-loss makes the time spent in Bad per visit exactly
+  // geometric with mean 1/p_exit: count bad-state steps per entered burst.
+  const GilbertElliottParams params = textbook(0.05, 0.25);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    GilbertElliottChannel channel(params, Rng(seed));
+    std::uint64_t bad_steps = 0;
+    for (std::uint64_t i = 0; i < 400000; ++i) {
+      (void)channel.transmit_lost();
+      if (channel.in_bad_state()) ++bad_steps;
+    }
+    const auto bursts = channel.stats().bursts_entered;
+    ASSERT_GT(bursts, 0u);
+    const double mean_burst =
+        static_cast<double>(bad_steps) / static_cast<double>(bursts);
+    EXPECT_NEAR(mean_burst, params.mean_burst_length(),
+                0.1 * params.mean_burst_length())
+        << "seed " << seed;
+  }
+}
+
+TEST(GilbertElliott, NeverEnteringBadIsLossFree) {
+  // p_enter = 0 degenerates to an i.i.d. loss_good channel; with
+  // loss_good = 0 that is a perfect link.
+  GilbertElliottParams params = textbook(0.0, 0.0);
+  EXPECT_TRUE(params.valid());  // p_exit may be 0 when Bad is unreachable
+  EXPECT_DOUBLE_EQ(params.stationary_loss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(params.mean_burst_length(), 0.0);
+  GilbertElliottChannel channel(params, Rng(7));
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_FALSE(channel.transmit_lost());
+    EXPECT_FALSE(channel.in_bad_state());
+  }
+  EXPECT_EQ(channel.stats().lost, 0u);
+  EXPECT_EQ(channel.stats().bursts_entered, 0u);
+}
+
+TEST(GilbertElliott, UnityLossRatesDropEverything) {
+  // loss_good = loss_bad = 1 collapses to ε = 1 regardless of the chain.
+  GilbertElliottParams params = textbook(0.2, 0.5);
+  params.loss_good = 1.0;
+  params.loss_bad = 1.0;
+  EXPECT_TRUE(params.valid());
+  EXPECT_DOUBLE_EQ(params.stationary_loss_rate(), 1.0);
+  GilbertElliottChannel channel(params, Rng(3));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(channel.transmit_lost());
+  }
+}
+
+TEST(GilbertElliott, InvalidParameterCombinationsAreRejected) {
+  EXPECT_FALSE(textbook(1.5, 0.5).valid());   // probability out of range
+  EXPECT_FALSE(textbook(0.5, -0.1).valid());
+  EXPECT_FALSE(textbook(0.5, 0.0).valid());   // Bad state is absorbing
+  GilbertElliottParams bad_loss = textbook(0.1, 0.5);
+  bad_loss.loss_bad = 1.1;
+  EXPECT_FALSE(bad_loss.valid());
+}
+
+TEST(GilbertElliott, ResetReturnsToGoodWithoutDraws) {
+  GilbertElliottParams params = textbook(1.0, 0.1);
+  GilbertElliottChannel channel(params, Rng(5));
+  (void)channel.transmit_lost();  // p_enter = 1: now certainly Bad
+  ASSERT_TRUE(channel.in_bad_state());
+  channel.reset();
+  EXPECT_FALSE(channel.in_bad_state());
+  // Statistics survive the reset: they describe the traffic, not the state.
+  EXPECT_EQ(channel.stats().messages, 1u);
+}
+
+TEST(GilbertElliott, SameSeedGivesSameLossSequence) {
+  const GilbertElliottParams params = textbook(0.1, 0.3);
+  GilbertElliottChannel a(params, Rng(42));
+  GilbertElliottChannel b(params, Rng(42));
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_EQ(a.transmit_lost(), b.transmit_lost()) << "message " << i;
+  }
+}
+
+}  // namespace
+}  // namespace epicast::fault

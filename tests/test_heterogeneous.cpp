@@ -74,8 +74,8 @@ struct MixedRig {
     (void)pub.publish({Pattern{1}});
     run(0.1);
     const EventPtr lost = pub.publish({Pattern{1}});
-    transport.set_fault_filter(
-        [id = lost->id()](NodeId from, NodeId to, const Message& m) {
+    transport.add_fault_filter(
+        [id = lost->id()](NodeId from, NodeId to, const Message& m, bool) {
           if (m.message_class() != MessageClass::Event) return true;
           const auto& em = static_cast<const EventMessage&>(m);
           return !(from == NodeId{1} && to == NodeId{2} &&
@@ -133,8 +133,8 @@ TEST(Heterogeneous, MixedPullVariantsInteroperate) {
   (void)pub.publish({Pattern{1}});
   rig.run(0.1);
   const EventPtr lost = pub.publish({Pattern{1}});
-  rig.transport.set_fault_filter(
-      [id = lost->id()](NodeId from, NodeId to, const Message& m) {
+  rig.transport.add_fault_filter(
+      [id = lost->id()](NodeId from, NodeId to, const Message& m, bool) {
         if (m.message_class() != MessageClass::Event) return true;
         const auto& em = static_cast<const EventMessage&>(m);
         return !(from == NodeId{2} && to == NodeId{3} &&

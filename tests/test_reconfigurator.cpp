@@ -171,6 +171,63 @@ TEST(Reconfigurator, BackToBackBreaksInsideOneRepairWindow) {
   }
 }
 
+TEST(Reconfigurator, RepairDefersWhileEndpointCrashed) {
+  // Two nodes, one link. Break it while node 1 is crashed (excluded by the
+  // node filter): the repair window expires but installing the link would
+  // wire the tree to a dead endpoint, so the repair defers — pending stays
+  // up, the deferral is counted — and lands once the node is back.
+  Simulator sim(9);
+  Topology topo(2, 1);
+  topo.add_link(NodeId{0}, NodeId{1});
+
+  ReconfigConfig cfg;
+  cfg.repair_time = Duration::millis(100);
+  Reconfigurator rec(sim, topo, cfg);
+  bool crashed = true;
+  rec.set_node_filter(
+      [&crashed](NodeId n) { return !(crashed && n == NodeId{1}); });
+
+  rec.force_reconfiguration();  // the only link is the victim
+  EXPECT_EQ(topo.link_count(), 0u);
+
+  sim.run_until(SimTime::seconds(0.15));  // first repair attempt has fired
+  EXPECT_EQ(rec.repairs(), 0u);
+  EXPECT_GE(rec.deferred_repairs(), 1u);
+  EXPECT_EQ(rec.pending_repairs(), 1u);
+  EXPECT_EQ(topo.link_count(), 0u);  // nothing wired to the dead node
+
+  crashed = false;  // node 1 restarts
+  sim.run_until(SimTime::seconds(0.35));
+  EXPECT_EQ(rec.repairs(), 1u);
+  EXPECT_EQ(rec.pending_repairs(), 0u);
+  EXPECT_TRUE(topo.is_tree());
+  EXPECT_EQ(topo.link_count(), 1u);
+}
+
+TEST(Reconfigurator, NodeFilterPassingEveryoneChangesNothing) {
+  // A filter that rejects nobody must leave the repair draw sequence
+  // untouched: same seed with and without the filter → same added links.
+  auto run_once = [](bool with_filter) {
+    Simulator sim(13);
+    Rng rng = sim.fork_rng();
+    Topology topo = Topology::random_tree(20, 4, rng);
+    ReconfigConfig cfg;
+    cfg.interval = Duration::millis(40);
+    cfg.repair_time = Duration::millis(60);
+    cfg.stop_at = SimTime::seconds(1.0);
+    Reconfigurator rec(sim, topo, cfg);
+    if (with_filter) rec.set_node_filter([](NodeId) { return true; });
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> added;
+    rec.set_repair_listener([&](const Reconfigurator::Repair& r) {
+      if (r.added) added.emplace_back(r.added->a.value(), r.added->b.value());
+    });
+    rec.start();
+    sim.run_until(SimTime::seconds(2.0));
+    return added;
+  };
+  EXPECT_EQ(run_once(false), run_once(true));
+}
+
 TEST(Reconfigurator, StopHaltsChurn) {
   Simulator sim(3);
   Rng rng = sim.fork_rng();

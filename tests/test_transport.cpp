@@ -107,7 +107,7 @@ TEST_F(TransportTest, DirectChannelIgnoresTopology) {
 }
 
 TEST_F(TransportTest, FaultFilterDropsSelectedMessages) {
-  transport_.set_fault_filter([](NodeId from, NodeId, const Message&) {
+  transport_.add_fault_filter([](NodeId from, NodeId, const Message&, bool) {
     return from != NodeId{0};  // drop everything node 0 sends
   });
   transport_.send_overlay(NodeId{0}, NodeId{1},
@@ -118,6 +118,27 @@ TEST_F(TransportTest, FaultFilterDropsSelectedMessages) {
   EXPECT_TRUE(sinks_[1].received.empty());
   ASSERT_EQ(sinks_[2].received.size(), 1u);
   EXPECT_EQ(stats_.snapshot().losses_of(MessageClass::Event), 1u);
+}
+
+TEST_F(TransportTest, FaultFiltersCompose) {
+  // Two stacked filters: either one saying "drop" drops the message, and
+  // both keep being consulted after the other fires.
+  transport_.add_fault_filter([](NodeId from, NodeId, const Message&, bool) {
+    return from != NodeId{0};
+  });
+  transport_.add_fault_filter([](NodeId, NodeId to, const Message&, bool) {
+    return to != NodeId{2};
+  });
+  transport_.send_overlay(NodeId{0}, NodeId{1},
+                          std::make_shared<TestMessage>(MessageClass::Event));
+  transport_.send_overlay(NodeId{1}, NodeId{2},
+                          std::make_shared<TestMessage>(MessageClass::Event));
+  transport_.send_overlay(NodeId{1}, NodeId{0},
+                          std::make_shared<TestMessage>(MessageClass::Event));
+  sim_.run();
+  EXPECT_TRUE(sinks_[1].received.empty());  // first filter dropped 0→1
+  EXPECT_TRUE(sinks_[2].received.empty());  // second filter dropped 1→2
+  ASSERT_EQ(sinks_[0].received.size(), 1u);  // 1→0 passes both
 }
 
 TEST_F(TransportTest, ObserverCountsPerClass) {
