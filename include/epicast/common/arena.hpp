@@ -1,0 +1,76 @@
+// epicast — chunked bump allocator for per-scenario node state.
+//
+// Large scenarios (N ≥ 10⁴) allocate many small, never-individually-freed
+// blocks: multi-word pattern masks, seen-set word tables, CSR scratch. A
+// general-purpose heap charges per-allocation headers and scatters them
+// across the address space; the arena packs them into few large chunks with
+// stable addresses (chunks never move or shrink), and its byte counters
+// feed the per-component memory accounting in ScenarioResult::memory.
+//
+// There is no per-block free: memory is reclaimed when the arena dies with
+// its owning component at scenario teardown. Components whose blocks grow
+// (a pattern mask widening) simply allocate the bigger block and abandon
+// the old one — growth is geometric, so the waste is bounded by ~2×.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace epicast {
+
+class Arena {
+ public:
+  /// `chunk_bytes` is the default chunk size; nothing is allocated until
+  /// the first request, so an unused arena costs only this object.
+  explicit Arena(std::size_t chunk_bytes = 4096)
+      : chunk_bytes_(chunk_bytes == 0 ? 4096 : chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// A maximally-aligned block of `bytes`. Blocks larger than the chunk
+  /// size get a dedicated chunk. Never returns nullptr (asserts on OOM via
+  /// operator new).
+  void* allocate(std::size_t bytes) {
+    constexpr std::size_t kAlign = alignof(std::max_align_t);
+    bytes = (bytes + kAlign - 1) & ~(kAlign - 1);
+    if (bytes > chunk_bytes_ - used_ || chunks_.empty()) {
+      const std::size_t chunk = bytes > chunk_bytes_ ? bytes : chunk_bytes_;
+      chunks_.push_back(std::make_unique<std::byte[]>(chunk));
+      chunk_sizes_.push_back(chunk);
+      reserved_ += chunk;
+      used_ = 0;
+    }
+    std::byte* out = chunks_.back().get() + used_;
+    used_ += bytes;
+    allocated_ += bytes;
+    return out;
+  }
+
+  /// A zero-initialized array of `n` trivially-destructible `T`.
+  template <typename T>
+  [[nodiscard]] T* allocate_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena blocks are never destroyed individually");
+    T* out = static_cast<T*>(allocate(n * sizeof(T)));
+    for (std::size_t i = 0; i < n; ++i) out[i] = T{};
+    return out;
+  }
+
+  /// Bytes handed out (live + abandoned-by-growth).
+  [[nodiscard]] std::size_t bytes_allocated() const { return allocated_; }
+  /// Bytes reserved from the heap (chunk totals) — the resident footprint.
+  [[nodiscard]] std::size_t bytes_reserved() const { return reserved_; }
+
+ private:
+  std::size_t chunk_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::vector<std::size_t> chunk_sizes_;
+  std::size_t used_ = 0;       // into the last chunk
+  std::size_t allocated_ = 0;
+  std::size_t reserved_ = 0;
+};
+
+}  // namespace epicast

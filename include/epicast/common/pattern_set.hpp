@@ -1,25 +1,30 @@
-// epicast — fixed-width bitset over the pattern universe.
+// epicast — width-dynamic bitset over the pattern universe.
 //
-// The paper's universe is Π ≤ 70 patterns, so a pattern set fits in two
-// 64-bit words. The hot paths that used to rebuild sorted
-// std::vector<Pattern> per event or per gossip round (matching, sampling
-// populations) operate on these masks instead: membership is a bit test,
-// intersection is two ANDs, and "the k-th pattern" is a select on set bits.
+// The paper's universe is Π ≤ 70 patterns, so a pattern set fits in the two
+// inline 64-bit words and never touches the allocator — that layout (and
+// the ascending-bit iteration order) is bit-identical to the fixed two-word
+// bitset it replaced, which is what keeps the seed-guarded figure scenarios
+// stable. Larger universes (Zipf-skewed 1k–10k patterns from CLI-configured
+// scenarios) widen the word array on demand — from an Arena when the set
+// was constructed with one (per-scenario node state), else from the heap —
+// instead of falling back to sorted side maps.
 //
 // Invariants:
-//   * only patterns with value() < kCapacity are representable — callers
-//     that admit larger universes must keep an overflow side structure
-//     (SubscriptionTable and LostBuffer do);
+//   * width only grows, and only via set() / reserve() / |= — test() on a
+//     pattern beyond the current width is simply false, so width is an
+//     implementation detail: two sets are equal iff their members are,
+//     regardless of width;
 //   * iteration and nth() enumerate set bits in ascending pattern order,
-//     which equals the sorted order of the vectors they replace — this is
+//     which equals the sorted order of the vectors they replaced — this is
 //     what keeps RNG-driven sampling (`patterns[rng.next_below(n)]`)
-//     bit-identical after the migration.
+//     bit-identical across layout migrations.
 #pragma once
 
 #include <bit>
 #include <cstddef>
 #include <cstdint>
 
+#include "epicast/common/arena.hpp"
 #include "epicast/common/assert.hpp"
 #include "epicast/common/ids.hpp"
 
@@ -27,110 +32,243 @@ namespace epicast {
 
 class PatternSet {
  public:
-  /// Largest representable pattern value + 1 (two 64-bit words).
-  static constexpr std::uint32_t kCapacity = 128;
+  /// Patterns below this live in the inline words — no allocation ever.
+  static constexpr std::uint32_t kInlineCapacity = 128;
 
   constexpr PatternSet() = default;
 
-  /// True if `p` can be held in the bitset at all.
-  [[nodiscard]] static constexpr bool representable(Pattern p) {
-    return p.value() < kCapacity;
+  /// Pre-sized for patterns in [0, universe). Widths beyond the inline
+  /// words come from `arena` when given (per-scenario state), else the
+  /// heap. The set auto-grows past `universe` if asked to.
+  explicit PatternSet(std::uint32_t universe, Arena* arena = nullptr)
+      : arena_(arena) {
+    reserve(universe);
   }
 
-  /// Sets the bit for `p`. Returns true if it was newly set.
-  /// Precondition: representable(p).
-  constexpr bool set(Pattern p) {
-    EPICAST_ASSERT(representable(p));
-    std::uint64_t& w = w_[p.value() >> 6];
-    const std::uint64_t bit = std::uint64_t{1} << (p.value() & 63);
+  PatternSet(const PatternSet& o) { assign(o); }
+  PatternSet& operator=(const PatternSet& o) {
+    if (this != &o) assign(o);
+    return *this;
+  }
+  PatternSet(PatternSet&& o) noexcept { steal(o); }
+  PatternSet& operator=(PatternSet&& o) noexcept {
+    if (this != &o) {
+      release();
+      steal(o);
+    }
+    return *this;
+  }
+  ~PatternSet() { release(); }
+
+  /// Number of pattern values the current width can hold. Grows on demand;
+  /// mostly interesting for memory accounting and tests.
+  [[nodiscard]] std::uint32_t capacity() const { return nwords_ * 64; }
+
+  /// Bytes owned outside the object itself (0 while inline).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return words_ == inline_ ? 0 : nwords_ * sizeof(std::uint64_t);
+  }
+
+  /// Widens the set so patterns in [0, universe) need no further growth.
+  void reserve(std::uint32_t universe) {
+    const std::uint32_t need = words_for(universe);
+    if (need > nwords_) grow(need);
+  }
+
+  /// Sets the bit for `p`, widening if needed. Returns true if newly set.
+  bool set(Pattern p) {
+    const std::uint32_t v = p.value();
+    if (v >= capacity()) grow_for(v);
+    std::uint64_t& w = words_[v >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (v & 63);
     const bool added = (w & bit) == 0;
     w |= bit;
     return added;
   }
 
   /// Clears the bit for `p`. Returns true if it was set.
-  /// Precondition: representable(p).
-  constexpr bool clear(Pattern p) {
-    EPICAST_ASSERT(representable(p));
-    std::uint64_t& w = w_[p.value() >> 6];
-    const std::uint64_t bit = std::uint64_t{1} << (p.value() & 63);
+  bool clear(Pattern p) {
+    const std::uint32_t v = p.value();
+    if (v >= capacity()) return false;
+    std::uint64_t& w = words_[v >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (v & 63);
     const bool removed = (w & bit) != 0;
     w &= ~bit;
     return removed;
   }
 
-  /// Membership test; false for non-representable patterns (they are never
-  /// stored here), so a mask can safely pre-filter an overflow lookup.
-  [[nodiscard]] constexpr bool test(Pattern p) const {
-    if (!representable(p)) return false;
-    return (w_[p.value() >> 6] >> (p.value() & 63)) & 1;
+  /// Membership test; false beyond the current width (such patterns were
+  /// never set), so width never changes observable behavior.
+  [[nodiscard]] bool test(Pattern p) const {
+    const std::uint32_t v = p.value();
+    if (v >= capacity()) return false;
+    return (words_[v >> 6] >> (v & 63)) & 1;
   }
 
-  [[nodiscard]] constexpr bool any() const { return (w_[0] | w_[1]) != 0; }
-  [[nodiscard]] constexpr bool none() const { return !any(); }
+  [[nodiscard]] bool any() const {
+    if (nwords_ == kInlineWords) return (words_[0] | words_[1]) != 0;
+    for (std::uint32_t i = 0; i < nwords_; ++i) {
+      if (words_[i] != 0) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool none() const { return !any(); }
 
-  [[nodiscard]] constexpr std::size_t count() const {
-    return static_cast<std::size_t>(std::popcount(w_[0]) +
-                                    std::popcount(w_[1]));
+  [[nodiscard]] std::size_t count() const {
+    if (nwords_ == kInlineWords) {
+      return static_cast<std::size_t>(std::popcount(words_[0]) +
+                                      std::popcount(words_[1]));
+    }
+    std::size_t n = 0;
+    for (std::uint32_t i = 0; i < nwords_; ++i) n += std::popcount(words_[i]);
+    return n;
   }
 
   /// True if the two sets share at least one pattern.
-  [[nodiscard]] constexpr bool intersects(const PatternSet& o) const {
-    return ((w_[0] & o.w_[0]) | (w_[1] & o.w_[1])) != 0;
+  [[nodiscard]] bool intersects(const PatternSet& o) const {
+    if (nwords_ == kInlineWords && o.nwords_ == kInlineWords) {
+      return ((words_[0] & o.words_[0]) | (words_[1] & o.words_[1])) != 0;
+    }
+    const std::uint32_t common = nwords_ < o.nwords_ ? nwords_ : o.nwords_;
+    for (std::uint32_t i = 0; i < common; ++i) {
+      if ((words_[i] & o.words_[i]) != 0) return true;
+    }
+    return false;
   }
 
-  constexpr PatternSet& operator|=(const PatternSet& o) {
-    w_[0] |= o.w_[0];
-    w_[1] |= o.w_[1];
+  PatternSet& operator|=(const PatternSet& o) {
+    if (o.nwords_ > nwords_ && o.top_set_word() >= nwords_) {
+      grow(o.nwords_);
+    }
+    const std::uint32_t common = nwords_ < o.nwords_ ? nwords_ : o.nwords_;
+    for (std::uint32_t i = 0; i < common; ++i) words_[i] |= o.words_[i];
     return *this;
   }
-  constexpr PatternSet& operator&=(const PatternSet& o) {
-    w_[0] &= o.w_[0];
-    w_[1] &= o.w_[1];
+  PatternSet& operator&=(const PatternSet& o) {
+    const std::uint32_t common = nwords_ < o.nwords_ ? nwords_ : o.nwords_;
+    for (std::uint32_t i = 0; i < common; ++i) words_[i] &= o.words_[i];
+    for (std::uint32_t i = common; i < nwords_; ++i) words_[i] = 0;
     return *this;
   }
-  friend constexpr PatternSet operator|(PatternSet a, const PatternSet& b) {
+  friend PatternSet operator|(PatternSet a, const PatternSet& b) {
     return a |= b;
   }
-  friend constexpr PatternSet operator&(PatternSet a, const PatternSet& b) {
+  friend PatternSet operator&(PatternSet a, const PatternSet& b) {
     return a &= b;
   }
 
-  friend constexpr bool operator==(const PatternSet&,
-                                   const PatternSet&) = default;
+  /// Width-insensitive: equal iff the same members are set.
+  friend bool operator==(const PatternSet& a, const PatternSet& b) {
+    const std::uint32_t common = a.nwords_ < b.nwords_ ? a.nwords_ : b.nwords_;
+    for (std::uint32_t i = 0; i < common; ++i) {
+      if (a.words_[i] != b.words_[i]) return false;
+    }
+    const PatternSet& wide = a.nwords_ < b.nwords_ ? b : a;
+    for (std::uint32_t i = common; i < wide.nwords_; ++i) {
+      if (wide.words_[i] != 0) return false;
+    }
+    return true;
+  }
 
   /// Calls `f(Pattern)` for every member, in ascending pattern order.
   template <typename F>
-  constexpr void for_each(F&& f) const {
-    for (int word = 0; word < 2; ++word) {
-      std::uint64_t w = w_[word];
+  void for_each(F&& f) const {
+    for (std::uint32_t word = 0; word < nwords_; ++word) {
+      std::uint64_t w = words_[word];
       while (w != 0) {
         const int bit = std::countr_zero(w);
-        f(Pattern{static_cast<std::uint32_t>(word * 64 + bit)});
+        f(Pattern{word * 64 + static_cast<std::uint32_t>(bit)});
         w &= w - 1;  // clear lowest set bit
       }
     }
   }
 
   /// The k-th member in ascending order. Precondition: k < count().
-  [[nodiscard]] constexpr Pattern nth(std::size_t k) const {
-    std::uint64_t w = w_[0];
-    std::uint32_t base = 0;
-    const auto pop0 = static_cast<std::size_t>(std::popcount(w));
-    if (k >= pop0) {
-      k -= pop0;
-      w = w_[1];
-      base = 64;
+  [[nodiscard]] Pattern nth(std::size_t k) const {
+    for (std::uint32_t word = 0; word < nwords_; ++word) {
+      std::uint64_t w = words_[word];
+      const auto pop = static_cast<std::size_t>(std::popcount(w));
+      if (k >= pop) {
+        k -= pop;
+        continue;
+      }
+      // Pattern counts per word are tiny, so a clear-lowest-bit loop beats
+      // fancier selects in practice and stays portable.
+      while (k-- > 0) w &= w - 1;
+      return Pattern{word * 64 + static_cast<std::uint32_t>(std::countr_zero(w))};
     }
-    EPICAST_ASSERT(k < static_cast<std::size_t>(std::popcount(w)));
-    // Pattern counts are tiny (Π ≤ 70), so a clear-lowest-bit loop beats
-    // fancier selects in practice and stays portable.
-    while (k-- > 0) w &= w - 1;
-    return Pattern{base + static_cast<std::uint32_t>(std::countr_zero(w))};
+    EPICAST_ASSERT(false && "nth(k) with k >= count()");
+    return Pattern{0};
   }
 
  private:
-  std::uint64_t w_[2] = {0, 0};
+  static constexpr std::uint32_t kInlineWords = 2;
+
+  [[nodiscard]] static constexpr std::uint32_t words_for(std::uint32_t universe) {
+    const std::uint32_t w = (universe + 63) / 64;
+    return w < kInlineWords ? kInlineWords : w;
+  }
+
+  /// Index just past the highest non-zero word (0 if empty).
+  [[nodiscard]] std::uint32_t top_set_word() const {
+    for (std::uint32_t i = nwords_; i > 0; --i) {
+      if (words_[i - 1] != 0) return i - 1;
+    }
+    return 0;
+  }
+
+  void grow_for(std::uint32_t pattern_value) {
+    std::uint32_t need = words_for(pattern_value + 1);
+    // Geometric growth so repeated set() of ascending patterns stays O(n).
+    if (need < nwords_ * 2) need = nwords_ * 2;
+    grow(need);
+  }
+
+  void grow(std::uint32_t new_words) {
+    EPICAST_ASSERT(new_words > nwords_);
+    auto* w = arena_ != nullptr
+                  ? arena_->allocate_array<std::uint64_t>(new_words)
+                  : new std::uint64_t[new_words]{};
+    for (std::uint32_t i = 0; i < nwords_; ++i) w[i] = words_[i];
+    release();
+    words_ = w;
+    nwords_ = new_words;
+  }
+
+  void assign(const PatternSet& o) {
+    // Copies keep the destination's own arena policy — a default-constructed
+    // destination grows via the heap even when the source is arena-backed.
+    if (o.nwords_ > nwords_) grow(o.nwords_);
+    for (std::uint32_t i = 0; i < o.nwords_; ++i) words_[i] = o.words_[i];
+    for (std::uint32_t i = o.nwords_; i < nwords_; ++i) words_[i] = 0;
+  }
+
+  void steal(PatternSet& o) {
+    if (o.words_ == o.inline_) {
+      words_ = inline_;
+      inline_[0] = o.inline_[0];
+      inline_[1] = o.inline_[1];
+      nwords_ = kInlineWords;
+    } else {
+      words_ = o.words_;
+      nwords_ = o.nwords_;
+    }
+    arena_ = o.arena_;
+    o.words_ = o.inline_;
+    o.nwords_ = kInlineWords;
+    o.inline_[0] = 0;
+    o.inline_[1] = 0;
+  }
+
+  void release() {
+    // Arena blocks are abandoned (reclaimed at scenario teardown).
+    if (words_ != inline_ && arena_ == nullptr) delete[] words_;
+  }
+
+  std::uint64_t inline_[kInlineWords] = {0, 0};
+  std::uint64_t* words_ = inline_;
+  std::uint32_t nwords_ = kInlineWords;
+  Arena* arena_ = nullptr;
 };
 
 }  // namespace epicast

@@ -38,6 +38,7 @@
 #include "epicast/oracle/checks.hpp"
 #include "epicast/oracle/oracle.hpp"
 #include "epicast/net/message.hpp"
+#include "epicast/net/overlays.hpp"
 #include "epicast/net/reconfigurator.hpp"
 #include "epicast/net/topology.hpp"
 #include "epicast/net/transport.hpp"

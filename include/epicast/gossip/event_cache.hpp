@@ -63,6 +63,11 @@ class EventCache {
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] CachePolicy policy() const { return policy_; }
 
+  /// Estimated bytes owned by the cache's containers (slots + indexes,
+  /// excluding the shared events themselves) — per-component memory
+  /// accounting for the scale figures.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
   /// Drops every cached event and all indexes (cold restart). Counters are
   /// kept — a crash does not un-happen the traffic that preceded it.
   void clear();

@@ -6,11 +6,9 @@
 // buffer overflows (oldest first).
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -63,7 +61,7 @@ class LostBuffer {
   /// Number of distinct patterns with at least one entry — the pull
   /// sampling population size, without materializing the vector.
   [[nodiscard]] std::size_t patterns_with_losses_count() const {
-    return pattern_mask_.count() + overflow_counts_.size();
+    return pattern_mask_.count();
   }
   /// The k-th distinct pattern in ascending order
   /// (k < patterns_with_losses_count()) — equals patterns_with_losses()[k].
@@ -113,10 +111,10 @@ class LostBuffer {
   void note_removed(Pattern p);
   /// True if no entry can possibly have this pattern — lets remove() (one
   /// call per pattern of every received event, overwhelmingly misses)
-  /// skip the hash lookup.
+  /// skip the hash lookup. test() is false beyond the mask's width, so any
+  /// universe size is covered.
   [[nodiscard]] bool surely_absent(Pattern p) const {
-    if (PatternSet::representable(p)) return !pattern_mask_.test(p);
-    return overflow_counts_.empty() || !overflow_counts_.contains(p);
+    return !pattern_mask_.test(p);
   }
 
   std::size_t capacity_;
@@ -125,11 +123,11 @@ class LostBuffer {
   std::unordered_map<LostEntryInfo, std::list<Node>::iterator, KeyHash>
       by_key_;
   /// Distinct-pattern summary: a bit per pattern with >= 1 entry plus
-  /// per-pattern entry counts (so the bit can be cleared on last removal);
-  /// oversized patterns live in the sorted overflow map.
+  /// per-pattern entry counts (so the bit can be cleared on last removal).
+  /// Both the width-dynamic mask and the counts vector grow with the
+  /// highest pattern value seen, so any universe size stays on this path.
   PatternSet pattern_mask_;
-  std::array<std::uint32_t, PatternSet::kCapacity> pattern_counts_{};
-  std::map<Pattern, std::uint32_t> overflow_counts_;
+  std::vector<std::uint32_t> pattern_counts_;
   Stats stats_;
 };
 

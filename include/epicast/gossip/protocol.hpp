@@ -6,8 +6,10 @@
 // Concrete algorithms implement on_round() and handle_digest().
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -92,7 +94,7 @@ class GossipProtocolBase : public RecoveryProtocol {
 
   /// As fanout() into a caller-owned buffer (cleared first; must not alias
   /// `candidates`). Identical RNG draw sequence.
-  void fanout_into(const std::vector<NodeId>& candidates, bool ensure_progress,
+  void fanout_into(std::span<const NodeId> candidates, bool ensure_progress,
                    std::vector<NodeId>& out);
 
   void send_digest(NodeId to, MessagePtr msg, bool originated);
@@ -117,6 +119,21 @@ class GossipProtocolBase : public RecoveryProtocol {
   /// Removes suspect peers from `targets` — unless every target is suspect,
   /// in which case the set is left alone (a bad guess beats silence).
   void prune_suspects(std::vector<NodeId>& targets) const;
+
+  /// Duplicate-digest suppression for cyclic overlays. §III-B propagates
+  /// digests "along the dispatching tree", where every node sees a digest
+  /// at most once per round; on the scale overlays the per-pattern route
+  /// graph has cycles, so the same digest arrives along several paths and
+  /// every copy would be re-forwarded — an exponential flood the hop TTL
+  /// alone cannot tame. Returns true (caller drops the copy) iff `key` was
+  /// recorded within the last half gossip interval. Origination is
+  /// per-round (≥ one interval apart), so tree runs never trip this and
+  /// the paper figures stay bit-identical. Keys are content hashes; a
+  /// collision merely suppresses one forward.
+  [[nodiscard]] bool digest_duplicate(std::uint64_t key);
+  /// splitmix64-style mixer for digest keys.
+  [[nodiscard]] static std::uint64_t mix_digest_key(std::uint64_t a,
+                                                    std::uint64_t b);
 
   /// Guards deadline callbacks across restarts: a callback scheduled before
   /// a cold restart must not act on the reborn node's state.
@@ -152,6 +169,13 @@ class GossipProtocolBase : public RecoveryProtocol {
 
   AdaptiveIntervalController adaptive_;
   PeriodicTimer timer_;
+  /// Direct-mapped recent-digest table (see digest_duplicate()); the size
+  /// must stay a power of two.
+  struct DigestMark {
+    std::uint64_t key = 0;
+    SimTime at;
+  };
+  std::array<DigestMark, 128> digest_marks_{};
   /// Consecutive timed-out exchanges per peer (keyed by NodeId value);
   /// empty unless retry_hardening().
   std::unordered_map<std::uint32_t, std::uint32_t> peer_timeouts_;

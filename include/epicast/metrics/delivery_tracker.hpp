@@ -85,6 +85,10 @@ class DeliveryTracker {
     return recovered_pairs_;
   }
 
+  /// Estimated bytes owned by the tracker's containers — per-component
+  /// memory accounting for the scale figures.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
  private:
   struct EventRec {
     SimTime published_at;

@@ -6,6 +6,18 @@
 // reconfiguration primitive of §IV-A: remove one link (splitting the tree in
 // two) and later add a replacement that reconnects the components.
 //
+// Scale overlays (net/overlays.hpp) reuse the same structure for cyclic
+// graphs — the tree invariant is checked on demand, never assumed here.
+//
+// Layout: mutations run against per-node vectors (append order preserved —
+// neighbour order is part of the deterministic behavior), while neighbors()
+// serves from a flat CSR copy (offsets + one contiguous NodeId array),
+// repacked lazily whenever the change-listener version counter has moved.
+// Event forwarding and gossip fan-out iterate neighbours once per message,
+// so at N=10⁴ the contiguous layout is what keeps those scans in cache;
+// repacking is O(N+E) per mutation *batch* (reconfigurations are rare and
+// paper-scale), not per query.
+//
 // The structure tolerates being temporarily a two-component forest — that is
 // precisely the state during a repair window — and checks the tree invariant
 // (N-1 edges, acyclic) on demand.
@@ -14,6 +26,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -56,7 +69,9 @@ class Topology {
   [[nodiscard]] std::size_t link_count() const { return link_count_; }
 
   [[nodiscard]] bool has_link(NodeId a, NodeId b) const;
-  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId n) const;
+  /// Neighbours of `n` in link-insertion order, served from the flat CSR
+  /// copy. The span is invalidated by the next add_link/remove_link.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId n) const;
   [[nodiscard]] std::uint32_t degree(NodeId n) const;
 
   /// Adds a link. Preconditions: distinct valid endpoints, link absent,
@@ -88,8 +103,11 @@ class Topology {
   [[nodiscard]] std::vector<NodeId> component_of(NodeId n) const;
 
   /// Mean hop distance over all unordered node pairs (components only);
-  /// used for calibration reports.
-  [[nodiscard]] double mean_pairwise_distance() const;
+  /// used for calibration reports. `sample_sources` > 0 estimates from a
+  /// deterministic stride sample of BFS sources instead of all N — the
+  /// exact all-pairs scan is O(N·E), unaffordable at 10⁵ nodes.
+  [[nodiscard]] double mean_pairwise_distance(
+      std::uint32_t sample_sources = 0) const;
 
   /// Called after every add_link/remove_link with the affected link.
   /// Observers must not mutate the topology re-entrantly.
@@ -97,8 +115,12 @@ class Topology {
   void add_change_listener(ChangeListener listener);
 
   /// Monotone counter bumped on every structural change; lets caches detect
-  /// staleness cheaply.
+  /// staleness cheaply (the internal CSR copy uses it too).
   [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  /// Bytes owned by the adjacency structures (mutation vectors + CSR copy
+  /// + BFS scratch) — per-component memory accounting.
+  [[nodiscard]] std::size_t memory_bytes() const;
 
   /// Graphviz rendering of the current overlay (debugging, examples):
   /// `dot -Tpng` turns it into a picture of the dispatching tree.
@@ -106,12 +128,31 @@ class Topology {
 
  private:
   void check_node(NodeId n) const;
+  /// Rebuilds the flat CSR copy if the version moved since the last pack.
+  void repack_if_stale() const;
+  /// Stamps the BFS scratch for a fresh traversal and returns the stamp.
+  std::uint32_t fresh_visit_stamp() const;
 
   std::vector<std::vector<NodeId>> adj_;
   std::uint32_t max_degree_;
   std::size_t link_count_ = 0;
   std::uint64_t version_ = 0;
   std::vector<ChangeListener> listeners_;
+
+  /// Flat CSR adjacency: neighbours of n are
+  /// flat_neighbors_[flat_offsets_[n] .. flat_offsets_[n+1]).
+  mutable std::vector<std::uint32_t> flat_offsets_;
+  mutable std::vector<NodeId> flat_neighbors_;
+  mutable std::uint64_t flat_version_ = ~std::uint64_t{0};
+
+  /// Reusable BFS state: visit_stamp_[i] == visit_epoch_ means "seen in the
+  /// current traversal" — no per-call allocation, no clearing between
+  /// traversals (the Reconfigurator repair path calls path/component_of
+  /// repeatedly; per-call vectors showed up at N >= 10k).
+  mutable std::vector<std::uint32_t> visit_stamp_;
+  mutable std::uint32_t visit_epoch_ = 0;
+  mutable std::vector<NodeId> bfs_queue_;
+  mutable std::vector<NodeId> bfs_parent_;
 };
 
 }  // namespace epicast

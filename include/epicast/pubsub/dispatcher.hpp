@@ -65,6 +65,12 @@ class Dispatcher final : public TransportReceiver {
   /// Subscribes this dispatcher to `p` and floods the subscription.
   void subscribe(Pattern p);
 
+  /// Marks the local subscription without flooding it — used by the oracle
+  /// subscription bootstrap at scale, where PubSubNetwork::rebuild_routes()
+  /// installs the converged routes directly instead of simulating O(Π·N)
+  /// subscription floods.
+  void subscribe_local(Pattern p) { table_.add_local(p); }
+
   /// Removes the local subscription and prunes routes that are no longer
   /// needed anywhere behind this dispatcher.
   void unsubscribe(Pattern p);
@@ -109,8 +115,8 @@ class Dispatcher final : public TransportReceiver {
     transport_.send_direct(id_, to, std::move(msg));
   }
 
-  /// Current overlay neighbours.
-  [[nodiscard]] const std::vector<NodeId>& neighbors() const {
+  /// Current overlay neighbours (invalidated by topology mutations).
+  [[nodiscard]] std::span<const NodeId> neighbors() const {
     return transport_.topology().neighbors(id_);
   }
 
@@ -152,6 +158,15 @@ class Dispatcher final : public TransportReceiver {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Bytes owned by routing state: the subscription table plus the
+  /// per-neighbour duplicate-suppression masks.
+  [[nodiscard]] std::size_t routing_memory_bytes() const;
+
+  /// Bytes owned by the event duplicate-suppression set.
+  [[nodiscard]] std::size_t seen_memory_bytes() const {
+    return seen_.memory_bytes();
+  }
+
  private:
   void handle_event(NodeId from, const EventMessage& msg);
   void handle_control(NodeId from, const SubscribeMessage& msg);
@@ -163,6 +178,8 @@ class Dispatcher final : public TransportReceiver {
   /// Sends unsub(p) in directions that no longer lead to any subscriber.
   void maybe_propagate_unsub(Pattern p, NodeId skip);
   [[nodiscard]] bool sub_sent(Pattern p, NodeId neighbor) const;
+  struct SubSentMarks;
+  [[nodiscard]] const SubSentMarks* find_sub_sent(NodeId neighbor) const;
 
   NodeId id_;
   Simulator& sim_;
@@ -174,9 +191,15 @@ class Dispatcher final : public TransportReceiver {
   DeliveryListener on_delivery_;
 
   SeenSet seen_;
-  /// Duplicate-suppression state of subscription forwarding: for each
-  /// pattern, the neighbours a sub() was sent to.
-  std::unordered_map<Pattern, std::vector<NodeId>> sub_sent_;
+  /// Duplicate-suppression state of subscription forwarding: per neighbour
+  /// (sorted by NodeId), the patterns a sub() was sent towards. A pattern
+  /// bitmask per direction instead of a per-pattern hash map — O(degree ·
+  /// Π/8) bytes, the layout that keeps 10⁴-node scenarios in budget.
+  struct SubSentMarks {
+    NodeId neighbor;
+    PatternSet patterns;
+  };
+  std::vector<SubSentMarks> sub_sent_;
 
   std::uint64_t next_source_seq_ = 0;
   std::unordered_map<Pattern, std::uint64_t> next_pattern_seq_;

@@ -53,13 +53,11 @@ class EventData {
   /// The per-(source, p) sequence number, if the event matches p.
   [[nodiscard]] std::optional<SeqNo> seq_for(Pattern p) const;
 
-  /// Bitset of the event's representable patterns (value <
-  /// PatternSet::kCapacity) — the matching hot path is a mask AND against
-  /// SubscriptionTable's masks. Patterns outside the bitset range (possible
-  /// only with CLI-configured universes > 128) are absent from the mask;
-  /// mask_complete() tells whether the mask covers every pattern.
+  /// Bitset of the event's patterns — the matching hot path is a mask AND
+  /// against SubscriptionTable's masks. The width-dynamic mask covers every
+  /// pattern the event carries (it widens past the inline two words only
+  /// for CLI-configured universes beyond the paper's Π ≤ 70).
   [[nodiscard]] const PatternSet& pattern_mask() const { return mask_; }
-  [[nodiscard]] bool mask_complete() const { return mask_complete_; }
 
   [[nodiscard]] std::size_t payload_bytes() const { return payload_bytes_; }
   [[nodiscard]] SimTime published_at() const { return published_at_; }
@@ -68,7 +66,6 @@ class EventData {
   EventId id_;
   std::vector<PatternSeq> patterns_;  // sorted by pattern
   PatternSet mask_;
-  bool mask_complete_ = true;
   std::size_t payload_bytes_;
   SimTime published_at_;
 };

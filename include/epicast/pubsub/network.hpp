@@ -71,9 +71,16 @@ class PubSubNetwork {
   [[nodiscard]] std::size_t subscriber_count(Pattern p) const;
 
  private:
-  /// For every (subscriber, pattern), the route entries each node must hold.
-  /// oracle[node] is a list of (pattern, next_hop) pairs, sorted.
-  using Oracle = std::vector<std::vector<std::pair<Pattern, NodeId>>>;
+  /// The route entries each node must hold, as one pattern bitmask per
+  /// next-hop neighbour (entries sorted by NodeId) — mirrors the
+  /// SubscriptionTable layout. The old (pattern, next_hop)-pair lists were
+  /// O(N · subscribers · π_max) pairs and dominated memory at N = 10⁴;
+  /// the mask form is O(E · Π/8) bytes total.
+  struct OracleEntry {
+    NodeId next_hop;
+    PatternSet patterns;
+  };
+  using Oracle = std::vector<std::vector<OracleEntry>>;
   [[nodiscard]] Oracle compute_oracle() const;
 
   Simulator& sim_;

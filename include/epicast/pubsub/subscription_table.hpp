@@ -9,20 +9,21 @@
 // + routes), the pull algorithms only from local subscriptions (§III-B) —
 // hence the separate enumeration helpers.
 //
-// Hot-path layout: patterns below PatternSet::kCapacity (all of the paper's
-// Π ≤ 70) live in a dense array indexed by pattern value, with `known_mask_`
-// / `local_mask_` bitsets summarizing which entries exist — matching an
-// event is a mask AND, and the per-round sampling populations are popcounts
-// + bit selects instead of rebuilt vectors. Larger patterns (possible only
-// via CLI-configured universes) fall back to a sorted overflow map; every
-// enumeration keeps ascending pattern order, identical to the sorted
-// vectors this replaced.
+// Hot-path layout: one width-dynamic PatternSet per neighbour with at least
+// one route, plus `local_mask_` / `known_mask_` summaries. This replaces
+// the per-pattern next-hop vectors (O(Π · degree) pointers per node): a
+// node's whole routing state is now O(degree · Π/8) bytes of bitmask, the
+// layout that makes 10⁴-node scenarios with 10³-pattern universes fit in
+// cache. Every enumeration keeps ascending pattern order and ascending
+// NodeId order for route targets — identical to the sorted vectors this
+// replaced (the event path used to sort + dedup the union; iterating
+// neighbours in ascending NodeId order yields exactly that).
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
+#include "epicast/common/arena.hpp"
 #include "epicast/common/ids.hpp"
 #include "epicast/common/pattern_set.hpp"
 #include "epicast/pubsub/event.hpp"
@@ -31,7 +32,13 @@ namespace epicast {
 
 class SubscriptionTable {
  public:
-  SubscriptionTable() : dense_(PatternSet::kCapacity) {}
+  SubscriptionTable() = default;
+
+  /// Pre-sizes the summary masks for patterns in [0, universe), drawing
+  /// multi-word storage from `arena` (per-scenario node state). Optional:
+  /// the masks auto-grow without it; this avoids the growth copies and
+  /// keeps large-universe state arena-resident.
+  void reserve_universe(std::uint32_t universe, Arena* arena);
 
   /// Marks this dispatcher as a subscriber for `p`.
   /// Returns false if it already was.
@@ -60,13 +67,12 @@ class SubscriptionTable {
   [[nodiscard]] bool knows(Pattern p) const;
 
   /// True if this dispatcher is locally subscribed to any of the event's
-  /// patterns — i.e., the event must be delivered here. A mask intersection
-  /// on the fast path; events/universes beyond the bitset range fall back
-  /// to per-pattern lookups.
+  /// patterns — i.e., the event must be delivered here. A single mask
+  /// intersection regardless of universe size.
   [[nodiscard]] bool matches_local(const EventData& event) const;
 
   /// Union of next-hops for all the event's patterns, minus `exclude`
-  /// (the neighbour the event arrived from). Deterministic order.
+  /// (the neighbour the event arrived from). Ascending NodeId order.
   [[nodiscard]] std::vector<NodeId> route_targets(const EventData& event,
                                                   NodeId exclude) const;
 
@@ -100,36 +106,37 @@ class SubscriptionTable {
   /// As above into a caller-owned scratch buffer (cleared first).
   void local_patterns_into(std::vector<Pattern>& out) const;
 
-  /// Bitset of locally subscribed patterns (below PatternSet::kCapacity).
+  /// Bitset of locally subscribed patterns (complete at any universe size).
   [[nodiscard]] const PatternSet& local_mask() const { return local_mask_; }
-  /// Bitset of all known patterns (below PatternSet::kCapacity).
+  /// Bitset of all known patterns (complete at any universe size).
   [[nodiscard]] const PatternSet& known_mask() const { return known_mask_; }
 
   [[nodiscard]] std::size_t entry_count() const;
 
- private:
-  struct Entry {
-    bool local = false;
-    std::vector<NodeId> next_hops;  // sorted, unique
+  /// Bytes owned by this table beyond the object itself (mask storage +
+  /// per-neighbour entries) — per-component memory accounting.
+  [[nodiscard]] std::size_t memory_bytes() const;
 
-    [[nodiscard]] bool empty() const { return !local && next_hops.empty(); }
+ private:
+  /// All routes through one neighbour, as a pattern bitmask.
+  struct NeighborRoutes {
+    NodeId neighbor;
+    PatternSet patterns;
   };
 
-  [[nodiscard]] Entry* find_entry(Pattern p);
-  [[nodiscard]] const Entry* find_entry(Pattern p) const;
-  [[nodiscard]] Entry& entry_for(Pattern p);
-  /// Reconciles the masks / overflow map after `p`'s entry changed.
-  void note_changed(Pattern p);
+  [[nodiscard]] NeighborRoutes* find_routes(NodeId neighbor);
+  [[nodiscard]] const NeighborRoutes* find_routes(NodeId neighbor) const;
+  /// After clearing `p` somewhere: drop the known bit unless `p` is still
+  /// local or routed via some neighbour.
+  void reconcile_known(Pattern p);
 
-  /// Entries for patterns < PatternSet::kCapacity, indexed by value;
-  /// existence is tracked by known_mask_ (an entry outside the mask is
-  /// empty and ignored).
-  std::vector<Entry> dense_;
+  /// Sorted by neighbour id; entries with an all-zero mask are erased so
+  /// route_targets never scans dead neighbours.
+  std::vector<NeighborRoutes> routes_;
   PatternSet known_mask_;
   PatternSet local_mask_;
-  /// Entries for oversized patterns; std::map keeps ascending order so
-  /// enumerations stay sorted.
-  std::map<Pattern, Entry> overflow_;
+  Arena* arena_ = nullptr;
+  std::uint32_t universe_hint_ = 0;
 };
 
 }  // namespace epicast

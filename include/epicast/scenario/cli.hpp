@@ -32,6 +32,9 @@ struct CliParse {
 ///   --measure=SECONDS --warmup=SECONDS --horizon=SECONDS
 ///   --reconfig=RHO_SECONDS (enables churn; links become reliable unless
 ///                           --epsilon is also given)
+///   --overlay=<tree|barabasi-albert|watts-strogatz|random-regular|
+///              geo-cluster> --overlay-degree=D --ws-rewire=P
+///   --zipf=S --sub-skew=S --publishers=K --bootstrap=<flood|oracle>
 ///   --faults=PLAN (fault-plan grammar, see epicast/fault/plan.hpp)
 ///   --pull-timeout=SECONDS --pull-retries=N (request retry hardening)
 ///   --oob-loss=E --csv --json --help

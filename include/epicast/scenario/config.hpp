@@ -12,6 +12,7 @@
 #include "epicast/fault/plan.hpp"
 #include "epicast/gossip/config.hpp"
 #include "epicast/net/message.hpp"
+#include "epicast/net/overlays.hpp"
 #include "epicast/sim/time.hpp"
 
 namespace epicast {
@@ -33,6 +34,44 @@ struct ScenarioConfig {
   /// baseline delivery rate is set by ε, not by queueing) even at the high
   /// publish load. See DESIGN.md.
   std::size_t event_payload_bytes = 200;
+
+  // -- scale overlays and skewed workloads (beyond Fig. 2) ---------------------
+  /// Overlay family. `Tree` is the paper's random tree (built with
+  /// `max_degree`, bit-identical to the seed runs); the other families are
+  /// the scale-study overlays of net/overlays.hpp, parameterized by
+  /// `overlay_degree` (BA attachment count is overlay_degree/2, so the mean
+  /// degree lands near the tree's cap).
+  OverlayKind overlay = OverlayKind::Tree;
+  std::uint32_t overlay_degree = 4;
+  /// Watts–Strogatz rewiring probability (ignored by other families).
+  double ws_rewire = 0.1;
+
+  /// Zipf exponent s of pattern popularity: pattern rank r is drawn with
+  /// probability ∝ 1/(r+1)^s for subscriptions and event content alike.
+  /// 0 keeps the paper's uniform draws — and the exact RNG sequence.
+  double zipf_exponent = 0.0;
+  /// Skew of per-node subscription counts: 0 gives every node exactly
+  /// πmax patterns (the paper); s > 0 draws each node's count from a
+  /// truncated power law P(k) ∝ k^(-s) over [1, min(Π, max(2·πmax, 8))].
+  double subscription_skew = 0.0;
+
+  /// How many dispatchers publish. 0 (the paper, and the default) means
+  /// every dispatcher runs its own Poisson publisher. A positive count
+  /// restricts publishing to that many evenly-spaced dispatcher ids, each
+  /// still publishing at `publish_rate_hz` — the few-producers/many-
+  /// consumers regime of real deployments, and the only way to keep
+  /// per-(source, pattern) streams dense enough for sequence-gap loss
+  /// detection once per-node rate shrinks with N.
+  std::uint32_t publisher_count = 0;
+
+  /// How subscriptions become routing state. `Flood` simulates the §II
+  /// subscription-forwarding floods (the paper's behaviour, verified
+  /// against the oracle). `Oracle` installs the converged tables directly
+  /// (Dispatcher::subscribe_local + rebuild_routes) — the only affordable
+  /// bootstrap at 10⁴⁺ nodes, where the floods alone would dominate the
+  /// simulation.
+  enum class SubscriptionBootstrap { Flood, Oracle };
+  SubscriptionBootstrap bootstrap = SubscriptionBootstrap::Flood;
 
   // -- sources of event loss ---------------------------------------------------
   double link_error_rate = 0.1;             ///< ε

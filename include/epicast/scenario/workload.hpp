@@ -7,6 +7,16 @@
 //   * publications — every dispatcher publishes as a Poisson process with
 //     the configured rate; each event's content is `patterns_per_event`
 //     distinct uniform patterns.
+//
+// Scale extensions, all default-off (the defaults reproduce the paper's
+// draws bit-for-bit):
+//   * zipf_exponent > 0 — pattern popularity follows a Zipf law, for
+//     subscriptions and event content alike (popular content is popular to
+//     publish about);
+//   * subscription_skew > 0 — per-node subscription counts follow a
+//     truncated power law instead of the constant πmax;
+//   * SubscriptionBootstrap::Oracle — subscriptions are installed locally
+//     (no floods); the runner then calls PubSubNetwork::rebuild_routes().
 #pragma once
 
 #include <cstdint>
@@ -47,6 +57,11 @@ class Workload {
 
  private:
   void schedule_next_publish(NodeId node, SimTime until);
+  /// `k` distinct patterns via the configured popularity law: uniform
+  /// (exactly the PatternUniverse draws) unless zipf_exponent > 0.
+  [[nodiscard]] std::vector<Pattern> draw_patterns(std::uint32_t k, Rng& rng);
+  /// This node's subscription count: πmax, or a skewed draw.
+  [[nodiscard]] std::uint32_t draw_subscription_count(Rng& rng);
 
   Simulator& sim_;
   PubSubNetwork& network_;
@@ -57,6 +72,12 @@ class Workload {
   std::vector<std::vector<Pattern>> subscriptions_;
   PublishListener on_publish_;
   std::uint64_t published_ = 0;
+
+  /// CDF of the Zipf pattern-popularity law (empty when uniform).
+  std::vector<double> zipf_cdf_;
+  /// CDF of the subscription-count law over counts [1..size()] (empty when
+  /// every node takes exactly πmax).
+  std::vector<double> sub_count_cdf_;
 };
 
 }  // namespace epicast

@@ -245,4 +245,21 @@ std::size_t EventCache::pattern_index_entries() const {
   return n;
 }
 
+std::size_t EventCache::memory_bytes() const {
+  // Hash-map nodes carry roughly a bucket pointer + hash + next alongside
+  // the payload; 16 bytes approximates that overhead across libstdc++/libc++.
+  constexpr std::size_t kMapOverhead = 16;
+  std::size_t bytes = nodes_.capacity() * sizeof(Node);
+  bytes += free_.capacity() * sizeof(std::uint32_t);
+  bytes += by_id_.size() * (sizeof(EventId) + sizeof(std::uint32_t) + kMapOverhead);
+  bytes += random_pool_.capacity() * sizeof(EventId);
+  bytes += random_pos_.size() * (sizeof(EventId) + sizeof(std::size_t) + kMapOverhead);
+  bytes += by_source_pattern_.size() *
+           (sizeof(SpKey) + sizeof(EventId) + kMapOverhead);
+  for (const auto& [p, ids] : by_pattern_) {
+    bytes += sizeof(p) + kMapOverhead + ids.size() * sizeof(EventId);
+  }
+  return bytes;
+}
+
 }  // namespace epicast

@@ -13,22 +13,16 @@ LostBuffer::LostBuffer(std::size_t capacity, Duration ttl)
 }
 
 void LostBuffer::note_added(Pattern p) {
-  if (PatternSet::representable(p)) {
-    if (pattern_counts_[p.value()]++ == 0) pattern_mask_.set(p);
-  } else {
-    ++overflow_counts_[p];
+  if (p.value() >= pattern_counts_.size()) {
+    pattern_counts_.resize(p.value() + 1, 0);
   }
+  if (pattern_counts_[p.value()]++ == 0) pattern_mask_.set(p);
 }
 
 void LostBuffer::note_removed(Pattern p) {
-  if (PatternSet::representable(p)) {
-    EPICAST_ASSERT(pattern_counts_[p.value()] > 0);
-    if (--pattern_counts_[p.value()] == 0) pattern_mask_.clear(p);
-  } else {
-    auto it = overflow_counts_.find(p);
-    EPICAST_ASSERT(it != overflow_counts_.end());
-    if (--it->second == 0) overflow_counts_.erase(it);
-  }
+  EPICAST_ASSERT(p.value() < pattern_counts_.size());
+  EPICAST_ASSERT(pattern_counts_[p.value()] > 0);
+  if (--pattern_counts_[p.value()] == 0) pattern_mask_.clear(p);
 }
 
 bool LostBuffer::add(const LostEntryInfo& entry, SimTime now) {
@@ -81,8 +75,7 @@ void LostBuffer::clear() {
   order_.clear();
   by_key_.clear();
   pattern_mask_ = PatternSet{};
-  pattern_counts_.fill(0);
-  overflow_counts_.clear();
+  std::fill(pattern_counts_.begin(), pattern_counts_.end(), 0);
 }
 
 template <typename Pred>
@@ -134,18 +127,11 @@ std::vector<Pattern> LostBuffer::patterns_with_losses() const {
   std::vector<Pattern> out;
   out.reserve(patterns_with_losses_count());
   pattern_mask_.for_each([&out](Pattern p) { out.push_back(p); });
-  for (const auto& [p, n] : overflow_counts_) out.push_back(p);
   return out;
 }
 
 Pattern LostBuffer::pattern_with_losses_at(std::size_t k) const {
-  const std::size_t in_mask = pattern_mask_.count();
-  if (k < in_mask) return pattern_mask_.nth(k);
-  k -= in_mask;
-  EPICAST_ASSERT(k < overflow_counts_.size());
-  auto it = overflow_counts_.begin();
-  std::advance(it, static_cast<std::ptrdiff_t>(k));
-  return it->first;
+  return pattern_mask_.nth(k);
 }
 
 std::vector<NodeId> LostBuffer::oldest_sources(

@@ -65,8 +65,29 @@ void GossipProtocolBase::on_restart(fault::RestartPolicy policy) {
   peer_timeouts_.clear();
   if (policy == fault::RestartPolicy::Cold) {
     cache_.clear();
+    digest_marks_.fill({});
     ++restart_epoch_;
   }
+}
+
+std::uint64_t GossipProtocolBase::mix_digest_key(std::uint64_t a,
+                                                 std::uint64_t b) {
+  std::uint64_t x = a * 0x9E3779B97F4A7C15ull ^ b;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+bool GossipProtocolBase::digest_duplicate(std::uint64_t key) {
+  const SimTime now = d_.simulator().now();
+  DigestMark& slot = digest_marks_[key & (digest_marks_.size() - 1)];
+  const bool dup = slot.key == key && now - slot.at <= cfg_.interval * 0.5;
+  slot.key = key;
+  slot.at = now;
+  return dup;
 }
 
 bool GossipProtocolBase::peer_suspect(NodeId peer) const {
@@ -197,7 +218,7 @@ std::vector<NodeId> GossipProtocolBase::fanout(std::vector<NodeId> candidates,
   return out;
 }
 
-void GossipProtocolBase::fanout_into(const std::vector<NodeId>& candidates,
+void GossipProtocolBase::fanout_into(std::span<const NodeId> candidates,
                                      bool ensure_progress,
                                      std::vector<NodeId>& out) {
   out.clear();

@@ -201,6 +201,19 @@ void PullProtocolBase::handle_digest(NodeId from, const GossipMessage& msg) {
 void PullProtocolBase::handle_subscriber_digest(
     NodeId from, const SubscriberPullDigestMessage& msg) {
   if (msg.gossiper() == d_.id()) return;  // defensive; trees have no cycles
+  // A copy of this digest already arrived along another route path (cyclic
+  // overlays only — see digest_duplicate()): it was served and forwarded
+  // then.
+  const LostEntryInfo& head = msg.wanted().front();
+  if (digest_duplicate(mix_digest_key(
+          (static_cast<std::uint64_t>(msg.gossiper().value()) << 34) |
+              (static_cast<std::uint64_t>(msg.pattern().value()) << 2) | 2u,
+          (static_cast<std::uint64_t>(msg.wanted().size()) << 48) ^
+              (static_cast<std::uint64_t>(head.source.value()) << 24) ^
+              (static_cast<std::uint64_t>(head.pattern.value()) << 16) ^
+              head.seq.value()))) {
+    return;
+  }
   // This dispatcher may not subscribe to msg.pattern() at all — it can sit
   // on the route and still own the events because they also match one of
   // its own patterns p' != p (§III-B).
@@ -234,6 +247,16 @@ void PullProtocolBase::handle_publisher_digest(
 void PullProtocolBase::handle_random_digest(
     NodeId from, const RandomPullDigestMessage& msg) {
   if (msg.gossiper() == d_.id()) return;
+  // See handle_subscriber_digest: drop route-path duplicates.
+  const LostEntryInfo& rhead = msg.wanted().front();
+  if (digest_duplicate(mix_digest_key(
+          (static_cast<std::uint64_t>(msg.gossiper().value()) << 34) | 3u,
+          (static_cast<std::uint64_t>(msg.wanted().size()) << 48) ^
+              (static_cast<std::uint64_t>(rhead.source.value()) << 24) ^
+              (static_cast<std::uint64_t>(rhead.pattern.value()) << 16) ^
+              rhead.seq.value()))) {
+    return;
+  }
   std::vector<LostEntryInfo> remaining =
       serve_from_cache(msg.gossiper(), msg.wanted());
   if (remaining.empty()) return;

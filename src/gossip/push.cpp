@@ -64,6 +64,18 @@ void PushProtocol::handle_digest(NodeId from, const GossipMessage& msg) {
   const auto& digest = static_cast<const PushDigestMessage&>(msg);
   const Pattern p = digest.pattern();
 
+  // A copy of this digest already arrived along another route path (cyclic
+  // overlays only — see digest_duplicate()): requests went out then.
+  const EventId& head = digest.ids().front();
+  if (digest_duplicate(mix_digest_key(
+          (static_cast<std::uint64_t>(digest.gossiper().value()) << 34) |
+              (static_cast<std::uint64_t>(p.value()) << 2) | 1u,
+          (static_cast<std::uint64_t>(digest.ids().size()) << 48) ^
+              (static_cast<std::uint64_t>(head.source.value()) << 24) ^
+              head.source_seq))) {
+    return;
+  }
+
   // Only dispatchers actually subscribed to p compare the digest against
   // their own event history (§III-B).
   if (d_.table().has_local(p) && digest.gossiper() != d_.id()) {

@@ -132,4 +132,10 @@ double DeliveryTracker::recovery_latency_quantile(double q) const {
   return recovery_latencies_[idx];
 }
 
+std::size_t DeliveryTracker::memory_bytes() const {
+  constexpr std::size_t kMapOverhead = 16;
+  return events_.size() * (sizeof(EventId) + sizeof(EventRec) + kMapOverhead) +
+         recovery_latencies_.capacity() * sizeof(double);
+}
+
 }  // namespace epicast

@@ -1,7 +1,6 @@
 #include "epicast/net/topology.hpp"
 
 #include <algorithm>
-#include <deque>
 
 #include "epicast/common/assert.hpp"
 
@@ -74,6 +73,32 @@ void Topology::check_node(NodeId n) const {
                      "node id out of range");
 }
 
+void Topology::repack_if_stale() const {
+  if (flat_version_ == version_) return;
+  flat_offsets_.resize(adj_.size() + 1);
+  flat_neighbors_.clear();
+  flat_neighbors_.reserve(2 * link_count_);
+  flat_offsets_[0] = 0;
+  for (std::size_t i = 0; i < adj_.size(); ++i) {
+    flat_neighbors_.insert(flat_neighbors_.end(), adj_[i].begin(),
+                           adj_[i].end());
+    flat_offsets_[i + 1] = static_cast<std::uint32_t>(flat_neighbors_.size());
+  }
+  flat_version_ = version_;
+}
+
+std::uint32_t Topology::fresh_visit_stamp() const {
+  if (visit_stamp_.size() != adj_.size()) {
+    visit_stamp_.assign(adj_.size(), 0);
+    visit_epoch_ = 0;
+  }
+  if (++visit_epoch_ == 0) {  // epoch wrapped: flush stale stamps once
+    std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0);
+    visit_epoch_ = 1;
+  }
+  return visit_epoch_;
+}
+
 bool Topology::has_link(NodeId a, NodeId b) const {
   check_node(a);
   check_node(b);
@@ -81,9 +106,12 @@ bool Topology::has_link(NodeId a, NodeId b) const {
   return std::find(na.begin(), na.end(), b) != na.end();
 }
 
-const std::vector<NodeId>& Topology::neighbors(NodeId n) const {
+std::span<const NodeId> Topology::neighbors(NodeId n) const {
   check_node(n);
-  return adj_[n.value()];
+  repack_if_stale();
+  const std::uint32_t begin = flat_offsets_[n.value()];
+  const std::uint32_t end = flat_offsets_[n.value() + 1];
+  return {flat_neighbors_.data() + begin, end - begin};
 }
 
 std::uint32_t Topology::degree(NodeId n) const {
@@ -149,26 +177,30 @@ std::optional<std::vector<NodeId>> Topology::path(NodeId from,
   check_node(to);
   if (from == to) return std::vector<NodeId>{from};
 
-  std::vector<NodeId> parent(adj_.size(), NodeId::invalid());
-  std::vector<bool> seen(adj_.size(), false);
-  std::deque<NodeId> frontier{from};
-  seen[from.value()] = true;
-  while (!frontier.empty()) {
-    const NodeId cur = frontier.front();
-    frontier.pop_front();
+  // Stamp-based visited marks + reused queue/parent scratch: this sits on
+  // the Reconfigurator repair path, where per-call vectors of size N were
+  // measurable at N >= 10k.
+  const std::uint32_t stamp = fresh_visit_stamp();
+  bfs_parent_.resize(adj_.size());
+  bfs_parent_[from.value()] = NodeId::invalid();
+  bfs_queue_.clear();
+  bfs_queue_.push_back(from);
+  visit_stamp_[from.value()] = stamp;
+  for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
+    const NodeId cur = bfs_queue_[head];
     for (NodeId nxt : adj_[cur.value()]) {
-      if (seen[nxt.value()]) continue;
-      seen[nxt.value()] = true;
-      parent[nxt.value()] = cur;
+      if (visit_stamp_[nxt.value()] == stamp) continue;
+      visit_stamp_[nxt.value()] = stamp;
+      bfs_parent_[nxt.value()] = cur;
       if (nxt == to) {
         std::vector<NodeId> rev{to};
-        for (NodeId p = cur; p.valid(); p = parent[p.value()]) {
+        for (NodeId p = cur; p.valid(); p = bfs_parent_[p.value()]) {
           rev.push_back(p);
         }
         std::reverse(rev.begin(), rev.end());
         return rev;
       }
-      frontier.push_back(nxt);
+      bfs_queue_.push_back(nxt);
     }
   }
   return std::nullopt;
@@ -182,13 +214,13 @@ std::optional<std::uint32_t> Topology::distance(NodeId from, NodeId to) const {
 
 std::vector<NodeId> Topology::component_of(NodeId n) const {
   check_node(n);
-  std::vector<bool> seen(adj_.size(), false);
+  const std::uint32_t stamp = fresh_visit_stamp();
   std::vector<NodeId> out{n};
-  seen[n.value()] = true;
+  visit_stamp_[n.value()] = stamp;
   for (std::size_t i = 0; i < out.size(); ++i) {
     for (NodeId nxt : adj_[out[i].value()]) {
-      if (!seen[nxt.value()]) {
-        seen[nxt.value()] = true;
+      if (visit_stamp_[nxt.value()] != stamp) {
+        visit_stamp_[nxt.value()] = stamp;
         out.push_back(nxt);
       }
     }
@@ -196,25 +228,29 @@ std::vector<NodeId> Topology::component_of(NodeId n) const {
   return out;
 }
 
-double Topology::mean_pairwise_distance() const {
-  // BFS from every node; N is small (≤ a few hundred) in all scenarios.
+double Topology::mean_pairwise_distance(std::uint32_t sample_sources) const {
+  // BFS from every node (or a deterministic stride sample of sources at
+  // scale); used for calibration reports, not the hot path.
   const std::uint32_t n = node_count();
   if (n < 2) return 0.0;
+  const std::uint32_t stride =
+      (sample_sources == 0 || sample_sources >= n)
+          ? 1
+          : std::max(1u, n / sample_sources);
   std::uint64_t total = 0;
   std::uint64_t pairs = 0;
   std::vector<std::uint32_t> dist(n);
-  std::deque<NodeId> frontier;
-  for (std::uint32_t s = 0; s < n; ++s) {
+  for (std::uint32_t s = 0; s < n; s += stride) {
     std::fill(dist.begin(), dist.end(), UINT32_MAX);
     dist[s] = 0;
-    frontier.assign(1, NodeId{s});
-    while (!frontier.empty()) {
-      const NodeId cur = frontier.front();
-      frontier.pop_front();
+    bfs_queue_.clear();
+    bfs_queue_.push_back(NodeId{s});
+    for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
+      const NodeId cur = bfs_queue_[head];
       for (NodeId nxt : adj_[cur.value()]) {
         if (dist[nxt.value()] != UINT32_MAX) continue;
         dist[nxt.value()] = dist[cur.value()] + 1;
-        frontier.push_back(nxt);
+        bfs_queue_.push_back(nxt);
       }
     }
     for (std::uint32_t t = s + 1; t < n; ++t) {
@@ -225,6 +261,17 @@ double Topology::mean_pairwise_distance() const {
     }
   }
   return pairs == 0 ? 0.0 : static_cast<double>(total) / pairs;
+}
+
+std::size_t Topology::memory_bytes() const {
+  std::size_t n = adj_.capacity() * sizeof(adj_[0]);
+  for (const auto& row : adj_) n += row.capacity() * sizeof(NodeId);
+  n += flat_offsets_.capacity() * sizeof(std::uint32_t);
+  n += flat_neighbors_.capacity() * sizeof(NodeId);
+  n += visit_stamp_.capacity() * sizeof(std::uint32_t);
+  n += bfs_queue_.capacity() * sizeof(NodeId);
+  n += bfs_parent_.capacity() * sizeof(NodeId);
+  return n;
 }
 
 std::string Topology::to_dot() const {

@@ -16,7 +16,8 @@ Dispatcher::Dispatcher(NodeId id, Simulator& sim, Transport& transport,
       sim_(sim),
       transport_(transport),
       config_(config),
-      rng_(sim.fork_rng()) {
+      rng_(sim.fork_rng()),
+      seen_(transport.topology().node_count()) {
   transport_.attach(id_, *this);
 }
 
@@ -27,18 +28,30 @@ void Dispatcher::set_recovery(std::unique_ptr<RecoveryProtocol> recovery) {
 // ---------------------------------------------------------------------------
 // Subscription forwarding (paper §II)
 
+const Dispatcher::SubSentMarks* Dispatcher::find_sub_sent(
+    NodeId neighbor) const {
+  auto it = std::lower_bound(sub_sent_.begin(), sub_sent_.end(), neighbor,
+                             [](const SubSentMarks& s, NodeId n) {
+                               return s.neighbor < n;
+                             });
+  if (it == sub_sent_.end() || it->neighbor != neighbor) return nullptr;
+  return &*it;
+}
+
 bool Dispatcher::sub_sent(Pattern p, NodeId neighbor) const {
-  auto it = sub_sent_.find(p);
-  if (it == sub_sent_.end()) return false;
-  return std::find(it->second.begin(), it->second.end(), neighbor) !=
-         it->second.end();
+  const SubSentMarks* s = find_sub_sent(neighbor);
+  return s != nullptr && s->patterns.test(p);
 }
 
 void Dispatcher::note_sub_sent(Pattern p, NodeId neighbor) {
-  auto& sent = sub_sent_[p];
-  if (std::find(sent.begin(), sent.end(), neighbor) == sent.end()) {
-    sent.push_back(neighbor);
+  auto it = std::lower_bound(sub_sent_.begin(), sub_sent_.end(), neighbor,
+                             [](const SubSentMarks& s, NodeId n) {
+                               return s.neighbor < n;
+                             });
+  if (it == sub_sent_.end() || it->neighbor != neighbor) {
+    it = sub_sent_.insert(it, SubSentMarks{neighbor, PatternSet{}});
   }
+  it->patterns.set(p);
 }
 
 void Dispatcher::clear_sub_sent() { sub_sent_.clear(); }
@@ -68,44 +81,44 @@ void Dispatcher::unsubscribe(Pattern p) {
 void Dispatcher::maybe_propagate_unsub(Pattern p, NodeId skip) {
   // Retract sub(p) from every direction m for which no subscriber remains
   // reachable through us: we are not local, and no route entry arrives from
-  // a neighbour other than m itself.
-  auto it = sub_sent_.find(p);
-  if (it == sub_sent_.end()) return;
-  std::vector<NodeId> sent = it->second;  // copy: we mutate while iterating
+  // a neighbour other than m itself. Marks are kept per neighbour, so this
+  // visits directions in ascending NodeId order.
   MessagePtr unsub;
-  for (NodeId m : sent) {
-    if (m == skip) continue;
+  bool any_empty = false;
+  for (SubSentMarks& s : sub_sent_) {
+    if (s.neighbor == skip || !s.patterns.test(p)) continue;
     if (table_.has_local(p)) continue;
     bool interest_elsewhere = false;
-    for (NodeId hop : table_.route_targets(p, m)) {
+    for (NodeId hop : table_.route_targets(p, s.neighbor)) {
       (void)hop;
       interest_elsewhere = true;
       break;
     }
     if (interest_elsewhere) continue;
-    auto& live = sub_sent_[p];
-    live.erase(std::remove(live.begin(), live.end(), m), live.end());
+    s.patterns.clear(p);
+    any_empty = any_empty || s.patterns.none();
     if (!unsub) {
       unsub =
           make_pooled<SubscribeMessage>(sim_.pool(), p, /*subscribe=*/false);
     }
-    send_overlay(m, unsub);
+    send_overlay(s.neighbor, unsub);
   }
-  if (sub_sent_[p].empty()) sub_sent_.erase(p);
+  if (any_empty) {
+    std::erase_if(sub_sent_,
+                  [](const SubSentMarks& s) { return s.patterns.none(); });
+  }
 }
 
 void Dispatcher::handle_link_break(NodeId neighbor) {
   // The suppression marks towards the vanished neighbour are void: if a
   // link to it (or towards its side) reappears, subscriptions must be able
   // to flow again.
-  for (auto it = sub_sent_.begin(); it != sub_sent_.end();) {
-    auto& sent = it->second;
-    sent.erase(std::remove(sent.begin(), sent.end(), neighbor), sent.end());
-    if (sent.empty()) {
-      it = sub_sent_.erase(it);
-    } else {
-      ++it;
-    }
+  auto marks = std::lower_bound(sub_sent_.begin(), sub_sent_.end(), neighbor,
+                                [](const SubSentMarks& s, NodeId n) {
+                                  return s.neighbor < n;
+                                });
+  if (marks != sub_sent_.end() && marks->neighbor == neighbor) {
+    sub_sent_.erase(marks);
   }
 
   // Routes through the broken link are gone; for every affected pattern,
@@ -246,6 +259,14 @@ bool Dispatcher::accept_recovered(const EventPtr& event) {
   // Recovered events are not re-forwarded: recovery is a per-dispatcher
   // affair (§III-B); downstream dispatchers run their own gossip.
   return true;
+}
+
+std::size_t Dispatcher::routing_memory_bytes() const {
+  std::size_t bytes = table_.memory_bytes();
+  for (const SubSentMarks& s : sub_sent_) {
+    bytes += sizeof(SubSentMarks) + s.patterns.memory_bytes();
+  }
+  return bytes;
 }
 
 // ---------------------------------------------------------------------------

@@ -21,20 +21,12 @@ EventData::EventData(EventId id, std::vector<PatternSeq> patterns,
     EPICAST_ASSERT_MSG(patterns_[i - 1].pattern != patterns_[i].pattern,
                        "event patterns must be distinct");
   }
-  for (const PatternSeq& ps : patterns_) {
-    if (PatternSet::representable(ps.pattern)) {
-      mask_.set(ps.pattern);
-    } else {
-      mask_complete_ = false;
-    }
-  }
+  for (const PatternSeq& ps : patterns_) mask_.set(ps.pattern);
 }
 
 bool EventData::matches(Pattern p) const {
-  // For representable patterns the mask is exact; only oversized universes
-  // (CLI-configured Π > 128) need the linear fallback.
-  if (PatternSet::representable(p)) return mask_.test(p);
-  return seq_for(p).has_value();
+  // The width-dynamic mask covers every pattern the event carries.
+  return mask_.test(p);
 }
 
 std::optional<SeqNo> EventData::seq_for(Pattern p) const {

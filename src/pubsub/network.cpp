@@ -37,20 +37,23 @@ PubSubNetwork::Oracle PubSubNetwork::compute_oracle() const {
   const Topology& topo = transport_.topology();
   Oracle oracle(nodes_.size());
 
-  // One BFS per (subscriber, pattern): every reachable node v gets an entry
-  // (p → predecessor of v on the path from s), i.e. v's next hop towards s.
+  // One BFS per subscriber: every reachable node v must route the
+  // subscriber's whole local pattern mask towards pred(v), its next hop on
+  // the path back to the subscriber. Masks from different subscribers that
+  // agree on the next hop merge into one entry, so the footprint is bounded
+  // by the edges, not by the subscriber × pattern product.
   std::vector<NodeId> pred(nodes_.size());
   std::vector<bool> seen(nodes_.size());
-  std::vector<Pattern> patterns;
+  std::vector<NodeId> order;
   for (const auto& sub : nodes_) {
     const NodeId s = sub->id();
-    sub->table().local_patterns_into(patterns);
-    if (patterns.empty()) continue;
+    const PatternSet& local = sub->table().local_mask();
+    if (local.none()) continue;
 
     std::fill(seen.begin(), seen.end(), false);
     seen[s.value()] = true;
     std::deque<NodeId> frontier{s};
-    std::vector<NodeId> order;
+    order.clear();
     while (!frontier.empty()) {
       const NodeId cur = frontier.front();
       frontier.pop_front();
@@ -63,14 +66,16 @@ PubSubNetwork::Oracle PubSubNetwork::compute_oracle() const {
       }
     }
     for (NodeId v : order) {
-      for (Pattern p : patterns) {
-        oracle[v.value()].emplace_back(p, pred[v.value()]);
+      auto& entries = oracle[v.value()];
+      const NodeId hop = pred[v.value()];
+      auto it = std::lower_bound(
+          entries.begin(), entries.end(), hop,
+          [](const OracleEntry& e, NodeId n) { return e.next_hop < n; });
+      if (it == entries.end() || it->next_hop != hop) {
+        it = entries.insert(it, OracleEntry{hop, PatternSet{}});
       }
+      it->patterns |= local;
     }
-  }
-  for (auto& entries : oracle) {
-    std::sort(entries.begin(), entries.end());
-    entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
   }
   return oracle;
 }
@@ -82,12 +87,14 @@ void PubSubNetwork::rebuild_routes() {
     d->clear_sub_sent();
   }
   for (std::uint32_t v = 0; v < nodes_.size(); ++v) {
-    for (const auto& [pattern, next_hop] : oracle[v]) {
-      nodes_[v]->table().add_route(pattern, next_hop);
-      // v holding a route (p → next_hop) means a subscriber lives on
-      // next_hop's far side, i.e. next_hop's flood of sub(p) crossed the
-      // link towards v — reconstruct that duplicate-suppression fact.
-      nodes_[next_hop.value()]->note_sub_sent(pattern, NodeId{v});
+    for (const OracleEntry& entry : oracle[v]) {
+      entry.patterns.for_each([&](Pattern p) {
+        nodes_[v]->table().add_route(p, entry.next_hop);
+        // v holding a route (p → next_hop) means a subscriber lives on
+        // next_hop's far side, i.e. next_hop's flood of sub(p) crossed the
+        // link towards v — reconstruct that duplicate-suppression fact.
+        nodes_[entry.next_hop.value()]->note_sub_sent(p, NodeId{v});
+      });
     }
   }
 }
@@ -111,16 +118,25 @@ bool PubSubNetwork::routes_consistent() const {
   std::vector<NodeId> hops;
   for (std::uint32_t v = 0; v < nodes_.size(); ++v) {
     const SubscriptionTable& table = nodes_[v]->table();
-    std::vector<std::pair<Pattern, NodeId>> actual;
+    // Every oracle (pattern, next-hop) bit must be present in the table...
+    std::size_t expected_bits = 0;
+    bool all_present = true;
+    for (const OracleEntry& entry : oracle[v]) {
+      expected_bits += entry.patterns.count();
+      entry.patterns.for_each([&](Pattern p) {
+        if (!table.has_route(p, entry.next_hop)) all_present = false;
+      });
+    }
+    if (!all_present) return false;
+    // ...and the table must hold nothing beyond them: equal bit counts plus
+    // full containment means equality.
+    std::size_t actual_bits = 0;
     table.known_patterns_into(patterns);
     for (Pattern p : patterns) {
       table.route_targets_into(p, NodeId::invalid(), hops);
-      for (NodeId hop : hops) {
-        actual.emplace_back(p, hop);
-      }
+      actual_bits += hops.size();
     }
-    std::sort(actual.begin(), actual.end());
-    if (actual != oracle[v]) return false;
+    if (actual_bits != expected_bits) return false;
   }
   return true;
 }

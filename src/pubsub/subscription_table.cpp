@@ -6,146 +6,108 @@
 
 namespace epicast {
 
-SubscriptionTable::Entry* SubscriptionTable::find_entry(Pattern p) {
-  if (PatternSet::representable(p)) {
-    return known_mask_.test(p) ? &dense_[p.value()] : nullptr;
+void SubscriptionTable::reserve_universe(std::uint32_t universe,
+                                         Arena* arena) {
+  arena_ = arena;
+  universe_hint_ = universe;
+  if (arena != nullptr) {
+    known_mask_ = PatternSet(universe, arena);
+    local_mask_ = PatternSet(universe, arena);
+  } else {
+    known_mask_.reserve(universe);
+    local_mask_.reserve(universe);
   }
-  auto it = overflow_.find(p);
-  return it == overflow_.end() ? nullptr : &it->second;
 }
 
-const SubscriptionTable::Entry* SubscriptionTable::find_entry(
-    Pattern p) const {
-  if (PatternSet::representable(p)) {
-    return known_mask_.test(p) ? &dense_[p.value()] : nullptr;
-  }
-  auto it = overflow_.find(p);
-  return it == overflow_.end() ? nullptr : &it->second;
+SubscriptionTable::NeighborRoutes* SubscriptionTable::find_routes(
+    NodeId neighbor) {
+  auto it = std::lower_bound(routes_.begin(), routes_.end(), neighbor,
+                             [](const NeighborRoutes& r, NodeId n) {
+                               return r.neighbor < n;
+                             });
+  if (it == routes_.end() || it->neighbor != neighbor) return nullptr;
+  return &*it;
 }
 
-SubscriptionTable::Entry& SubscriptionTable::entry_for(Pattern p) {
-  if (PatternSet::representable(p)) {
-    known_mask_.set(p);
-    return dense_[p.value()];
-  }
-  return overflow_[p];
+const SubscriptionTable::NeighborRoutes* SubscriptionTable::find_routes(
+    NodeId neighbor) const {
+  return const_cast<SubscriptionTable*>(this)->find_routes(neighbor);
 }
 
-void SubscriptionTable::note_changed(Pattern p) {
-  if (PatternSet::representable(p)) {
-    Entry& e = dense_[p.value()];
-    if (e.empty()) {
-      known_mask_.clear(p);
-      local_mask_.clear(p);
-    } else if (e.local) {
-      local_mask_.set(p);
-    } else {
-      local_mask_.clear(p);
-    }
-    return;
+void SubscriptionTable::reconcile_known(Pattern p) {
+  if (local_mask_.test(p)) return;
+  for (const NeighborRoutes& r : routes_) {
+    if (r.patterns.test(p)) return;
   }
-  auto it = overflow_.find(p);
-  if (it != overflow_.end() && it->second.empty()) overflow_.erase(it);
+  known_mask_.clear(p);
 }
 
 bool SubscriptionTable::add_local(Pattern p) {
-  Entry& e = entry_for(p);
-  if (e.local) return false;
-  e.local = true;
-  note_changed(p);
+  if (!local_mask_.set(p)) return false;
+  known_mask_.set(p);
   return true;
 }
 
 bool SubscriptionTable::remove_local(Pattern p) {
-  Entry* e = find_entry(p);
-  if (e == nullptr || !e->local) return false;
-  e->local = false;
-  note_changed(p);
+  if (!local_mask_.clear(p)) return false;
+  reconcile_known(p);
   return true;
 }
 
 bool SubscriptionTable::add_route(Pattern p, NodeId next_hop) {
   EPICAST_ASSERT(next_hop.valid());
-  Entry& e = entry_for(p);
-  auto it = std::lower_bound(e.next_hops.begin(), e.next_hops.end(), next_hop);
-  if (it != e.next_hops.end() && *it == next_hop) return false;
-  e.next_hops.insert(it, next_hop);
+  auto it = std::lower_bound(routes_.begin(), routes_.end(), next_hop,
+                             [](const NeighborRoutes& r, NodeId n) {
+                               return r.neighbor < n;
+                             });
+  if (it == routes_.end() || it->neighbor != next_hop) {
+    NeighborRoutes fresh{next_hop,
+                         universe_hint_ != 0
+                             ? PatternSet(universe_hint_, arena_)
+                             : PatternSet{}};
+    it = routes_.insert(it, std::move(fresh));
+  }
+  if (!it->patterns.set(p)) return false;
+  known_mask_.set(p);
   return true;
 }
 
 bool SubscriptionTable::remove_route(Pattern p, NodeId next_hop) {
-  Entry* e = find_entry(p);
-  if (e == nullptr) return false;
-  auto& hops = e->next_hops;
-  auto pos = std::lower_bound(hops.begin(), hops.end(), next_hop);
-  if (pos == hops.end() || *pos != next_hop) return false;
-  hops.erase(pos);
-  note_changed(p);
+  NeighborRoutes* r = find_routes(next_hop);
+  if (r == nullptr || !r->patterns.clear(p)) return false;
+  if (r->patterns.none()) {
+    routes_.erase(routes_.begin() + (r - routes_.data()));
+  }
+  reconcile_known(p);
   return true;
 }
 
 void SubscriptionTable::remove_neighbor(NodeId neighbor) {
-  known_mask_.for_each([this, neighbor](Pattern p) {
-    auto& hops = dense_[p.value()].next_hops;
-    auto pos = std::lower_bound(hops.begin(), hops.end(), neighbor);
-    if (pos != hops.end() && *pos == neighbor) hops.erase(pos);
-    note_changed(p);
-  });
-  for (auto it = overflow_.begin(); it != overflow_.end();) {
-    auto& hops = it->second.next_hops;
-    auto pos = std::lower_bound(hops.begin(), hops.end(), neighbor);
-    if (pos != hops.end() && *pos == neighbor) hops.erase(pos);
-    if (it->second.empty()) {
-      it = overflow_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  NeighborRoutes* r = find_routes(neighbor);
+  if (r == nullptr) return;
+  const PatternSet dropped = std::move(r->patterns);
+  routes_.erase(routes_.begin() + (r - routes_.data()));
+  dropped.for_each([this](Pattern p) { reconcile_known(p); });
 }
 
 void SubscriptionTable::clear_routes() {
-  known_mask_.for_each([this](Pattern p) {
-    dense_[p.value()].next_hops.clear();
-    note_changed(p);
-  });
-  for (auto it = overflow_.begin(); it != overflow_.end();) {
-    it->second.next_hops.clear();
-    if (it->second.empty()) {
-      it = overflow_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  routes_.clear();
+  known_mask_ = local_mask_;
 }
 
 bool SubscriptionTable::has_local(Pattern p) const {
-  if (PatternSet::representable(p)) return local_mask_.test(p);
-  const Entry* e = find_entry(p);
-  return e != nullptr && e->local;
+  return local_mask_.test(p);
 }
 
 bool SubscriptionTable::has_route(Pattern p, NodeId next_hop) const {
-  const Entry* e = find_entry(p);
-  if (e == nullptr) return false;
-  const auto& hops = e->next_hops;
-  return std::binary_search(hops.begin(), hops.end(), next_hop);
+  const NeighborRoutes* r = find_routes(next_hop);
+  return r != nullptr && r->patterns.test(p);
 }
 
-bool SubscriptionTable::knows(Pattern p) const {
-  if (PatternSet::representable(p)) return known_mask_.test(p);
-  return overflow_.contains(p);
-}
+bool SubscriptionTable::knows(Pattern p) const { return known_mask_.test(p); }
 
 bool SubscriptionTable::matches_local(const EventData& event) const {
-  if (local_mask_.intersects(event.pattern_mask())) return true;
-  if (event.mask_complete()) return false;
-  // Oversized patterns are absent from the event mask; check them directly.
-  for (const PatternSeq& ps : event.patterns()) {
-    if (!PatternSet::representable(ps.pattern) && has_local(ps.pattern)) {
-      return true;
-    }
-  }
-  return false;
+  return local_mask_.intersects(event.pattern_mask());
 }
 
 std::vector<NodeId> SubscriptionTable::route_targets(const EventData& event,
@@ -159,19 +121,16 @@ void SubscriptionTable::route_targets_into(const EventData& event,
                                            NodeId exclude,
                                            std::vector<NodeId>& out) const {
   out.clear();
-  if (!known_mask_.intersects(event.pattern_mask()) &&
-      event.mask_complete() && overflow_.empty()) {
+  if (!known_mask_.intersects(event.pattern_mask())) {
     return;  // mask fast-reject: no pattern of this event is known here
   }
-  for (const PatternSeq& ps : event.patterns()) {
-    const Entry* e = find_entry(ps.pattern);
-    if (e == nullptr) continue;
-    for (NodeId hop : e->next_hops) {
-      if (hop != exclude) out.push_back(hop);
+  // Ascending-neighbour iteration emits the same sorted, deduped union the
+  // per-pattern layout produced via sort + unique.
+  for (const NeighborRoutes& r : routes_) {
+    if (r.neighbor != exclude && r.patterns.intersects(event.pattern_mask())) {
+      out.push_back(r.neighbor);
     }
   }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
 }
 
 std::vector<NodeId> SubscriptionTable::route_targets(Pattern p,
@@ -184,10 +143,9 @@ std::vector<NodeId> SubscriptionTable::route_targets(Pattern p,
 void SubscriptionTable::route_targets_into(Pattern p, NodeId exclude,
                                            std::vector<NodeId>& out) const {
   out.clear();
-  const Entry* e = find_entry(p);
-  if (e == nullptr) return;
-  for (NodeId hop : e->next_hops) {
-    if (hop != exclude) out.push_back(hop);
+  if (!known_mask_.test(p)) return;
+  for (const NeighborRoutes& r : routes_) {
+    if (r.neighbor != exclude && r.patterns.test(p)) out.push_back(r.neighbor);
   }
 }
 
@@ -200,21 +158,14 @@ std::vector<Pattern> SubscriptionTable::known_patterns() const {
 void SubscriptionTable::known_patterns_into(std::vector<Pattern>& out) const {
   out.clear();
   known_mask_.for_each([&out](Pattern p) { out.push_back(p); });
-  for (const auto& [p, e] : overflow_) out.push_back(p);
 }
 
 std::size_t SubscriptionTable::known_pattern_count() const {
-  return known_mask_.count() + overflow_.size();
+  return known_mask_.count();
 }
 
 Pattern SubscriptionTable::known_pattern_at(std::size_t k) const {
-  const std::size_t in_mask = known_mask_.count();
-  if (k < in_mask) return known_mask_.nth(k);
-  k -= in_mask;
-  EPICAST_ASSERT(k < overflow_.size());
-  auto it = overflow_.begin();
-  std::advance(it, static_cast<std::ptrdiff_t>(k));
-  return it->first;
+  return known_mask_.nth(k);
 }
 
 std::vector<Pattern> SubscriptionTable::local_patterns() const {
@@ -226,20 +177,18 @@ std::vector<Pattern> SubscriptionTable::local_patterns() const {
 void SubscriptionTable::local_patterns_into(std::vector<Pattern>& out) const {
   out.clear();
   local_mask_.for_each([&out](Pattern p) { out.push_back(p); });
-  for (const auto& [p, e] : overflow_) {
-    if (e.local) out.push_back(p);
-  }
 }
 
 std::size_t SubscriptionTable::entry_count() const {
-  std::size_t n = 0;
-  known_mask_.for_each([this, &n](Pattern p) {
-    const Entry& e = dense_[p.value()];
-    n += e.next_hops.size() + (e.local ? 1 : 0);
-  });
-  for (const auto& [p, e] : overflow_) {
-    n += e.next_hops.size() + (e.local ? 1 : 0);
-  }
+  std::size_t n = local_mask_.count();
+  for (const NeighborRoutes& r : routes_) n += r.patterns.count();
+  return n;
+}
+
+std::size_t SubscriptionTable::memory_bytes() const {
+  std::size_t n = known_mask_.memory_bytes() + local_mask_.memory_bytes();
+  n += routes_.capacity() * sizeof(NeighborRoutes);
+  for (const NeighborRoutes& r : routes_) n += r.patterns.memory_bytes();
   return n;
 }
 

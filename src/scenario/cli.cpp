@@ -118,6 +118,33 @@ CliParse parse_cli(const std::vector<std::string>& args) {
         out.error = "route-repair must be 'oracle' or 'protocol'";
         return out;
       }
+    } else if (key == "overlay") {
+      const auto kind = overlay_from_string(value);
+      if (!kind) {
+        out.error = "unknown overlay: " + value;
+        return out;
+      }
+      cfg.overlay = *kind;
+    } else if (key == "overlay-degree" && parse_u64(value, u) && u >= 1) {
+      cfg.overlay_degree = static_cast<std::uint32_t>(u);
+    } else if (key == "ws-rewire" && parse_double(value, d) && d >= 0 &&
+               d <= 1) {
+      cfg.ws_rewire = d;
+    } else if (key == "zipf" && parse_double(value, d) && d >= 0) {
+      cfg.zipf_exponent = d;
+    } else if (key == "publishers" && parse_u64(value, u)) {
+      cfg.publisher_count = static_cast<std::uint32_t>(u);
+    } else if (key == "sub-skew" && parse_double(value, d) && d >= 0) {
+      cfg.subscription_skew = d;
+    } else if (key == "bootstrap") {
+      if (value == "flood") {
+        cfg.bootstrap = ScenarioConfig::SubscriptionBootstrap::Flood;
+      } else if (value == "oracle") {
+        cfg.bootstrap = ScenarioConfig::SubscriptionBootstrap::Oracle;
+      } else {
+        out.error = "bootstrap must be 'flood' or 'oracle'";
+        return out;
+      }
     } else if (key == "oob-loss" && parse_double(value, d) && d >= 0 &&
                d <= 1) {
       cfg.oob_loss_rate = d;
@@ -173,6 +200,18 @@ std::string cli_usage() {
       "  --route-repair=oracle|protocol  route restoration after churn:\n"
       "                  instant converged tables (default) or the\n"
       "                  distributed retraction/re-advertisement protocol\n"
+      "  --overlay=K     tree (default) | barabasi-albert | watts-strogatz\n"
+      "                  | random-regular | geo-cluster (scale overlays)\n"
+      "  --overlay-degree=D  target degree of non-tree overlays (default 4)\n"
+      "  --ws-rewire=P   Watts-Strogatz rewiring probability (default 0.1)\n"
+      "  --zipf=S        Zipf exponent of pattern popularity (default 0 =\n"
+      "                  uniform, the paper's draws)\n"
+      "  --publishers=K  restrict publishing to K evenly-spaced dispatchers\n"
+      "                  (default 0 = every dispatcher publishes)\n"
+      "  --sub-skew=S    power-law skew of per-node subscription counts\n"
+      "                  (default 0 = exactly pi_max each)\n"
+      "  --bootstrap=M   flood (default): simulate subscription floods;\n"
+      "                  oracle: install converged routes directly (scale)\n"
       "  --oob-loss=E    out-of-band channel loss (default: epsilon)\n"
       "  --faults=PLAN   chaos plan, ';'-separated processes, e.g.\n"
       "                  'churn(period=1,down=0.3);burst(p=0.05,r=0.5)'\n"

@@ -20,6 +20,12 @@ void ScenarioConfig::validate() const {
                          patterns_per_event <= pattern_universe,
                      "patterns per event must be within the universe");
   EPICAST_ASSERT(publish_rate_hz > 0.0);
+  EPICAST_ASSERT(overlay_degree >= 1);
+  EPICAST_ASSERT(ws_rewire >= 0.0 && ws_rewire <= 1.0);
+  EPICAST_ASSERT(zipf_exponent >= 0.0);
+  EPICAST_ASSERT(subscription_skew >= 0.0);
+  EPICAST_ASSERT_MSG(publisher_count <= nodes,
+                     "publisher_count must not exceed the node count");
   EPICAST_ASSERT(link_error_rate >= 0.0 && link_error_rate <= 1.0);
   EPICAST_ASSERT(effective_oob_loss() >= 0.0 && effective_oob_loss() <= 1.0);
   EPICAST_ASSERT(link_bandwidth_bps > 0.0);
@@ -48,10 +54,15 @@ std::string ScenarioConfig::describe() const {
   std::ostringstream os;
   os << "N (dispatchers)                  " << nodes << '\n'
      << "max degree                       " << max_degree << '\n'
+     << "overlay                          " << to_string(overlay) << '\n'
      << "Pi (pattern universe)            " << pattern_universe << '\n'
      << "pi_max (patterns/subscriber)     " << patterns_per_subscriber << '\n'
      << "patterns per event               " << patterns_per_event << '\n'
      << "publish rate [1/s/dispatcher]    " << publish_rate_hz << '\n'
+     << "publishers                       "
+     << (publisher_count == 0 ? std::string("all")
+                              : std::to_string(publisher_count))
+     << '\n'
      << "event payload [bytes]            " << event_payload_bytes << '\n'
      << "epsilon (link error rate)        " << link_error_rate << '\n'
      << "oob loss rate                    " << effective_oob_loss() << '\n';

@@ -134,7 +134,17 @@ std::string result_json(const ScenarioResult& r) {
        << ", \"delivered_pairs\": " << e.delivered_pairs
        << ", \"eventual_pairs\": " << e.eventual_pairs << "}";
   }
+  const auto& m = r.memory;
   os << (f.epochs.empty() ? "]\n" : "\n    ]\n") << "  },\n"
+     << "  \"memory\": {\n"
+     << "    \"topology_bytes\": " << m.topology_bytes << ",\n"
+     << "    \"routing_bytes\": " << m.routing_bytes << ",\n"
+     << "    \"seen_bytes\": " << m.seen_bytes << ",\n"
+     << "    \"cache_bytes\": " << m.cache_bytes << ",\n"
+     << "    \"tracker_bytes\": " << m.tracker_bytes << ",\n"
+     << "    \"total_bytes\": " << m.total_bytes() << ",\n"
+     << "    \"bytes_per_node\": " << m.bytes_per_node() << "\n"
+     << "  },\n"
      << "  \"sim_events_executed\": " << r.sim_events_executed << "\n"
      << "}\n";
   return os.str();

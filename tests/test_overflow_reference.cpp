@@ -1,0 +1,214 @@
+// Property tests pinning the behavior of the >128-pattern overflow path
+// against plain std::set / std::map reference models.
+//
+// Written against the pre-migration implementation (dense two-word masks
+// plus a sorted overflow map) and kept through the width-dynamic PatternSet
+// migration: everything here is expressed through the public API, so it is
+// the behavioral baseline the migration must preserve — membership,
+// ascending enumeration order, sampling population counts/selects, route
+// target order, and pruning, for universes straddling the old 128-pattern
+// bitset boundary.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "epicast/common/rng.hpp"
+#include "epicast/gossip/lost_buffer.hpp"
+#include "epicast/pubsub/event.hpp"
+#include "epicast/pubsub/subscription_table.hpp"
+
+namespace epicast {
+namespace {
+
+// Universe deliberately straddling the historic PatternSet::kCapacity = 128
+// boundary: values in [0, 300) hit the dense path, the boundary words, and
+// the overflow fallback.
+constexpr std::uint32_t kUniverse = 300;
+
+Pattern random_pattern(Rng& rng) {
+  return Pattern{static_cast<std::uint32_t>(rng.next_below(kUniverse))};
+}
+
+NodeId random_neighbor(Rng& rng) {
+  return NodeId{static_cast<std::uint32_t>(rng.next_below(6))};
+}
+
+/// Reference model: the table is exactly a local-subscription set plus a
+/// sorted (pattern → sorted next-hop set) route map.
+struct ReferenceTable {
+  std::set<Pattern> local;
+  std::map<Pattern, std::set<NodeId>> routes;
+
+  [[nodiscard]] std::set<Pattern> known() const {
+    std::set<Pattern> out = local;
+    for (const auto& [p, hops] : routes) {
+      if (!hops.empty()) out.insert(p);
+    }
+    return out;
+  }
+};
+
+EventPtr event_with(const std::vector<Pattern>& content) {
+  std::vector<PatternSeq> ps;
+  std::uint64_t seq = 1;
+  for (Pattern p : content) ps.push_back({p, SeqNo{seq++}});
+  return std::make_shared<EventData>(EventId{NodeId{0}, 0}, std::move(ps), 10,
+                                     SimTime::zero());
+}
+
+void expect_equivalent(const SubscriptionTable& t, const ReferenceTable& ref) {
+  const std::set<Pattern> known = ref.known();
+  ASSERT_EQ(t.known_pattern_count(), known.size());
+
+  const std::vector<Pattern> known_sorted(known.begin(), known.end());
+  ASSERT_EQ(t.known_patterns(), known_sorted);
+  for (std::size_t k = 0; k < known_sorted.size(); ++k) {
+    ASSERT_EQ(t.known_pattern_at(k), known_sorted[k]);
+  }
+
+  const std::vector<Pattern> local_sorted(ref.local.begin(), ref.local.end());
+  ASSERT_EQ(t.local_patterns(), local_sorted);
+
+  for (std::uint32_t v = 0; v < kUniverse; ++v) {
+    const Pattern p{v};
+    ASSERT_EQ(t.has_local(p), ref.local.contains(p));
+    ASSERT_EQ(t.knows(p), known.contains(p));
+    auto it = ref.routes.find(p);
+    const std::set<NodeId> hops =
+        it == ref.routes.end() ? std::set<NodeId>{} : it->second;
+    ASSERT_EQ(t.route_targets(p, NodeId::invalid()),
+              std::vector<NodeId>(hops.begin(), hops.end()));
+  }
+}
+
+// A long random stream of add/remove local/route, remove_neighbor, and
+// clear_routes keeps the table in lockstep with the reference model, for
+// patterns on both sides of the 128 boundary.
+TEST(OverflowReference, SubscriptionTablePropertyAgainstReference) {
+  Rng rng(20260808);
+  SubscriptionTable t;
+  ReferenceTable ref;
+
+  for (int step = 0; step < 4000; ++step) {
+    const double roll = rng.next_double();
+    if (roll < 0.30) {
+      const Pattern p = random_pattern(rng);
+      ASSERT_EQ(t.add_local(p), ref.local.insert(p).second);
+    } else if (roll < 0.45) {
+      const Pattern p = random_pattern(rng);
+      ASSERT_EQ(t.remove_local(p), ref.local.erase(p) > 0);
+    } else if (roll < 0.80) {
+      const Pattern p = random_pattern(rng);
+      const NodeId m = random_neighbor(rng);
+      ASSERT_EQ(t.add_route(p, m), ref.routes[p].insert(m).second);
+      ASSERT_TRUE(t.has_route(p, m));
+    } else if (roll < 0.93) {
+      const Pattern p = random_pattern(rng);
+      const NodeId m = random_neighbor(rng);
+      const bool ref_removed =
+          ref.routes.contains(p) && ref.routes[p].erase(m) > 0;
+      ASSERT_EQ(t.remove_route(p, m), ref_removed);
+      ASSERT_FALSE(t.has_route(p, m));
+    } else if (roll < 0.98) {
+      const NodeId m = random_neighbor(rng);
+      t.remove_neighbor(m);
+      for (auto& [p, hops] : ref.routes) hops.erase(m);
+    } else {
+      t.clear_routes();
+      ref.routes.clear();
+    }
+
+    if (step % 100 == 0) expect_equivalent(t, ref);
+  }
+  expect_equivalent(t, ref);
+}
+
+// Event matching and route-target union for events whose content straddles
+// the boundary (including content entirely above it).
+TEST(OverflowReference, EventMatchingAcrossBoundary) {
+  Rng rng(7);
+  SubscriptionTable t;
+  ReferenceTable ref;
+  for (int i = 0; i < 120; ++i) {
+    const Pattern p = random_pattern(rng);
+    if (rng.chance(0.5)) {
+      t.add_local(p);
+      ref.local.insert(p);
+    }
+    const NodeId m = random_neighbor(rng);
+    t.add_route(p, m);
+    ref.routes[p].insert(m);
+  }
+
+  for (int trial = 0; trial < 300; ++trial) {
+    std::set<Pattern> content;
+    const std::size_t n = 1 + rng.next_below(3);
+    while (content.size() < n) content.insert(random_pattern(rng));
+    const std::vector<Pattern> patterns(content.begin(), content.end());
+    const EventPtr ev = event_with(patterns);
+
+    for (Pattern p : patterns) ASSERT_TRUE(ev->matches(p));
+    ASSERT_FALSE(ev->matches(Pattern{kUniverse + 1}));
+
+    const bool ref_local = std::any_of(
+        patterns.begin(), patterns.end(),
+        [&ref](Pattern p) { return ref.local.contains(p); });
+    ASSERT_EQ(t.matches_local(*ev), ref_local);
+
+    const NodeId exclude = random_neighbor(rng);
+    std::set<NodeId> ref_targets;
+    for (Pattern p : patterns) {
+      auto it = ref.routes.find(p);
+      if (it == ref.routes.end()) continue;
+      for (NodeId hop : it->second) {
+        if (hop != exclude) ref_targets.insert(hop);
+      }
+    }
+    ASSERT_EQ(t.route_targets(*ev, exclude),
+              std::vector<NodeId>(ref_targets.begin(), ref_targets.end()));
+  }
+}
+
+// LostBuffer's distinct-pattern summary (count + k-th select, ascending)
+// must match a reference multiset for patterns across the boundary.
+TEST(OverflowReference, LostBufferPatternSummaryAgainstReference) {
+  Rng rng(99);
+  LostBuffer lost(10000, Duration::seconds(100));
+  std::map<Pattern, std::uint32_t> ref_counts;
+  std::set<LostEntryInfo> ref_entries;
+
+  for (int step = 0; step < 3000; ++step) {
+    LostEntryInfo e;
+    e.source = NodeId{static_cast<std::uint32_t>(rng.next_below(5))};
+    e.pattern = random_pattern(rng);
+    e.seq = SeqNo{1 + rng.next_below(40)};
+    if (rng.chance(0.65)) {
+      const bool added = ref_entries.insert(e).second;
+      ASSERT_EQ(lost.add(e, SimTime::zero()), added);
+      if (added) ++ref_counts[e.pattern];
+    } else {
+      const bool removed = ref_entries.erase(e) > 0;
+      ASSERT_EQ(lost.remove(e), removed);
+      if (removed && --ref_counts[e.pattern] == 0) {
+        ref_counts.erase(e.pattern);
+      }
+    }
+
+    if (step % 100 != 0) continue;
+    ASSERT_EQ(lost.size(), ref_entries.size());
+    ASSERT_EQ(lost.patterns_with_losses_count(), ref_counts.size());
+    std::vector<Pattern> expect;
+    expect.reserve(ref_counts.size());
+    for (const auto& [p, c] : ref_counts) expect.push_back(p);
+    ASSERT_EQ(lost.patterns_with_losses(), expect);
+    for (std::size_t k = 0; k < expect.size(); ++k) {
+      ASSERT_EQ(lost.pattern_with_losses_at(k), expect[k]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace epicast

@@ -1,15 +1,17 @@
-// Unit and property tests for the two-word pattern bitset: set/clear/test,
-// ascending iteration order, nth() select, and set algebra — all checked
-// against a std::set<Pattern> reference implementation under random
-// workloads, since the hot paths rely on bit-for-bit agreement with the
-// sorted vectors the bitset replaced.
+// Unit and property tests for the width-dynamic pattern bitset: set/clear/
+// test, ascending iteration order, nth() select, set algebra, and growth
+// beyond the inline two words — all checked against a std::set<Pattern>
+// reference implementation under random workloads, since the hot paths rely
+// on bit-for-bit agreement with the sorted vectors the bitset replaced.
 #include "epicast/common/pattern_set.hpp"
 
 #include <gtest/gtest.h>
 
 #include <set>
+#include <utility>
 #include <vector>
 
+#include "epicast/common/arena.hpp"
 #include "epicast/common/rng.hpp"
 
 namespace epicast {
@@ -28,6 +30,8 @@ TEST(PatternSet, StartsEmpty) {
   EXPECT_EQ(s.count(), 0u);
   EXPECT_FALSE(s.test(Pattern{0}));
   EXPECT_TRUE(members(s).empty());
+  EXPECT_EQ(s.capacity(), PatternSet::kInlineCapacity);
+  EXPECT_EQ(s.memory_bytes(), 0u);
 }
 
 TEST(PatternSet, SetClearTestRoundTrip) {
@@ -42,13 +46,13 @@ TEST(PatternSet, SetClearTestRoundTrip) {
 }
 
 TEST(PatternSet, WordBoundaryPatterns) {
-  // Bits 63/64 straddle the two words; 127 is the last representable bit.
+  // Bits 63/64 straddle the two inline words; 127 is the last inline bit.
   PatternSet s;
   for (std::uint32_t v : {0u, 63u, 64u, 127u}) {
-    ASSERT_TRUE(PatternSet::representable(Pattern{v}));
     EXPECT_TRUE(s.set(Pattern{v}));
   }
   EXPECT_EQ(s.count(), 4u);
+  EXPECT_EQ(s.memory_bytes(), 0u);  // still inline
   const auto m = members(s);
   ASSERT_EQ(m.size(), 4u);
   EXPECT_EQ(m[0], Pattern{0});
@@ -58,20 +62,77 @@ TEST(PatternSet, WordBoundaryPatterns) {
   for (std::size_t k = 0; k < m.size(); ++k) EXPECT_EQ(s.nth(k), m[k]);
 }
 
-TEST(PatternSet, NonRepresentableTestsFalse) {
-  EXPECT_FALSE(PatternSet::representable(Pattern{PatternSet::kCapacity}));
+TEST(PatternSet, TestBeyondWidthIsFalse) {
   PatternSet s;
   s.set(Pattern{3});
-  EXPECT_FALSE(s.test(Pattern{PatternSet::kCapacity}));
+  EXPECT_FALSE(s.test(Pattern{PatternSet::kInlineCapacity}));
   EXPECT_FALSE(s.test(Pattern{1u << 20}));
+  EXPECT_FALSE(s.clear(Pattern{PatternSet::kInlineCapacity + 9}));
 }
 
-TEST(PatternSet, FullSet) {
+TEST(PatternSet, GrowsBeyondInlineOnSet) {
   PatternSet s;
-  for (std::uint32_t v = 0; v < PatternSet::kCapacity; ++v)
+  s.set(Pattern{5});
+  EXPECT_TRUE(s.set(Pattern{300}));
+  EXPECT_GT(s.capacity(), 300u);
+  EXPECT_GT(s.memory_bytes(), 0u);
+  EXPECT_TRUE(s.test(Pattern{5}));
+  EXPECT_TRUE(s.test(Pattern{300}));
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_EQ(members(s), (std::vector<Pattern>{Pattern{5}, Pattern{300}}));
+  EXPECT_EQ(s.nth(0), Pattern{5});
+  EXPECT_EQ(s.nth(1), Pattern{300});
+}
+
+TEST(PatternSet, ReservePresizesWithoutMembers) {
+  PatternSet s(1000);
+  EXPECT_GE(s.capacity(), 1000u);
+  EXPECT_TRUE(s.none());
+  EXPECT_TRUE(s.set(Pattern{999}));
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(PatternSet, ArenaBackedGrowth) {
+  Arena arena;
+  PatternSet s(5000, &arena);
+  EXPECT_GE(s.capacity(), 5000u);
+  EXPECT_GT(arena.bytes_allocated(), 0u);
+  s.set(Pattern{4999});
+  // Growth past the reservation also draws from the arena.
+  const std::size_t before = arena.bytes_allocated();
+  s.set(Pattern{20000});
+  EXPECT_GT(arena.bytes_allocated(), before);
+  EXPECT_TRUE(s.test(Pattern{4999}));
+  EXPECT_TRUE(s.test(Pattern{20000}));
+}
+
+TEST(PatternSet, CopyAndMovePreserveMembersAcrossWidths) {
+  PatternSet wide;
+  wide.set(Pattern{2});
+  wide.set(Pattern{500});
+
+  PatternSet copy(wide);
+  EXPECT_EQ(copy, wide);
+  EXPECT_EQ(members(copy), members(wide));
+
+  PatternSet assigned;
+  assigned.set(Pattern{70});
+  assigned = wide;
+  EXPECT_EQ(assigned, wide);
+
+  PatternSet moved(std::move(copy));
+  EXPECT_EQ(moved, wide);
+  PatternSet move_assigned;
+  move_assigned = std::move(moved);
+  EXPECT_EQ(move_assigned, wide);
+}
+
+TEST(PatternSet, FullInlineSet) {
+  PatternSet s;
+  for (std::uint32_t v = 0; v < PatternSet::kInlineCapacity; ++v)
     s.set(Pattern{v});
-  EXPECT_EQ(s.count(), static_cast<std::size_t>(PatternSet::kCapacity));
-  for (std::uint32_t v = 0; v < PatternSet::kCapacity; ++v) {
+  EXPECT_EQ(s.count(), static_cast<std::size_t>(PatternSet::kInlineCapacity));
+  for (std::uint32_t v = 0; v < PatternSet::kInlineCapacity; ++v) {
     EXPECT_TRUE(s.test(Pattern{v}));
     EXPECT_EQ(s.nth(v), Pattern{v});
   }
@@ -96,26 +157,53 @@ TEST(PatternSet, AlgebraMatchesSetOperations) {
   EXPECT_TRUE((a & disjoint).none());
 }
 
-TEST(PatternSet, EqualityIsValueEquality) {
+TEST(PatternSet, AlgebraAcrossDifferentWidths) {
+  PatternSet narrow, wide;
+  narrow.set(Pattern{3});
+  wide.set(Pattern{3});
+  wide.set(Pattern{400});
+
+  EXPECT_TRUE(narrow.intersects(wide));
+  EXPECT_TRUE(wide.intersects(narrow));
+
+  PatternSet u = narrow;
+  u |= wide;
+  EXPECT_EQ(members(u), (std::vector<Pattern>{Pattern{3}, Pattern{400}}));
+
+  PatternSet i = wide;
+  i &= narrow;  // wider &= narrower must drop bits beyond the narrow width
+  EXPECT_EQ(members(i), (std::vector<Pattern>{Pattern{3}}));
+}
+
+TEST(PatternSet, EqualityIsValueEqualityAndWidthInsensitive) {
   PatternSet a, b;
   a.set(Pattern{9});
   b.set(Pattern{9});
   EXPECT_EQ(a, b);
   b.set(Pattern{64});
   EXPECT_NE(a, b);
+
+  // Widen b without adding members beyond a's: still equal.
+  PatternSet c;
+  c.set(Pattern{9});
+  c.set(Pattern{64});
+  c.set(Pattern{999});
+  c.clear(Pattern{999});
+  EXPECT_EQ(b, c);
+  EXPECT_EQ(c, b);
 }
 
 // Property test: a long random stream of set/clear operations keeps the
 // bitset in lockstep with std::set<Pattern> — membership, count, ascending
-// iteration, and nth() select at every step.
-TEST(PatternSet, PropertyAgainstReferenceSet) {
-  Rng rng(42);
+// iteration, and nth() select at every step. Runs once confined to the
+// inline words and once over a universe that forces multi-word growth.
+void run_reference_property(std::uint32_t universe, std::uint64_t seed) {
+  Rng rng(seed);
   PatternSet s;
   std::set<Pattern> ref;
 
   for (int step = 0; step < 5000; ++step) {
-    const Pattern p{static_cast<std::uint32_t>(
-        rng.next_below(PatternSet::kCapacity))};
+    const Pattern p{static_cast<std::uint32_t>(rng.next_below(universe))};
     if (rng.chance(0.6)) {
       EXPECT_EQ(s.set(p), ref.insert(p).second);
     } else {
@@ -129,23 +217,32 @@ TEST(PatternSet, PropertyAgainstReferenceSet) {
     ASSERT_EQ(members(s), expect);
     for (std::size_t k = 0; k < expect.size(); ++k)
       ASSERT_EQ(s.nth(k), expect[k]);
-    for (std::uint32_t v = 0; v < PatternSet::kCapacity; ++v)
+    for (std::uint32_t v = 0; v < universe; ++v)
       ASSERT_EQ(s.test(Pattern{v}), ref.contains(Pattern{v}));
   }
 }
 
+TEST(PatternSet, PropertyAgainstReferenceSetInline) {
+  run_reference_property(PatternSet::kInlineCapacity, 42);
+}
+
+TEST(PatternSet, PropertyAgainstReferenceSetMultiWord) {
+  run_reference_property(700, 43);
+}
+
 // The union/intersection operators must agree with element-wise reference
-// results for random operands.
+// results for random operands, including operands of different widths.
 TEST(PatternSet, PropertyAlgebraAgainstReference) {
   Rng rng(7);
   for (int trial = 0; trial < 200; ++trial) {
+    // Odd trials push one operand beyond the inline words.
+    const std::uint32_t ua = PatternSet::kInlineCapacity;
+    const std::uint32_t ub = (trial % 2) != 0 ? 600 : ua;
     PatternSet a, b;
     std::set<Pattern> ra, rb;
     for (int i = 0; i < 12; ++i) {
-      const Pattern pa{static_cast<std::uint32_t>(
-          rng.next_below(PatternSet::kCapacity))};
-      const Pattern pb{static_cast<std::uint32_t>(
-          rng.next_below(PatternSet::kCapacity))};
+      const Pattern pa{static_cast<std::uint32_t>(rng.next_below(ua))};
+      const Pattern pb{static_cast<std::uint32_t>(rng.next_below(ub))};
       a.set(pa);
       ra.insert(pa);
       b.set(pb);
@@ -162,6 +259,7 @@ TEST(PatternSet, PropertyAlgebraAgainstReference) {
     EXPECT_EQ(members(a & b),
               std::vector<Pattern>(rinter.begin(), rinter.end()));
     EXPECT_EQ(a.intersects(b), !rinter.empty());
+    EXPECT_EQ(b.intersects(a), !rinter.empty());
   }
 }
 

@@ -163,10 +163,10 @@ TEST(SubscriptionTable, MasksTrackLocalAndKnown) {
   EXPECT_FALSE(t.known_mask().test(Pattern{3}));
 }
 
-TEST(SubscriptionTable, OversizedPatternsUseOverflowPath) {
-  // Patterns >= PatternSet::kCapacity never enter the masks but must behave
+TEST(SubscriptionTable, OversizedPatternsStayOnMaskPath) {
+  // Patterns beyond the inline mask width widen the masks and must behave
   // identically through every query and enumeration.
-  const Pattern big{PatternSet::kCapacity + 5};
+  const Pattern big{PatternSet::kInlineCapacity + 5};
   SubscriptionTable t;
   EXPECT_TRUE(t.add_local(big));
   EXPECT_FALSE(t.add_local(big));
@@ -175,7 +175,7 @@ TEST(SubscriptionTable, OversizedPatternsUseOverflowPath) {
 
   EXPECT_TRUE(t.has_local(big));
   EXPECT_TRUE(t.knows(big));
-  EXPECT_FALSE(t.local_mask().test(big));
+  EXPECT_TRUE(t.local_mask().test(big));
   EXPECT_EQ(t.known_patterns(), (std::vector<Pattern>{Pattern{1}, big}));
   EXPECT_EQ(t.local_patterns(), (std::vector<Pattern>{Pattern{1}, big}));
   ASSERT_EQ(t.known_pattern_count(), 2u);
@@ -192,7 +192,7 @@ TEST(SubscriptionTable, OversizedPatternsUseOverflowPath) {
   EXPECT_EQ(t.known_patterns(), (std::vector<Pattern>{Pattern{1}}));
 }
 
-TEST(SubscriptionTable, MixedDenseAndOverflowEventMatching) {
+TEST(SubscriptionTable, MixedInlineAndWideEventMatching) {
   const Pattern big{200};
   SubscriptionTable t;
   t.add_route(Pattern{2}, NodeId{1});
@@ -203,6 +203,20 @@ TEST(SubscriptionTable, MixedDenseAndOverflowEventMatching) {
             (std::vector<NodeId>{NodeId{1}, NodeId{3}}));
   t.add_local(big);
   EXPECT_TRUE(t.matches_local(*ev));
+}
+
+TEST(SubscriptionTable, ReserveUniversePresizesMasksFromArena) {
+  Arena arena;
+  SubscriptionTable t;
+  t.reserve_universe(2000, &arena);
+  EXPECT_GT(arena.bytes_allocated(), 0u);
+  t.add_local(Pattern{1999});
+  t.add_route(Pattern{1500}, NodeId{3});
+  EXPECT_TRUE(t.local_mask().test(Pattern{1999}));
+  EXPECT_TRUE(t.known_mask().test(Pattern{1500}));
+  EXPECT_EQ(t.route_targets(Pattern{1500}, NodeId::invalid()),
+            (std::vector<NodeId>{NodeId{3}}));
+  EXPECT_GT(t.memory_bytes(), 0u);
 }
 
 }  // namespace
