@@ -1,0 +1,102 @@
+// epicastd — one dispatching server of a real-UDP epicast cluster.
+//
+// Every process in the cluster is started with the same config file (see
+// include/epicast/runtime/cluster.hpp for the format) and its own
+// --node-id; the daemon binds that node's UDP socket, installs the
+// converged subscription routes, runs the configured recovery protocol over
+// real datagrams, publishes its share of the workload, and dumps a JSON
+// stats document on exit (end of the drain phase, SIGTERM, or SIGINT).
+//
+//   epicastd --config=cluster.conf --node-id=3 --stats-out=node3.json
+//
+// scripts/cluster_harness.py generates the config, launches N of these, and
+// aggregates the per-node dumps into cluster-wide delivery/overhead
+// numbers comparable with epicast_sim.
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "epicast/daemon/node.hpp"
+#include "epicast/runtime/cluster.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+void usage(std::ostream& os) {
+  os << "usage: epicastd --config=FILE --node-id=N [--stats-out=FILE]\n"
+        "\n"
+        "  --config=FILE     cluster description (shared by all nodes)\n"
+        "  --node-id=N       which node of the cluster this process is\n"
+        "  --stats-out=FILE  where to write the JSON stats dump\n"
+        "                    (default: stdout)\n"
+        "\n"
+        "The daemon runs the configured settle/run/drain phases and exits;\n"
+        "SIGTERM or SIGINT ends the run early, still dumping stats.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  std::string stats_out;
+  std::int64_t node_id = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const char* key) -> const char* {
+      const std::size_t n = std::strlen(key);
+      return arg.compare(0, n, key) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value_of("--config=")) {
+      config_path = v;
+    } else if (const char* v = value_of("--node-id=")) {
+      node_id = std::stoll(v);
+    } else if (const char* v = value_of("--stats-out=")) {
+      stats_out = v;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "epicastd: unknown argument '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+  if (config_path.empty() || node_id < 0) {
+    std::cerr << "epicastd: --config and --node-id are required\n";
+    usage(std::cerr);
+    return 2;
+  }
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  try {
+    epicast::daemon::NodeDaemon daemon(
+        epicast::runtime::load_cluster_config(config_path),
+        epicast::NodeId{static_cast<std::uint32_t>(node_id)});
+    daemon.run(&g_stop);
+
+    const std::string json = daemon.stats_json();
+    if (stats_out.empty()) {
+      std::cout << json;
+    } else {
+      std::ofstream out(stats_out);
+      if (!out) {
+        std::cerr << "epicastd: cannot write " << stats_out << "\n";
+        return 1;
+      }
+      out << json;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "epicastd: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

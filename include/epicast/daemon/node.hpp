@@ -1,0 +1,105 @@
+// epicast — epicastd's core: one dispatching server on real UDP sockets.
+//
+// A NodeDaemon is the runtime-seam counterpart of one PubSubNetwork slot:
+// it owns an AsyncRuntime, attaches a single Dispatcher to it, installs the
+// converged subscription routes for the whole (static) cluster, starts the
+// configured recovery protocol, generates this node's share of the
+// workload, and records every publish and delivery for offline aggregation
+// by the cluster harness.
+//
+// Routes are bootstrapped the way PubSubNetwork::rebuild_routes() does it
+// in simulation (oracle bootstrap): each daemon computes the cluster-wide
+// BFS routing oracle from the shared config file and installs its own rows
+// — no subscription flooding phase, and all daemons agree by construction.
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "epicast/oracle/checks.hpp"
+#include "epicast/oracle/oracle.hpp"
+#include "epicast/pubsub/dispatcher.hpp"
+#include "epicast/pubsub/pattern.hpp"
+#include "epicast/runtime/async_runtime.hpp"
+#include "epicast/runtime/cluster.hpp"
+
+namespace epicast::daemon {
+
+class NodeDaemon {
+ public:
+  /// Validates `cluster`, builds the runtime (this is where a non-Wire
+  /// sizing mode becomes a hard std::invalid_argument), binds the node's
+  /// socket, installs routes, and wires recovery + oracles. The daemon is
+  /// ready to run() afterwards.
+  NodeDaemon(runtime::ClusterConfig cluster, NodeId self);
+
+  NodeDaemon(const NodeDaemon&) = delete;
+  NodeDaemon& operator=(const NodeDaemon&) = delete;
+
+  /// Executes the full lifecycle: settle, publish window, drain. Returns
+  /// when the drain ends or when `stop_flag` (a signal handler's
+  /// sig_atomic_t) becomes non-zero.
+  void run(const volatile std::sig_atomic_t* stop_flag = nullptr);
+
+  /// Per-node stats document: publishes, deliveries, subscription set,
+  /// transport and gossip counters, plus an embedded
+  /// epicast::metrics::result_json of the locally known ScenarioResult
+  /// fields (the same serializer epicast_sim --json uses).
+  [[nodiscard]] std::string stats_json() const;
+
+  [[nodiscard]] NodeId self() const { return self_; }
+  [[nodiscard]] runtime::AsyncRuntime& runtime() { return *rt_; }
+  [[nodiscard]] Dispatcher& dispatcher() { return *dispatcher_; }
+  [[nodiscard]] const runtime::ClusterConfig& cluster() const {
+    return cluster_;
+  }
+  [[nodiscard]] const oracle::OracleSuite* oracles() const {
+    return oracles_.get();
+  }
+
+  struct PublishRecord {
+    std::uint64_t seq;  ///< EventId::source_seq
+    double t_s;
+    std::vector<std::uint32_t> patterns;
+  };
+  struct DeliveryRecord {
+    std::uint32_t source;
+    std::uint64_t seq;
+    double t_s;
+    bool recovered;
+  };
+  [[nodiscard]] const std::vector<PublishRecord>& published() const {
+    return published_;
+  }
+  [[nodiscard]] const std::vector<DeliveryRecord>& delivered() const {
+    return delivered_;
+  }
+
+ private:
+  void install_routes();
+  void schedule_next_publish();
+  void publish_one();
+  [[nodiscard]] bool is_publisher() const;
+
+  runtime::ClusterConfig cluster_;
+  NodeId self_;
+  std::unique_ptr<runtime::AsyncRuntime> rt_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+  std::unique_ptr<oracle::OracleSuite> oracles_;
+  oracle::WireRoundTripOracle* wire_oracle_ = nullptr;  // owned by oracles_
+
+  PatternUniverse universe_;
+  Rng pub_rng_;
+  SimTime publish_start_;
+  SimTime publish_end_;
+  SimTime drain_end_;
+  runtime::TimerHandle publish_timer_;
+
+  std::vector<PublishRecord> published_;
+  std::vector<DeliveryRecord> delivered_;
+};
+
+}  // namespace epicast::daemon

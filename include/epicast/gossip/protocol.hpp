@@ -168,7 +168,7 @@ class GossipProtocolBase : public RecoveryProtocol {
   HotpathProfiler& prof_;
 
   AdaptiveIntervalController adaptive_;
-  PeriodicTimer timer_;
+  runtime::PeriodicTimer timer_;
   /// Direct-mapped recent-digest table (see digest_duplicate()); the size
   /// must stay a power of two.
   struct DigestMark {

@@ -1,0 +1,19 @@
+// epicast — shared ScenarioResult → JSON serialization.
+//
+// One serializer, two producers: epicast_sim --json emits it for simulated
+// runs, and epicastd embeds it in each node's stats dump — so the cluster
+// harness compares real-socket runs against the sim by parsing the same
+// document shape on both sides.
+#pragma once
+
+#include <string>
+
+#include "epicast/scenario/runner.hpp"
+
+namespace epicast::metrics {
+
+/// The machine-readable result document (stable keys; the cluster harness
+/// and plotting scripts parse it).
+[[nodiscard]] std::string result_json(const ScenarioResult& result);
+
+}  // namespace epicast::metrics

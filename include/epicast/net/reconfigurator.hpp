@@ -14,10 +14,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "epicast/common/rng.hpp"
 #include "epicast/net/topology.hpp"
+#include "epicast/runtime/runtime.hpp"
 #include "epicast/sim/simulator.hpp"
 
 namespace epicast {
@@ -49,6 +51,14 @@ class Reconfigurator {
   /// Called after the replacement link (if any) is installed.
   using RepairListener = std::function<void(const Repair&)>;
 
+  /// The reconfigurator draws time, timers, and randomness from the
+  /// runtime seam; `rt` and `topology` must outlive it.
+  Reconfigurator(runtime::Runtime& rt, Topology& topology,
+                 ReconfigConfig config);
+
+  /// Convenience for sim-side callers and tests: runs on a private
+  /// SimRuntime over `sim`. Identical RNG fork order and scheduling as the
+  /// pre-seam constructor.
   Reconfigurator(Simulator& sim, Topology& topology, ReconfigConfig config);
 
   Reconfigurator(const Reconfigurator&) = delete;
@@ -110,11 +120,14 @@ class Reconfigurator {
   /// such node is currently rejected by the node filter.
   bool side_blocked(NodeId anchor) const;
 
-  Simulator& sim_;
+  /// Set only by the Simulator& convenience constructor (declared before
+  /// rt_ so the reference below can bind to it).
+  std::unique_ptr<runtime::Runtime> owned_rt_;
+  runtime::Runtime& rt_;
   Topology& topology_;
   ReconfigConfig config_;
   Rng rng_;
-  PeriodicTimer timer_;
+  runtime::PeriodicTimer timer_;
   BreakListener on_break_;
   RepairListener on_repair_;
   NodeFilter node_filter_;

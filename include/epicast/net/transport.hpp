@@ -25,37 +25,12 @@
 #include "epicast/net/link_model.hpp"
 #include "epicast/net/message.hpp"
 #include "epicast/net/topology.hpp"
+// TransportReceiver and TransportObserver moved to the runtime seam (they
+// are shared with the socket backend); re-exported here for existing users.
+#include "epicast/runtime/transport.hpp"
 #include "epicast/sim/simulator.hpp"
 
 namespace epicast {
-
-/// Where incoming messages are handed to. One receiver per node, typically
-/// the node's Dispatcher.
-class TransportReceiver {
- public:
-  virtual ~TransportReceiver() = default;
-
-  /// A message arrived over an overlay link from neighbour `from`.
-  virtual void on_overlay_message(NodeId from, const MessagePtr& msg) = 0;
-
-  /// A message arrived over the out-of-band channel from `from`.
-  virtual void on_direct_message(NodeId from, const MessagePtr& msg) = 0;
-};
-
-/// Observes transport activity; implemented by the metrics layer.
-class TransportObserver {
- public:
-  virtual ~TransportObserver() = default;
-
-  virtual void on_send(NodeId from, NodeId to, const Message& msg,
-                       bool overlay) = 0;
-  virtual void on_loss(NodeId from, NodeId to, const Message& msg,
-                       bool overlay) = 0;
-  /// A send attempted over a missing overlay link (stale route), or whose
-  /// link broke mid-flight.
-  virtual void on_drop_no_link(NodeId from, NodeId to,
-                               const Message& msg) = 0;
-};
 
 struct TransportConfig {
   LinkParams link;                    ///< overlay link behaviour

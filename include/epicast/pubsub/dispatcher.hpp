@@ -23,14 +23,15 @@
 #include <vector>
 
 #include "epicast/common/ids.hpp"
+#include "epicast/common/message_pool.hpp"
 #include "epicast/common/rng.hpp"
-#include "epicast/net/transport.hpp"
+#include "epicast/metrics/hotpath_profiler.hpp"
 #include "epicast/pubsub/event.hpp"
 #include "epicast/pubsub/messages.hpp"
 #include "epicast/pubsub/recovery.hpp"
 #include "epicast/pubsub/seen_set.hpp"
 #include "epicast/pubsub/subscription_table.hpp"
-#include "epicast/sim/simulator.hpp"
+#include "epicast/runtime/runtime.hpp"
 
 namespace epicast {
 
@@ -44,15 +45,20 @@ struct DispatcherConfig {
 
 class Dispatcher final : public TransportReceiver {
  public:
-  Dispatcher(NodeId id, Simulator& sim, Transport& transport,
-             DispatcherConfig config);
+  /// The dispatcher talks to its environment exclusively through the
+  /// runtime seam: SimRuntime in simulation, AsyncRuntime on real sockets.
+  Dispatcher(NodeId id, runtime::Runtime& rt, DispatcherConfig config);
 
   Dispatcher(const Dispatcher&) = delete;
   Dispatcher& operator=(const Dispatcher&) = delete;
 
   [[nodiscard]] NodeId id() const { return id_; }
-  [[nodiscard]] Simulator& simulator() { return sim_; }
-  [[nodiscard]] Transport& transport() { return transport_; }
+  [[nodiscard]] runtime::Runtime& runtime() { return rt_; }
+  /// Current time, message pool, and hot-path profiler of the runtime —
+  /// cached references, so the event hot path pays no virtual dispatch.
+  [[nodiscard]] SimTime now() const { return clock_.now(); }
+  [[nodiscard]] MessagePool& pool() { return pool_; }
+  [[nodiscard]] HotpathProfiler& profiler() { return prof_; }
   [[nodiscard]] SubscriptionTable& table() { return table_; }
   [[nodiscard]] const SubscriptionTable& table() const { return table_; }
   [[nodiscard]] const DispatcherConfig& config() const { return config_; }
@@ -109,15 +115,20 @@ class Dispatcher final : public TransportReceiver {
 
   /// Convenience senders (from this node).
   void send_overlay(NodeId to, MessagePtr msg) {
-    transport_.send_overlay(id_, to, std::move(msg));
+    tr_.send_overlay(id_, to, std::move(msg));
   }
   void send_direct(NodeId to, MessagePtr msg) {
-    transport_.send_direct(id_, to, std::move(msg));
+    tr_.send_direct(id_, to, std::move(msg));
   }
 
   /// Current overlay neighbours (invalidated by topology mutations).
   [[nodiscard]] std::span<const NodeId> neighbors() const {
-    return transport_.topology().neighbors(id_);
+    return tr_.neighbors(id_);
+  }
+
+  /// True iff the overlay currently links this node to `other`.
+  [[nodiscard]] bool has_link_to(NodeId other) const {
+    return tr_.has_link(id_, other);
   }
 
   // -- route-rebuild support (PubSubNetwork) --------------------------------
@@ -182,8 +193,13 @@ class Dispatcher final : public TransportReceiver {
   [[nodiscard]] const SubSentMarks* find_sub_sent(NodeId neighbor) const;
 
   NodeId id_;
-  Simulator& sim_;
-  Transport& transport_;
+  runtime::Runtime& rt_;
+  /// Hot-path caches of rt_'s accessors (one virtual call at construction
+  /// instead of two per send/now/alloc).
+  runtime::Transport& tr_;
+  const runtime::Clock& clock_;
+  MessagePool& pool_;
+  HotpathProfiler& prof_;
   DispatcherConfig config_;
   Rng rng_;
   SubscriptionTable table_;

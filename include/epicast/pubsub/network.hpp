@@ -18,15 +18,24 @@
 #include "epicast/net/topology.hpp"
 #include "epicast/net/transport.hpp"
 #include "epicast/pubsub/dispatcher.hpp"
+#include "epicast/runtime/sim_runtime.hpp"
 #include "epicast/sim/simulator.hpp"
 
 namespace epicast {
 
 class PubSubNetwork {
  public:
-  /// Creates one dispatcher per node of `transport.topology()`.
+  /// Creates one dispatcher per node of `transport.topology()`. The
+  /// dispatchers talk to a SimRuntime assembled here over (sim, transport);
+  /// the network itself keeps direct access to both — it is sim-side
+  /// machinery (oracle rebuilds, global consistency checks), not protocol
+  /// code.
   PubSubNetwork(Simulator& sim, Transport& transport,
                 DispatcherConfig dispatcher_config);
+
+  /// The runtime seam the dispatchers run on (for wiring more components,
+  /// e.g. the Reconfigurator, onto the same seam).
+  [[nodiscard]] runtime::SimRuntime& runtime() { return runtime_; }
 
   PubSubNetwork(const PubSubNetwork&) = delete;
   PubSubNetwork& operator=(const PubSubNetwork&) = delete;
@@ -85,6 +94,7 @@ class PubSubNetwork {
 
   Simulator& sim_;
   Transport& transport_;
+  runtime::SimRuntime runtime_;
   std::vector<std::unique_ptr<Dispatcher>> nodes_;
 };
 

@@ -1,0 +1,225 @@
+// epicast — the real-socket backend of the runtime seam.
+//
+// A single-threaded epoll event loop: one UDP socket per attached local
+// node, timerfd-backed timers on CLOCK_MONOTONIC, and a bounded inbound
+// frame queue between the sockets and the protocol handlers (drop-newest on
+// overflow, in the style of the EventStreamCore dispatcher — losing a frame
+// under overload is exactly the unreliability the recovery protocols are
+// built for, so the bound is a feature, not a failure mode).
+//
+// Messages cross the wire as epicast::wire codec frames behind a small
+// datagram header (magic, channel, sender id). Because real bytes are on
+// real links, the runtime refuses to run in SizingMode::Nominal: construct
+// it with SizingMode::Wire or get a std::invalid_argument.
+//
+// Several local nodes may attach to one AsyncRuntime (in-process cluster
+// tests); epicastd attaches exactly one. Peers living in other processes
+// are reached through the static peer table (ClusterConfig).
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "epicast/common/message_pool.hpp"
+#include "epicast/common/rng.hpp"
+#include "epicast/metrics/hotpath_profiler.hpp"
+#include "epicast/runtime/runtime.hpp"
+#include "epicast/wire/buffer.hpp"
+
+namespace epicast::runtime {
+
+struct AsyncRuntimeConfig {
+  /// Root of every RNG stream forked off this runtime (start jitter, gossip
+  /// fan-out draws, ...). Real-socket runs are not bit-reproducible — the
+  /// kernel schedules datagrams — but seeding keeps the *draw sequences*
+  /// reproducible for debugging.
+  std::uint64_t seed = 1;
+  /// Must be SizingMode::Wire; anything else is a hard config error.
+  SizingMode sizing = SizingMode::Wire;
+  /// Bounded inbound frame queue shared by all local sockets; when full,
+  /// newly drained datagrams are dropped and counted.
+  std::size_t inbound_queue_capacity = 4096;
+  /// Synthetic receive-side Bernoulli drop rate emulating the paper's link
+  /// error rate ε on an otherwise-reliable localhost (control frames are
+  /// exempt, mirroring TransportConfig::control_lossless).
+  double inbound_drop_rate = 0.0;
+  /// SO_RCVBUF requested for every node socket.
+  int socket_rcvbuf_bytes = 1 << 20;
+};
+
+/// Where a node's socket binds / where its datagrams are sent.
+struct PeerEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = bind ephemeral (in-process clusters)
+};
+
+class AsyncRuntime final : public Runtime,
+                           public Clock,
+                           public TimerService,
+                           public Transport {
+ public:
+  explicit AsyncRuntime(AsyncRuntimeConfig config = {});
+  ~AsyncRuntime() override;
+
+  AsyncRuntime(const AsyncRuntime&) = delete;
+  AsyncRuntime& operator=(const AsyncRuntime&) = delete;
+
+  // -- cluster wiring (before attach) ---------------------------------------
+
+  /// Declares node `id` at `ep`. Node ids must end up dense [0, N).
+  void set_peer(NodeId id, const PeerEndpoint& ep);
+
+  /// Declares an overlay link a—b (symmetric).
+  void add_link(NodeId a, NodeId b);
+  void remove_link(NodeId a, NodeId b);
+
+  /// The endpoint a node is reachable at — after attach() this reflects the
+  /// actually bound port (ephemeral binds resolve here).
+  [[nodiscard]] const PeerEndpoint& peer(NodeId id) const;
+
+  // -- Runtime --------------------------------------------------------------
+
+  [[nodiscard]] Clock& clock() override { return *this; }
+  [[nodiscard]] const Clock& clock() const override { return *this; }
+  [[nodiscard]] TimerService& timers() override { return *this; }
+  [[nodiscard]] Transport& transport() override { return *this; }
+  Rng fork_rng() override { return root_rng_.fork(); }
+  [[nodiscard]] MessagePool& pool() override { return pool_; }
+  [[nodiscard]] HotpathProfiler& profiler() override { return profiler_; }
+
+  // -- Clock ----------------------------------------------------------------
+
+  /// Monotonic time since construction, mapped onto SimTime.
+  [[nodiscard]] SimTime now() const override;
+
+  // -- TimerService ---------------------------------------------------------
+
+  TimerHandle after(Duration delay, Callback cb) override;
+
+  // -- Transport ------------------------------------------------------------
+
+  /// Binds the node's UDP socket (per its PeerEndpoint) and registers the
+  /// receiver. Ephemeral binds write the resolved port back to the peer
+  /// table, so in-process peers find each other.
+  void attach(NodeId node, TransportReceiver& receiver) override;
+
+  void send_overlay(NodeId from, NodeId to, MessagePtr msg) override;
+  void send_direct(NodeId from, NodeId to, MessagePtr msg) override;
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId node) const override;
+  [[nodiscard]] bool has_link(NodeId a, NodeId b) const override;
+  [[nodiscard]] std::uint32_t node_count() const override;
+
+  // -- event loop -----------------------------------------------------------
+
+  /// One loop turn: fire due timers, wait for socket/timerfd readiness up
+  /// to `max_wait`, drain sockets into the bounded queue, dispatch queued
+  /// frames, fire timers that came due meanwhile.
+  void poll(Duration max_wait);
+
+  /// Polls until `deadline` (on this runtime's clock) or request_stop().
+  void run_until(SimTime deadline);
+  void run_for(Duration d) { run_until(now() + d); }
+
+  /// Makes run_until return at the next loop turn. Safe to call from a
+  /// signal handler via a watched flag — see set_stop_flag().
+  void request_stop() { stop_ = true; }
+  [[nodiscard]] bool stop_requested() const { return stop_; }
+  /// An external flag (e.g. a sig_atomic_t set by a SIGTERM handler) the
+  /// loop checks every turn.
+  void set_stop_flag(const volatile std::sig_atomic_t* flag) {
+    stop_flag_ = flag;
+  }
+
+  // -- observability --------------------------------------------------------
+
+  /// TransportObserver hooks fire exactly as on the simulated transport:
+  /// on_send before the datagram leaves, on_loss for synthetic inbound
+  /// drops, on_drop_no_link for overlay sends without a link.
+  void add_observer(TransportObserver& observer) {
+    observers_.push_back(&observer);
+  }
+
+  /// Receive-side tap: every accepted frame, raw bytes plus decoded
+  /// message, before the receiver runs. The oracle-over-real-traffic tests
+  /// feed WireRoundTripOracle::verify_bytes from here.
+  using FrameObserver = std::function<void(
+      NodeId from, NodeId to, bool overlay,
+      std::span<const std::uint8_t> frame, const MessagePtr& decoded)>;
+  void set_frame_observer(FrameObserver obs) { frame_obs_ = std::move(obs); }
+
+  struct Stats {
+    std::uint64_t datagrams_sent = 0;
+    std::uint64_t datagrams_received = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t send_failures = 0;    ///< sendto errors (incl. EAGAIN)
+    std::uint64_t decode_errors = 0;    ///< malformed frames discarded
+    std::uint64_t queue_overflows = 0;  ///< inbound frames dropped (full)
+    std::uint64_t drops_injected = 0;   ///< synthetic ε drops
+    std::uint64_t drops_no_link = 0;    ///< overlay sends without a link
+    std::uint64_t timers_fired = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  [[nodiscard]] const AsyncRuntimeConfig& config() const { return config_; }
+
+ private:
+  struct AsyncTimerState;
+  struct LocalNode;
+  struct InboundFrame {
+    NodeId to;
+    NodeId from;
+    bool overlay = false;
+    std::vector<std::uint8_t> frame;  ///< codec frame (header stripped)
+  };
+
+  void send(NodeId from, NodeId to, MessagePtr msg, bool overlay);
+  void drain_socket(LocalNode& node);
+  void process_inbound();
+  void fire_due_timers();
+  void rearm_timerfd();
+  [[nodiscard]] std::int64_t mono_ns() const;
+
+  AsyncRuntimeConfig config_;
+  Rng root_rng_;
+  Rng drop_rng_;
+  MessagePool pool_;
+  HotpathProfiler profiler_;
+
+  std::int64_t start_ns_ = 0;
+  int epoll_fd_ = -1;
+  int timer_fd_ = -1;
+
+  std::vector<PeerEndpoint> peers_;             // indexed by NodeId
+  /// peers_ resolved for sendto: (IPv4 address net order, port host order).
+  std::vector<std::pair<std::uint32_t, std::uint16_t>> addr4_;
+  std::vector<std::vector<NodeId>> links_;      // sorted adjacency
+  std::vector<std::unique_ptr<LocalNode>> local_;  // indexed by NodeId
+
+  /// Pending timers ordered by (deadline, sequence) — FIFO at equal
+  /// deadlines, matching the sim scheduler's tie-break.
+  std::map<std::pair<std::int64_t, std::uint64_t>,
+           std::shared_ptr<AsyncTimerState>>
+      timers_;
+  std::uint64_t timer_seq_ = 0;
+  std::int64_t armed_deadline_ns_ = -1;
+
+  std::deque<InboundFrame> inbound_;
+  std::vector<TransportObserver*> observers_;
+  FrameObserver frame_obs_;
+  wire::WireBuffer encode_buf_;
+  std::vector<std::uint8_t> recv_buf_;
+
+  bool stop_ = false;
+  const volatile std::sig_atomic_t* stop_flag_ = nullptr;
+  Stats stats_;
+};
+
+}  // namespace epicast::runtime

@@ -1,0 +1,157 @@
+// epicast — the runtime seam: clock, timers, transport, randomness.
+//
+// Everything a protocol component needs from its environment, behind one
+// interface. The simulation backend (SimRuntime) adapts the deterministic
+// scheduler and the simulated links; the socket backend (AsyncRuntime)
+// adapts a monotonic clock, timerfd-backed timers, and epoll UDP sockets.
+// Protocol code written against `Runtime` runs on either unchanged — the
+// property the conformance suite in tests/runtime/ pins.
+//
+// Determinism contract (SimRuntime): the adapters add no RNG forks and no
+// scheduler events beyond what the wrapped calls themselves make, and they
+// issue those calls in exactly the order the caller makes them — so a
+// protocol refactored from Simulator& to Runtime& produces bit-identical
+// runs (the seed guards in tests/test_determinism.cpp enforce this).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "epicast/common/message_pool.hpp"
+#include "epicast/common/rng.hpp"
+#include "epicast/metrics/hotpath_profiler.hpp"
+#include "epicast/runtime/transport.hpp"
+#include "epicast/sim/time.hpp"
+
+namespace epicast::runtime {
+
+/// Time source. Simulated time or monotonic-since-start; either way a
+/// SimTime that only moves forward.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual SimTime now() const = 0;
+};
+
+/// Cancellation token for a one-shot timer. Copyable; all copies refer to
+/// the same scheduled callback. A default-constructed handle is inert.
+class TimerHandle {
+ public:
+  /// Backend-owned state behind a handle.
+  class State {
+   public:
+    virtual ~State() = default;
+    /// Cancels the pending callback; returns true if it was still pending.
+    virtual bool cancel() = 0;
+    [[nodiscard]] virtual bool pending() const = 0;
+  };
+
+  TimerHandle() = default;
+  explicit TimerHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  bool cancel() { return state_ != nullptr && state_->cancel(); }
+  [[nodiscard]] bool pending() const {
+    return state_ != nullptr && state_->pending();
+  }
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+/// One-shot timer scheduling.
+class TimerService {
+ public:
+  using Callback = std::function<void()>;
+
+  virtual ~TimerService() = default;
+
+  /// Schedules `cb` to run after `delay`. Timers with equal deadlines fire
+  /// in scheduling order (FIFO) — protocol determinism relies on it.
+  virtual TimerHandle after(Duration delay, Callback cb) = 0;
+};
+
+/// A repeating timer over any TimerService. Owns its scheduling; cancelled
+/// on destruction, so a component holding one by value cannot leave
+/// callbacks dangling. Mirrors epicast::PeriodicTimer (sim/simulator.hpp)
+/// call-for-call: the re-arm sequence issues exactly the same
+/// schedule-after calls, which keeps SimRuntime bit-identical.
+class PeriodicTimer {
+ public:
+  PeriodicTimer() = default;
+  ~PeriodicTimer() { stop(); }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+  PeriodicTimer(PeriodicTimer&&) = default;
+  PeriodicTimer& operator=(PeriodicTimer&& other) noexcept {
+    if (this != &other) {
+      stop();
+      state_ = std::move(other.state_);
+    }
+    return *this;
+  }
+
+  /// True while ticking.
+  [[nodiscard]] bool running() const { return state_ != nullptr; }
+
+  /// Stops future ticks. Idempotent.
+  void stop();
+
+  /// Changes the interval; the next tick happens `interval` from now.
+  void set_interval(Duration interval);
+
+ private:
+  friend class Runtime;
+  struct State {
+    TimerService* timers = nullptr;
+    Duration interval;
+    std::function<void()> on_tick;
+    TimerHandle handle;
+  };
+  static void arm(const std::shared_ptr<State>& state);
+
+  std::shared_ptr<State> state_;
+};
+
+/// The full seam: what a protocol component may touch of its environment.
+/// References returned by the accessors stay valid for the runtime's
+/// lifetime.
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  [[nodiscard]] virtual Clock& clock() = 0;
+  [[nodiscard]] virtual const Clock& clock() const = 0;
+  [[nodiscard]] virtual TimerService& timers() = 0;
+  [[nodiscard]] virtual Transport& transport() = 0;
+
+  /// Derives an independent RNG stream for a component. Call order matters
+  /// (and, under SimRuntime, is the determinism-critical fork order);
+  /// components fork their streams during construction.
+  virtual Rng fork_rng() = 0;
+
+  /// Message/event allocation pool shared by every component on this
+  /// runtime.
+  [[nodiscard]] virtual MessagePool& pool() = 0;
+
+  /// Hot-path phase counters.
+  [[nodiscard]] virtual HotpathProfiler& profiler() = 0;
+
+  // -- conveniences ---------------------------------------------------------
+
+  [[nodiscard]] SimTime now() const { return clock().now(); }
+
+  TimerHandle after(Duration delay, TimerService::Callback cb) {
+    return timers().after(delay, std::move(cb));
+  }
+
+  /// Starts a periodic timer with the first tick after `first_delay` and
+  /// subsequent ticks every `interval`.
+  PeriodicTimer every(Duration first_delay, Duration interval,
+                      std::function<void()> on_tick);
+};
+
+}  // namespace epicast::runtime

@@ -1,0 +1,73 @@
+// epicast — the simulation backend of the runtime seam.
+//
+// Stateless adapters over an existing Simulator and (optionally) a
+// net::Transport: every seam call delegates 1:1 to the wrapped object, in
+// caller order, with no extra RNG forks and no extra scheduler events — the
+// refactor from Simulator&/Transport& to Runtime& is therefore provably
+// inert for the determinism seed guards.
+//
+// The transport is optional so components that only need clock/timers/RNG
+// (the Reconfigurator, unit tests) can run on a bare Simulator; calling
+// transport() without one is a programming error.
+#pragma once
+
+#include "epicast/runtime/runtime.hpp"
+#include "epicast/sim/simulator.hpp"
+
+namespace epicast {
+class Transport;  // net/transport.hpp
+class Topology;
+}  // namespace epicast
+
+namespace epicast::runtime {
+
+class SimRuntime final : public Runtime {
+ public:
+  /// Keeps references to `sim` and `transport`; both must outlive this
+  /// runtime. `transport` may be null for timer/clock/RNG-only use.
+  explicit SimRuntime(Simulator& sim, epicast::Transport* transport = nullptr);
+
+  SimRuntime(const SimRuntime&) = delete;
+  SimRuntime& operator=(const SimRuntime&) = delete;
+
+  [[nodiscard]] Clock& clock() override { return clock_; }
+  [[nodiscard]] const Clock& clock() const override { return clock_; }
+  [[nodiscard]] TimerService& timers() override { return timers_; }
+  [[nodiscard]] Transport& transport() override;
+  Rng fork_rng() override { return sim_.fork_rng(); }
+  [[nodiscard]] MessagePool& pool() override { return sim_.pool(); }
+  [[nodiscard]] HotpathProfiler& profiler() override {
+    return sim_.profiler();
+  }
+
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+
+ private:
+  struct SimClock final : Clock {
+    Simulator* sim = nullptr;
+    [[nodiscard]] SimTime now() const override;
+  };
+
+  struct SimTimers final : TimerService {
+    Simulator* sim = nullptr;
+    TimerHandle after(Duration delay, Callback cb) override;
+  };
+
+  struct SimTransport final : Transport {
+    epicast::Transport* net = nullptr;
+    void attach(NodeId node, TransportReceiver& receiver) override;
+    void send_overlay(NodeId from, NodeId to, MessagePtr msg) override;
+    void send_direct(NodeId from, NodeId to, MessagePtr msg) override;
+    [[nodiscard]] std::span<const NodeId> neighbors(
+        NodeId node) const override;
+    [[nodiscard]] bool has_link(NodeId a, NodeId b) const override;
+    [[nodiscard]] std::uint32_t node_count() const override;
+  };
+
+  Simulator& sim_;
+  SimClock clock_;
+  SimTimers timers_;
+  SimTransport transport_;
+};
+
+}  // namespace epicast::runtime

@@ -38,8 +38,8 @@ GossipProtocolBase::GossipProtocolBase(Dispatcher& dispatcher,
       cfg_(config),
       cache_(config.buffer_size, config.cache_policy, dispatcher.rng().fork()),
       msgs_(dispatcher.id(), config.gossip_message_bytes,
-            &dispatcher.simulator().pool()),
-      prof_(dispatcher.simulator().profiler()),
+            &dispatcher.pool()),
+      prof_(dispatcher.profiler()),
       adaptive_(config.adaptive, config.interval) {
   cache_.set_profiler(&prof_);
   EPICAST_ASSERT(cfg_.interval > Duration::zero());
@@ -55,8 +55,8 @@ void GossipProtocolBase::start() {
       cfg_.start_jitter
           ? Duration::seconds(d_.rng().uniform(0.0, cfg_.interval.to_seconds()))
           : cfg_.interval;
-  timer_ = d_.simulator().every(first, current_interval(),
-                                [this]() { run_round(); });
+  timer_ = d_.runtime().every(first, current_interval(),
+                              [this]() { run_round(); });
 }
 
 void GossipProtocolBase::stop() { timer_.stop(); }
@@ -82,7 +82,7 @@ std::uint64_t GossipProtocolBase::mix_digest_key(std::uint64_t a,
 }
 
 bool GossipProtocolBase::digest_duplicate(std::uint64_t key) {
-  const SimTime now = d_.simulator().now();
+  const SimTime now = d_.now();
   DigestMark& slot = digest_marks_[key & (digest_marks_.size() - 1)];
   const bool dup = slot.key == key && now - slot.at <= cfg_.interval * 0.5;
   slot.key = key;
@@ -255,7 +255,7 @@ void GossipProtocolBase::track_request(NodeId to, std::vector<EventId> ids,
   const Duration wait =
       Duration::seconds(cfg_.request_timeout.to_seconds() * scale);
   const std::uint64_t epoch = restart_epoch_;
-  d_.simulator().after(
+  d_.runtime().after(
       wait, [this, to, ids = std::move(ids), attempt, epoch]() {
         // Stale deadline: the node cold-restarted (epoch moved on) or is
         // currently down / stopped — a dead node neither counts timeouts

@@ -26,7 +26,7 @@ void PullProtocolBase::on_event(const EventPtr& event,
     if (!d_.table().has_local(ps.pattern)) continue;
     for (SeqNo missing : detector_.observe(source, ps.pattern, ps.seq)) {
       lost_.add(LostEntryInfo{source, ps.pattern, missing},
-                d_.simulator().now());
+                d_.now());
     }
   }
 
@@ -49,7 +49,7 @@ void PullProtocolBase::on_restart(fault::RestartPolicy policy) {
 void PullProtocolBase::watch_digest(const std::vector<NodeId>& targets,
                                     const std::vector<LostEntryInfo>& wanted) {
   const std::uint64_t epoch = restart_epoch();
-  d_.simulator().after(
+  d_.runtime().after(
       cfg_.request_timeout, [this, targets, wanted, epoch]() {
         if (epoch != restart_epoch() || !active()) return;
         for (const LostEntryInfo& w : wanted) {
@@ -63,7 +63,7 @@ void PullProtocolBase::watch_digest(const std::vector<NodeId>& targets,
 }
 
 bool PullProtocolBase::round_subscriber() {
-  lost_.expire(d_.simulator().now());
+  lost_.expire(d_.now());
   // The pull gossiper draws p from subscriptions issued *locally* — the
   // goal is retrieving events relevant to itself, not dissemination
   // (§III-B). Lost entries only ever involve local patterns, so the
@@ -92,7 +92,7 @@ bool PullProtocolBase::round_subscriber() {
 }
 
 bool PullProtocolBase::round_publisher() {
-  lost_.expire(d_.simulator().now());
+  lost_.expire(d_.now());
   // Candidate sources: losses we can actually steer towards — a route back
   // to the publisher must be known. Oldest pending loss first, so no source
   // starves while the buffer churns (cf. GossipConfig's
@@ -146,7 +146,7 @@ void PullProtocolBase::forward_towards_publisher(
                                                std::move(wanted),
                                                std::move(route));
 
-  if (d_.transport().topology().has_link(d_.id(), next)) {
+  if (d_.has_link_to(next)) {
     send_digest(next, std::move(msg), originated);
   } else {
     // The recorded route predates a reconfiguration; the next hop is no

@@ -5,7 +5,7 @@
 namespace epicast {
 
 bool RandomPullProtocol::on_round() {
-  lost_.expire(d_.simulator().now());
+  lost_.expire(d_.now());
   if (lost_.empty()) return false;
 
   // Same per-round scope as the steered pulls — losses of one randomly

@@ -4,22 +4,34 @@
 
 #include "epicast/common/assert.hpp"
 #include "epicast/common/logging.hpp"
+#include "epicast/runtime/sim_runtime.hpp"
 
 namespace epicast {
 
+Reconfigurator::Reconfigurator(runtime::Runtime& rt, Topology& topology,
+                               ReconfigConfig config)
+    : rt_(rt), topology_(topology), config_(config), rng_(rt.fork_rng()) {
+  EPICAST_ASSERT(config_.interval > Duration::zero());
+  EPICAST_ASSERT(!config_.repair_time.is_negative());
+}
+
 Reconfigurator::Reconfigurator(Simulator& sim, Topology& topology,
                                ReconfigConfig config)
-    : sim_(sim), topology_(topology), config_(config), rng_(sim.fork_rng()) {
+    : owned_rt_(std::make_unique<runtime::SimRuntime>(sim)),
+      rt_(*owned_rt_),
+      topology_(topology),
+      config_(config),
+      rng_(rt_.fork_rng()) {
   EPICAST_ASSERT(config_.interval > Duration::zero());
   EPICAST_ASSERT(!config_.repair_time.is_negative());
 }
 
 void Reconfigurator::start() {
   EPICAST_ASSERT_MSG(!timer_.running(), "reconfigurator already started");
-  Duration first = config_.start_at - sim_.now();
+  Duration first = config_.start_at - rt_.now();
   if (first.is_negative()) first = Duration::zero();
-  timer_ = sim_.every(first, config_.interval, [this]() {
-    if (config_.stop_at && sim_.now() > *config_.stop_at) {
+  timer_ = rt_.every(first, config_.interval, [this]() {
+    if (config_.stop_at && rt_.now() > *config_.stop_at) {
       timer_.stop();
       return;
     }
@@ -43,9 +55,9 @@ void Reconfigurator::break_one() {
   ++pending_;
   EPICAST_DEBUG("reconfig: broke link " << victim.a.value() << "-"
                                         << victim.b.value() << " at "
-                                        << to_string(sim_.now()));
+                                        << to_string(rt_.now()));
   if (on_break_) on_break_(victim);
-  sim_.after(config_.repair_time, [this, victim]() { repair(victim); });
+  rt_.after(config_.repair_time, [this, victim]() { repair(victim); });
 }
 
 std::optional<NodeId> Reconfigurator::pick_attachable(NodeId anchor) {
@@ -84,7 +96,7 @@ void Reconfigurator::repair(Link removed) {
     EPICAST_DEBUG("reconfig: repair of " << removed.a.value() << "-"
                                          << removed.b.value()
                                          << " deferred (endpoint down)");
-    sim_.after(config_.repair_time, [this, removed]() { repair(removed); });
+    rt_.after(config_.repair_time, [this, removed]() { repair(removed); });
     return;
   }
   --pending_;
@@ -102,7 +114,7 @@ void Reconfigurator::repair(Link removed) {
       result.added = Link{*left, *right};
       EPICAST_DEBUG("reconfig: repaired with link "
                     << left->value() << "-" << right->value() << " at "
-                    << to_string(sim_.now()));
+                    << to_string(rt_.now()));
     } else {
       // Every node of a component sits at the degree cap. Tree churn alone
       // never produces this for caps >= 2 (a tree component always has a

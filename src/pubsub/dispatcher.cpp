@@ -10,15 +10,18 @@
 
 namespace epicast {
 
-Dispatcher::Dispatcher(NodeId id, Simulator& sim, Transport& transport,
+Dispatcher::Dispatcher(NodeId id, runtime::Runtime& rt,
                        DispatcherConfig config)
     : id_(id),
-      sim_(sim),
-      transport_(transport),
+      rt_(rt),
+      tr_(rt.transport()),
+      clock_(rt.clock()),
+      pool_(rt.pool()),
+      prof_(rt.profiler()),
       config_(config),
-      rng_(sim.fork_rng()),
-      seen_(transport.topology().node_count()) {
-  transport_.attach(id_, *this);
+      rng_(rt.fork_rng()),
+      seen_(rt.transport().node_count()) {
+  tr_.attach(id_, *this);
 }
 
 void Dispatcher::set_recovery(std::unique_ptr<RecoveryProtocol> recovery) {
@@ -67,7 +70,7 @@ void Dispatcher::subscribe(Pattern p) {
     if (sub_sent(p, m)) continue;
     note_sub_sent(p, m);
     if (!sub) {
-      sub = make_pooled<SubscribeMessage>(sim_.pool(), p, /*subscribe=*/true);
+      sub = make_pooled<SubscribeMessage>(pool_, p, /*subscribe=*/true);
     }
     send_overlay(m, sub);
   }
@@ -99,7 +102,7 @@ void Dispatcher::maybe_propagate_unsub(Pattern p, NodeId skip) {
     any_empty = any_empty || s.patterns.none();
     if (!unsub) {
       unsub =
-          make_pooled<SubscribeMessage>(sim_.pool(), p, /*subscribe=*/false);
+          make_pooled<SubscribeMessage>(pool_, p, /*subscribe=*/false);
     }
     send_overlay(s.neighbor, unsub);
   }
@@ -143,13 +146,13 @@ void Dispatcher::handle_link_add(NodeId neighbor) {
                           !table_.route_targets(p, neighbor).empty();
     if (!interest || sub_sent(p, neighbor)) continue;
     note_sub_sent(p, neighbor);
-    send_overlay(neighbor, make_pooled<SubscribeMessage>(sim_.pool(), p,
+    send_overlay(neighbor, make_pooled<SubscribeMessage>(pool_, p,
                                                          /*subscribe=*/true));
   }
 }
 
 void Dispatcher::handle_control(NodeId from, const SubscribeMessage& msg) {
-  HotpathProfiler::Scope scope(sim_.profiler(), HotPhase::Control);
+  HotpathProfiler::Scope scope(prof_, HotPhase::Control);
   const Pattern p = msg.pattern();
   if (msg.is_subscribe()) {
     table_.add_route(p, from);
@@ -159,7 +162,7 @@ void Dispatcher::handle_control(NodeId from, const SubscribeMessage& msg) {
       note_sub_sent(p, m);
       if (!sub) {
         sub =
-            make_pooled<SubscribeMessage>(sim_.pool(), p, /*subscribe=*/true);
+            make_pooled<SubscribeMessage>(pool_, p, /*subscribe=*/true);
       }
       send_overlay(m, sub);
     }
@@ -188,8 +191,8 @@ EventPtr Dispatcher::publish(const std::vector<Pattern>& content,
     patterns.push_back(PatternSeq{p, SeqNo{seq}});
   }
   auto event = make_pooled<EventData>(
-      sim_.pool(), EventId{id_, next_source_seq_++}, std::move(patterns),
-      payload_bytes, sim_.now());
+      pool_, EventId{id_, next_source_seq_++}, std::move(patterns),
+      payload_bytes, now());
   ++stats_.published;
 
   seen_.insert(event->id());
@@ -214,7 +217,7 @@ void Dispatcher::accept_event(const EventPtr& event,
 
 void Dispatcher::forward_event(const EventPtr& event, NodeId exclude,
                                const std::vector<NodeId>& route_so_far) {
-  HotpathProfiler::Scope scope(sim_.profiler(), HotPhase::Forward);
+  HotpathProfiler::Scope scope(prof_, HotPhase::Forward);
   std::vector<NodeId>& targets = forward_targets_scratch_;
   table_.route_targets_into(*event, exclude, targets);
   if (targets.empty()) return;
@@ -226,7 +229,7 @@ void Dispatcher::forward_event(const EventPtr& event, NodeId exclude,
   }
   // Every target receives the same (event, route): one pooled frame, shared.
   const MessagePtr frame =
-      make_pooled<EventMessage>(sim_.pool(), event, std::move(route));
+      make_pooled<EventMessage>(pool_, event, std::move(route));
   for (NodeId to : targets) {
     ++stats_.forwarded;
     send_overlay(to, frame);
@@ -234,7 +237,7 @@ void Dispatcher::forward_event(const EventPtr& event, NodeId exclude,
 }
 
 void Dispatcher::handle_event(NodeId from, const EventMessage& msg) {
-  HotpathProfiler::Scope scope(sim_.profiler(), HotPhase::Dispatch);
+  HotpathProfiler::Scope scope(prof_, HotPhase::Dispatch);
   const EventPtr& event = msg.event();
   if (!seen_.insert(event->id())) {
     ++stats_.duplicates;

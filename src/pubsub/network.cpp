@@ -9,11 +9,11 @@ namespace epicast {
 
 PubSubNetwork::PubSubNetwork(Simulator& sim, Transport& transport,
                              DispatcherConfig dispatcher_config)
-    : sim_(sim), transport_(transport) {
+    : sim_(sim), transport_(transport), runtime_(sim, &transport) {
   const std::uint32_t n = transport.topology().node_count();
   nodes_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    nodes_.push_back(std::make_unique<Dispatcher>(NodeId{i}, sim, transport,
+    nodes_.push_back(std::make_unique<Dispatcher>(NodeId{i}, runtime_,
                                                   dispatcher_config));
   }
 }

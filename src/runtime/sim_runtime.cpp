@@ -1,0 +1,73 @@
+#include "epicast/runtime/sim_runtime.hpp"
+
+#include <utility>
+
+#include "epicast/common/assert.hpp"
+#include "epicast/net/topology.hpp"
+#include "epicast/net/transport.hpp"
+
+namespace epicast::runtime {
+
+namespace {
+
+/// TimerHandle state over a scheduler EventHandle. The scheduler already
+/// implements {slot, generation} cancellation; this just carries the handle
+/// across the seam.
+struct SimTimerState final : TimerHandle::State {
+  EventHandle handle;
+  bool cancel() override { return handle.cancel(); }
+  [[nodiscard]] bool pending() const override { return handle.pending(); }
+};
+
+}  // namespace
+
+SimRuntime::SimRuntime(Simulator& sim, epicast::Transport* transport)
+    : sim_(sim) {
+  clock_.sim = &sim;
+  timers_.sim = &sim;
+  transport_.net = transport;
+}
+
+Transport& SimRuntime::transport() {
+  EPICAST_ASSERT_MSG(transport_.net != nullptr,
+                     "SimRuntime was built without a transport");
+  return transport_;
+}
+
+SimTime SimRuntime::SimClock::now() const { return sim->now(); }
+
+TimerHandle SimRuntime::SimTimers::after(Duration delay, Callback cb) {
+  auto state = std::make_shared<SimTimerState>();
+  state->handle = sim->after(delay, std::move(cb));
+  return TimerHandle(std::move(state));
+}
+
+void SimRuntime::SimTransport::attach(NodeId node,
+                                      TransportReceiver& receiver) {
+  net->attach(node, receiver);
+}
+
+void SimRuntime::SimTransport::send_overlay(NodeId from, NodeId to,
+                                            MessagePtr msg) {
+  net->send_overlay(from, to, std::move(msg));
+}
+
+void SimRuntime::SimTransport::send_direct(NodeId from, NodeId to,
+                                           MessagePtr msg) {
+  net->send_direct(from, to, std::move(msg));
+}
+
+std::span<const NodeId> SimRuntime::SimTransport::neighbors(
+    NodeId node) const {
+  return net->topology().neighbors(node);
+}
+
+bool SimRuntime::SimTransport::has_link(NodeId a, NodeId b) const {
+  return net->topology().has_link(a, b);
+}
+
+std::uint32_t SimRuntime::SimTransport::node_count() const {
+  return net->topology().node_count();
+}
+
+}  // namespace epicast::runtime

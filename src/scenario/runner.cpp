@@ -161,7 +161,10 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     rc.interval = *cfg.reconfiguration_interval;
     rc.repair_time = cfg.repair_time;
     rc.start_at = cfg.publish_start() + rc.interval;
-    churn_owner = std::make_unique<Reconfigurator>(sim, topology, rc);
+    // Same seam the dispatchers run on — the fork comes from the same root
+    // RNG at the same position, so runs stay bit-identical.
+    churn_owner =
+        std::make_unique<Reconfigurator>(network.runtime(), topology, rc);
     if (cfg.route_repair == ScenarioConfig::RouteRepair::Oracle) {
       churn_owner->set_repair_listener(
           [&network](const Reconfigurator::Repair&) {
