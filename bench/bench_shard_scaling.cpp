@@ -1,0 +1,134 @@
+// Shard-scaling benchmark: simulation throughput (sim events/sec) of one
+// scale scenario as the conservative parallel engine's shard count grows
+// through {1, 2, 4, 8}, at N = 10³ (and 10⁴ in full mode).
+//
+// Two numbers matter per cell:
+//   * events/sec — at shards=1 the serial scheduler runs and this is the
+//     committed-throughput gate CI enforces (the sharded rows are
+//     informational until window execution is actually threaded; today the
+//     engine executes the merged order on one thread, so shards > 1 only
+//     measures the synchronization overhead of lanes + mailboxes);
+//   * results_identical — every sharded row must reproduce the serial
+//     result_json byte-for-byte, the bit-identity contract the
+//     tests/parallel tier proves exhaustively.
+//
+// When the host has fewer cores than a row's shard count the JSON notes it
+// (`host_oversubscribed`), so dashboards do not read noise as regression.
+//
+// Emits BENCH_parallel.json (override with EPICAST_BENCH_JSON /
+// --json=PATH).
+#include "bench_common.hpp"
+
+#include <cinttypes>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "epicast/metrics/result_json.hpp"
+
+namespace {
+
+using namespace epicast;
+using namespace epicast::bench;
+
+struct Cell {
+  std::uint32_t nodes = 0;
+  std::uint32_t shards = 0;
+  bool identical = true;
+  ScenarioResult result;
+
+  [[nodiscard]] double events_per_sec() const {
+    return result.wall_seconds > 0.0
+               ? static_cast<double>(result.sim_events_executed) /
+                     result.wall_seconds
+               : 0.0;
+  }
+};
+
+ScenarioConfig scenario(std::uint32_t nodes) {
+  ScenarioConfig cfg = figures::scale(Algorithm::CombinedPull,
+                                      OverlayKind::RandomRegular, nodes,
+                                      measure_s(4.0));
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  init(argc, argv);
+
+  print_header("shard scaling", "sim events/sec vs --shards");
+
+  const unsigned host_cores = std::thread::hardware_concurrency();
+  std::vector<std::uint32_t> sizes = {1000};
+  if (!fast_mode()) sizes.push_back(10000);
+  const std::uint32_t shard_counts[] = {1, 2, 4, 8};
+
+  std::vector<Cell> cells;
+  for (const std::uint32_t nodes : sizes) {
+    std::string serial_json;
+    for (const std::uint32_t shards : shard_counts) {
+      std::fprintf(stderr, "N=%u shards=%u...\n", nodes, shards);
+      ScenarioConfig cfg = scenario(nodes);
+      cfg.shards = shards;
+      Cell cell;
+      cell.nodes = nodes;
+      cell.shards = shards;
+      cell.result = run_scenario(cfg);
+      const std::string json = metrics::result_json(cell.result);
+      if (shards == 1) {
+        serial_json = json;
+      } else {
+        cell.identical = json == serial_json;
+      }
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  std::printf("\n%8s %8s %14s %12s %10s\n", "nodes", "shards", "sim events",
+              "events/sec", "identical");
+  bool all_identical = true;
+  for (const Cell& c : cells) {
+    all_identical = all_identical && c.identical;
+    std::printf("%8u %8u %14" PRIu64 " %12.0f %10s\n", c.nodes, c.shards,
+                c.result.sim_events_executed, c.events_per_sec(),
+                c.shards == 1 ? "-" : (c.identical ? "yes" : "NO"));
+  }
+
+  const std::string json_path = BenchEnv::get().json_path.empty()
+                                    ? std::string("BENCH_parallel.json")
+                                    : BenchEnv::get().json_path;
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"host_cores\": %u,\n"
+                 "  \"fast_mode\": %s,\n"
+                 "  \"cells\": [\n",
+                 host_cores, fast_mode() ? "true" : "false");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      std::fprintf(
+          f,
+          "    {\"nodes\": %u, \"shards\": %u, \"sim_events\": %" PRIu64
+          ", \"wall_seconds\": %.6f, \"events_per_sec\": %.0f, "
+          "\"results_identical\": %s, \"host_oversubscribed\": %s}%s\n",
+          c.nodes, c.shards, c.result.sim_events_executed,
+          c.result.wall_seconds, c.events_per_sec(),
+          c.identical ? "true" : "false",
+          (host_cores != 0 && c.shards > host_cores) ? "true" : "false",
+          i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+
+  print_note(
+      "the shards=1 row is the serial scheduler and the only CI throughput "
+      "gate; sharded rows measure lane/mailbox overhead (window execution "
+      "is single-threaded for now) and must stay bit-identical.");
+  return all_identical ? 0 : 2;
+}

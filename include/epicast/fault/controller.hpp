@@ -34,7 +34,7 @@
 #include "epicast/fault/plan.hpp"
 #include "epicast/net/transport.hpp"
 #include "epicast/pubsub/network.hpp"
-#include "epicast/sim/simulator.hpp"
+#include "epicast/runtime/runtime.hpp"
 
 namespace epicast::fault {
 
@@ -49,8 +49,12 @@ class FaultController {
  public:
   /// Validates the plan, forks the per-process RNG streams, and installs
   /// the crash/burst fault filter. References must outlive the controller.
-  FaultController(Simulator& sim, Transport& transport, PubSubNetwork& network,
-                  FaultPlan plan, FaultControllerConfig config);
+  /// Scheduling and forks go through the runtime seam, so the controller
+  /// runs unchanged on the serial simulator and the sharded engine's
+  /// master lane.
+  FaultController(runtime::Runtime& rt, Transport& transport,
+                  PubSubNetwork& network, FaultPlan plan,
+                  FaultControllerConfig config);
 
   FaultController(const FaultController&) = delete;
   FaultController& operator=(const FaultController&) = delete;
@@ -85,7 +89,7 @@ class FaultController {
   struct ChurnState {
     ChurnSpec spec;
     Rng rng;
-    PeriodicTimer timer;
+    runtime::PeriodicTimer timer;
   };
   struct BurstState {
     BurstSpec spec;
@@ -106,10 +110,13 @@ class FaultController {
   void apply_partition(PartitionState& partition);
   void heal_partition(PartitionState& partition);
   void note_heal() {
-    if (last_heal_ < sim_.now()) last_heal_ = sim_.now();
+    if (last_heal_ < rt_.now()) last_heal_ = rt_.now();
   }
+  /// Absolute → relative scheduling across the seam (TimerService only has
+  /// after()); exact in integer nanoseconds, clamped for past targets.
+  void at_time(SimTime at, runtime::TimerService::Callback cb);
 
-  Simulator& sim_;
+  runtime::Runtime& rt_;
   Transport& transport_;
   PubSubNetwork& network_;
   FaultPlan plan_;

@@ -75,6 +75,17 @@ class Transport {
     faults_.push_back(std::move(filter));
   }
 
+  /// Reroutes delivery events. By default an arrival is scheduled on the
+  /// simulator heap; the sharded engine installs a router that sends it
+  /// through the cross-shard mailbox grid instead. The loss draws, delay
+  /// computation, and observer callbacks are unaffected — only where the
+  /// delivery callback waits changes.
+  using ArrivalRouter =
+      std::function<void(NodeId to, Duration delay, Scheduler::Callback cb)>;
+  void set_arrival_router(ArrivalRouter router) {
+    router_ = std::move(router);
+  }
+
   /// Sends over the overlay link (from → to). If the link does not exist
   /// the message is dropped (stale-route drop).
   void send_overlay(NodeId from, NodeId to, MessagePtr msg);
@@ -102,6 +113,7 @@ class Transport {
   std::vector<TransportReceiver*> receivers_;
   std::vector<TransportObserver*> observers_;
   std::vector<FaultFilter> faults_;
+  ArrivalRouter router_;
 };
 
 }  // namespace epicast

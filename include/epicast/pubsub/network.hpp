@@ -12,6 +12,7 @@
 //    rebuild produce identical state.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -33,8 +34,21 @@ class PubSubNetwork {
   PubSubNetwork(Simulator& sim, Transport& transport,
                 DispatcherConfig dispatcher_config);
 
+  /// Picks the runtime a given node's dispatcher runs on — the sharded
+  /// engine maps each node to its shard-lane ShardRuntime. Returned
+  /// references must outlive this network.
+  using RuntimeProvider = std::function<runtime::Runtime&(NodeId)>;
+
+  /// As above, but each dispatcher runs on `per_node(its id)` instead of
+  /// the shared SimRuntime. Dispatchers are still constructed in node
+  /// order, so RNG fork order is unchanged.
+  PubSubNetwork(Simulator& sim, Transport& transport,
+                DispatcherConfig dispatcher_config,
+                const RuntimeProvider& per_node);
+
   /// The runtime seam the dispatchers run on (for wiring more components,
-  /// e.g. the Reconfigurator, onto the same seam).
+  /// e.g. the Reconfigurator, onto the same seam). With a RuntimeProvider
+  /// this SimRuntime exists but is unused by the dispatchers.
   [[nodiscard]] runtime::SimRuntime& runtime() { return runtime_; }
 
   PubSubNetwork(const PubSubNetwork&) = delete;

@@ -1,0 +1,81 @@
+// epicast — the sharded-engine backend of the runtime seam.
+//
+// One ShardRuntime per lane (K shard lanes for the dispatchers, one master
+// lane for scenario-level components). Timers land on the lane's own heap,
+// the clock reads the engine's global clock (kept in lockstep with the
+// master Simulator), RNG forks delegate to the master Simulator so the
+// fork order — the determinism-critical order — is identical to the serial
+// run, and each shard lane owns its MessagePool so allocation stays
+// shard-local. Transport calls pass straight through to the simulated
+// net::Transport, whose arrival router feeds the engine's mailboxes.
+#pragma once
+
+#include <memory>
+
+#include "epicast/runtime/runtime.hpp"
+#include "epicast/sim/shard_engine.hpp"
+#include "epicast/sim/simulator.hpp"
+
+namespace epicast {
+class Transport;  // net/transport.hpp
+}  // namespace epicast
+
+namespace epicast::runtime {
+
+class ShardRuntime final : public Runtime {
+ public:
+  /// Keeps references to `engine`, `sim`, and `transport`; all must outlive
+  /// this runtime. `own_pool` gives the lane its own MessagePool (shard
+  /// lanes); the master lane shares the Simulator's pool.
+  ShardRuntime(ShardEngine& engine, std::uint32_t lane, Simulator& sim,
+               epicast::Transport* transport, bool own_pool);
+
+  ShardRuntime(const ShardRuntime&) = delete;
+  ShardRuntime& operator=(const ShardRuntime&) = delete;
+
+  [[nodiscard]] Clock& clock() override { return clock_; }
+  [[nodiscard]] const Clock& clock() const override { return clock_; }
+  [[nodiscard]] TimerService& timers() override { return timers_; }
+  [[nodiscard]] Transport& transport() override;
+  Rng fork_rng() override { return sim_.fork_rng(); }
+  [[nodiscard]] MessagePool& pool() override {
+    return pool_ != nullptr ? *pool_ : sim_.pool();
+  }
+  [[nodiscard]] HotpathProfiler& profiler() override {
+    return sim_.profiler();
+  }
+
+  [[nodiscard]] std::uint32_t lane() const { return lane_; }
+
+ private:
+  struct ShardClock final : Clock {
+    ShardEngine* engine = nullptr;
+    [[nodiscard]] SimTime now() const override;
+  };
+
+  struct ShardTimers final : TimerService {
+    ShardEngine* engine = nullptr;
+    std::uint32_t lane = 0;
+    TimerHandle after(Duration delay, Callback cb) override;
+  };
+
+  struct NetTransport final : Transport {
+    epicast::Transport* net = nullptr;
+    void attach(NodeId node, TransportReceiver& receiver) override;
+    void send_overlay(NodeId from, NodeId to, MessagePtr msg) override;
+    void send_direct(NodeId from, NodeId to, MessagePtr msg) override;
+    [[nodiscard]] std::span<const NodeId> neighbors(
+        NodeId node) const override;
+    [[nodiscard]] bool has_link(NodeId a, NodeId b) const override;
+    [[nodiscard]] std::uint32_t node_count() const override;
+  };
+
+  Simulator& sim_;
+  std::uint32_t lane_;
+  std::unique_ptr<MessagePool> pool_;  // shard-local pool, if owned
+  ShardClock clock_;
+  ShardTimers timers_;
+  NetTransport transport_;
+};
+
+}  // namespace epicast::runtime

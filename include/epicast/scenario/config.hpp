@@ -128,6 +128,16 @@ struct ScenarioConfig {
   /// True iff EPICAST_PROFILE is set to a truthy value ("1", "on").
   [[nodiscard]] static bool profile_default_enabled();
 
+  /// Shard count of the conservative parallel engine (`--shards`). 1 (the
+  /// default) runs the serial scheduler; K > 1 partitions the nodes into K
+  /// contiguous blocks driven through per-shard heaps with cross-shard
+  /// mailboxes. Results are bit-identical either way (the tests/parallel
+  /// tier proves it). Defaults from EPICAST_SHARDS.
+  std::uint32_t shards = shards_default();
+
+  /// EPICAST_SHARDS as a shard count; 1 when unset or invalid.
+  [[nodiscard]] static std::uint32_t shards_default();
+
   // -- link details -------------------------------------------------------------
   double link_bandwidth_bps = 10e6;         ///< 10 Mbit/s Ethernet (§IV-A)
   Duration link_propagation = Duration::micros(50);

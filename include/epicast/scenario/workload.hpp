@@ -49,6 +49,15 @@ class Workload {
   /// Starts every dispatcher's Poisson publishing at `at`, until `until`.
   void start_publishing(SimTime at, SimTime until);
 
+  /// Reroutes publish events to a per-node scheduler — the sharded engine
+  /// places each publisher's events on its owning shard lane. The default
+  /// schedules on the simulator heap. Set before start_publishing.
+  using NodeScheduler =
+      std::function<void(NodeId, SimTime, Scheduler::Callback)>;
+  void set_node_scheduler(NodeScheduler sched) {
+    node_sched_ = std::move(sched);
+  }
+
   [[nodiscard]] std::uint64_t events_published() const { return published_; }
 
   /// The patterns node `n` was subscribed to (valid after
@@ -57,6 +66,7 @@ class Workload {
 
  private:
   void schedule_next_publish(NodeId node, SimTime until);
+  void schedule_node(NodeId node, SimTime at, Scheduler::Callback cb);
   /// `k` distinct patterns via the configured popularity law: uniform
   /// (exactly the PatternUniverse draws) unless zipf_exponent > 0.
   [[nodiscard]] std::vector<Pattern> draw_patterns(std::uint32_t k, Rng& rng);
@@ -71,6 +81,7 @@ class Workload {
   std::vector<Rng> node_rngs_;  // one stream per publisher
   std::vector<std::vector<Pattern>> subscriptions_;
   PublishListener on_publish_;
+  NodeScheduler node_sched_;
   std::uint64_t published_ = 0;
 
   /// CDF of the Zipf pattern-popularity law (empty when uniform).

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "epicast/common/assert.hpp"
 #include "epicast/sim/callback.hpp"
 #include "epicast/sim/time.hpp"
 
@@ -70,6 +71,32 @@ class Scheduler {
   /// Schedules `cb` after `delay` from now. Precondition: delay >= 0.
   EventHandle schedule_after(Duration delay, Callback cb);
 
+  // -- sharded-engine hooks (sim/shard_engine.hpp) ---------------------------
+  // The conservative engine splits one scenario across several of these
+  // heaps. Equal-time ordering must stay global, so all lanes draw their
+  // tie-break sequences from one shared counter, and the engine pumps events
+  // itself (peek/take_front) instead of through step().
+
+  /// Draw tie-break sequences from `counter` instead of the internal one.
+  /// Set once, before anything is scheduled.
+  void use_external_seq(std::uint64_t* counter) {
+    EPICAST_ASSERT(heap_.empty() && next_seq_ == 0);
+    external_seq_ = counter;
+  }
+
+  /// Schedules `cb` with a caller-assigned tie-break sequence (mailbox
+  /// drains re-inserting entries stamped at send time). `seq` must be unique
+  /// across all heaps sharing the counter.
+  EventHandle schedule_at_seq(SimTime at, std::uint64_t seq, Callback cb);
+
+  /// Key of the earliest live entry (lazily discarding cancelled ones), or
+  /// false when the heap is empty.
+  bool peek(SimTime& at, std::uint64_t& seq);
+
+  /// Pops the earliest live entry, advances now() to it, and returns its
+  /// callback without invoking it. Precondition: peek() just returned true.
+  Callback take_front();
+
   /// Runs the earliest pending event. Returns false when the queue is empty
   /// (cancelled entries are skipped transparently).
   bool step();
@@ -115,6 +142,9 @@ class Scheduler {
   void heap_push(HeapEntry e);
   void heap_pop_front();
 
+  /// Shared tail of schedule_at / schedule_at_seq: slot + heap insertion.
+  EventHandle insert_entry(SimTime at, std::uint64_t seq, Callback cb);
+
   [[nodiscard]] bool entry_live(const HeapEntry& e) const {
     return slots_[e.slot].live_seq == e.seq;
   }
@@ -131,6 +161,7 @@ class Scheduler {
   std::vector<std::uint32_t> free_slots_;
   SimTime now_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t* external_seq_ = nullptr;  // shared tie-break counter, if any
   std::uint64_t executed_ = 0;
 };
 

@@ -1,0 +1,153 @@
+// epicast — sharded conservative discrete-event engine.
+//
+// Partitions one scenario's nodes into K shards, each a logical process
+// with its own 4-ary slab heap (a lane), plus one master lane for
+// scenario-level events (workload publishes, fault plans, snapshots).
+// Cross-shard traffic — transport arrivals — travels through per-pair
+// mailboxes stamped with the delivery time, and lanes only advance inside
+// bounded lookahead windows, the classic conservative (bounded-lag /
+// time-window) synchronization scheme.
+//
+// The lookahead L comes from the link model: every overlay hop costs at
+// least the propagation delay and every direct-channel message at least
+// direct_latency_min, so an event executing at time t can only produce
+// arrivals at >= t + L. Within a window [w, w+L) the engine executes the
+// globally minimal (time, seq) event across all lanes, where every lane
+// draws its tie-break seq from ONE shared counter. Execution order is
+// therefore exactly the serial engine's order — same RNG draws on shared
+// streams, same observer callbacks, same stats — which is what makes
+// results bit-identical to the serial scheduler by construction, for every
+// seed and shard count. The equivalence tier (tests/parallel) proves it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "epicast/common/ids.hpp"
+#include "epicast/sim/scheduler.hpp"
+#include "epicast/sim/simulator.hpp"
+#include "epicast/sim/time.hpp"
+
+namespace epicast {
+
+/// Handle to a not-yet-drained mailbox entry; allows cross-shard
+/// cancellation. Cancelling after the barrier drain has moved the entry
+/// into the destination lane's heap is a no-op (returns false) — cancel
+/// the lane EventHandle instead for post-drain control.
+struct MailRef {
+  static constexpr std::uint32_t kInvalid = ~std::uint32_t{0};
+  std::uint32_t pair = kInvalid;  ///< mailbox index (from_lane, to_lane)
+  std::uint32_t index = 0;        ///< entry index within the mailbox
+  std::uint64_t epoch = 0;        ///< drain epoch the entry belongs to
+};
+
+class ShardEngine {
+ public:
+  using Callback = Scheduler::Callback;
+
+  struct Stats {
+    std::uint64_t windows = 0;         ///< lookahead windows opened
+    std::uint64_t mailbox_posted = 0;  ///< arrivals routed through mailboxes
+    std::uint64_t cross_posted = 0;    ///< ... of which crossed a shard
+    std::uint64_t drained = 0;         ///< entries moved into lane heaps
+    std::uint64_t cancelled = 0;       ///< entries cancelled pre-drain
+  };
+
+  /// `sim` is the master simulator: its clock is advanced in lockstep with
+  /// the engine (so components reading sim.now() see the executing event's
+  /// time) but its own heap must stay empty — all scheduling goes through
+  /// the engine. `lookahead` must be positive; use compute_lookahead().
+  ShardEngine(Simulator& sim, std::uint32_t nodes, std::uint32_t shards,
+              Duration lookahead);
+
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
+
+  /// Largest window the link model allows: an event at t can only cause
+  /// arrivals at >= t + min(overlay propagation, direct latency minimum).
+  /// The direct bound backs off 1ns because the uniform latency draw is
+  /// rounded to the nearest nanosecond, which may land half a nanosecond
+  /// below the configured minimum. Non-positive result means the model
+  /// gives no lookahead and the caller must fall back to the serial path.
+  static Duration compute_lookahead(Duration link_propagation,
+                                    Duration direct_latency_min);
+
+  [[nodiscard]] std::uint32_t shard_count() const { return shards_; }
+  [[nodiscard]] std::uint32_t master_lane() const { return shards_; }
+  [[nodiscard]] std::uint32_t lane_of(NodeId node) const {
+    EPICAST_ASSERT(node.value() < nodes_);
+    return static_cast<std::uint32_t>(node.value()) / block_;
+  }
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] Duration lookahead() const { return lookahead_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Total events executed across all lanes (matches the serial
+  /// scheduler's executed() count for the same scenario).
+  [[nodiscard]] std::uint64_t executed() const;
+
+  /// Schedules onto an explicit lane's heap (timers, shard-local work).
+  EventHandle schedule_lane(std::uint32_t lane, SimTime at, Callback cb);
+
+  /// Schedules onto the owning shard of `node`.
+  EventHandle schedule_node_at(NodeId node, SimTime at, Callback cb) {
+    return schedule_lane(lane_of(node), at, std::move(cb));
+  }
+
+  /// Schedules scenario-level work on the master lane.
+  EventHandle schedule_master_at(SimTime at, Callback cb) {
+    return schedule_lane(master_lane(), at, std::move(cb));
+  }
+
+  /// Routes a transport arrival for `node` through the mailbox grid.
+  /// Stamped (now + delay, seq) at post time; inserted into the owning
+  /// lane's heap at the next window barrier. While a window is open this
+  /// asserts the conservative invariant delay >= lookahead.
+  MailRef schedule_arrival(NodeId node, Duration delay, Callback cb);
+
+  /// Cancels a mailbox entry that has not been drained yet. Returns true
+  /// iff this call removed it.
+  bool cancel(const MailRef& ref);
+
+  /// Runs windows until no event at or before `deadline` remains;
+  /// afterwards now() == deadline on the engine and the master simulator.
+  void run_until(SimTime deadline);
+
+ private:
+  struct MailEntry {
+    SimTime at;
+    std::uint64_t seq;
+    Callback cb;
+    bool cancelled = false;
+  };
+  struct Mailbox {
+    std::vector<MailEntry> entries;
+    std::uint64_t drain_epoch = 0;
+  };
+
+  [[nodiscard]] std::uint32_t lane_count() const { return shards_ + 1; }
+  [[nodiscard]] Mailbox& mailbox(std::uint32_t from, std::uint32_t to) {
+    return mail_[from * lane_count() + to];
+  }
+  void drain_mailboxes();
+  /// Earliest live (at, seq) across every lane heap; false when all empty.
+  bool global_min(SimTime& at, std::uint64_t& seq, std::uint32_t& lane);
+
+  Simulator& sim_;
+  std::uint32_t nodes_;
+  std::uint32_t shards_;
+  std::uint32_t block_;  // nodes per shard (ceil)
+  Duration lookahead_;
+  std::vector<std::unique_ptr<Scheduler>> lanes_;  // [0..K) shards, [K] master
+  std::vector<Mailbox> mail_;                      // (K+1)² pair grid
+  std::uint64_t next_seq_ = 0;  // shared tie-break counter for all lanes
+  SimTime now_;
+  std::uint32_t current_lane_;  // lane of the executing event (posts charge it)
+  bool in_window_ = false;
+  SimTime window_end_;
+  Stats stats_;
+};
+
+}  // namespace epicast

@@ -14,10 +14,10 @@ std::uint64_t directed_key(NodeId from, NodeId to) {
 
 }  // namespace
 
-FaultController::FaultController(Simulator& sim, Transport& transport,
+FaultController::FaultController(runtime::Runtime& rt, Transport& transport,
                                  PubSubNetwork& network, FaultPlan plan,
                                  FaultControllerConfig config)
-    : sim_(sim),
+    : rt_(rt),
       transport_(transport),
       network_(network),
       plan_(std::move(plan)),
@@ -28,15 +28,15 @@ FaultController::FaultController(Simulator& sim, Transport& transport,
   // process consumes is independent of what the other processes do.
   churns_.reserve(plan_.churns.size());
   for (const ChurnSpec& c : plan_.churns) {
-    churns_.push_back(ChurnState{c, sim_.fork_rng(), PeriodicTimer{}});
+    churns_.push_back(ChurnState{c, rt_.fork_rng(), runtime::PeriodicTimer{}});
   }
   bursts_.reserve(plan_.bursts.size());
   for (const BurstSpec& b : plan_.bursts) {
-    bursts_.push_back(BurstState{b, sim_.fork_rng(), {}, false});
+    bursts_.push_back(BurstState{b, rt_.fork_rng(), {}, false});
   }
   partitions_.reserve(plan_.partitions.size());
   for (const PartitionSpec& p : plan_.partitions) {
-    partitions_.push_back(PartitionState{p, sim_.fork_rng(), {}});
+    partitions_.push_back(PartitionState{p, rt_.fork_rng(), {}});
   }
   transport_.add_fault_filter(
       [this](NodeId from, NodeId to, const Message& msg, bool overlay) {
@@ -71,52 +71,58 @@ bool FaultController::allow(NodeId from, NodeId to, const Message& msg,
   return true;
 }
 
+void FaultController::at_time(SimTime at, runtime::TimerService::Callback cb) {
+  Duration delay = at - rt_.now();
+  if (delay.is_negative()) delay = Duration::zero();
+  rt_.after(delay, std::move(cb));
+}
+
 void FaultController::start() {
   for (ChurnState& c : churns_) {
     // First crash one period after the window opens.
     Duration first = (config_.plan_origin + c.spec.start + c.spec.period) -
-                     sim_.now();
+                     rt_.now();
     if (first.is_negative()) first = Duration::zero();
-    c.timer = sim_.every(first, c.spec.period,
-                         [this, &c]() { churn_tick(c); });
+    c.timer = rt_.every(first, c.spec.period,
+                        [this, &c]() { churn_tick(c); });
   }
   for (BurstState& b : bursts_) {
-    sim_.at(config_.plan_origin + b.spec.start, [this, &b]() {
+    at_time(config_.plan_origin + b.spec.start, [this, &b]() {
       b.active = true;
       // Reopening windows start from the Good state; reset consumes no
       // randomness.
       for (auto& [key, channel] : b.channels) channel.reset();
     });
     if (b.spec.stop.has_value()) {
-      sim_.at(config_.plan_origin + *b.spec.stop, [this, &b]() {
+      at_time(config_.plan_origin + *b.spec.stop, [this, &b]() {
         b.active = false;
         note_heal();
       });
     }
   }
   for (const SlowSpec& s : plan_.slows) {
-    sim_.at(config_.plan_origin + s.start, [this, factor = s.factor]() {
+    at_time(config_.plan_origin + s.start, [this, factor = s.factor]() {
       transport_.link_model().set_bandwidth_scale(factor);
       ++stats_.slow_windows;
     });
     if (s.stop.has_value()) {
-      sim_.at(config_.plan_origin + *s.stop, [this]() {
+      at_time(config_.plan_origin + *s.stop, [this]() {
         transport_.link_model().set_bandwidth_scale(1.0);
         note_heal();
       });
     }
   }
   for (PartitionState& p : partitions_) {
-    sim_.at(config_.plan_origin + p.spec.at,
+    at_time(config_.plan_origin + p.spec.at,
             [this, &p]() { apply_partition(p); });
-    sim_.at(config_.plan_origin + p.spec.heal,
+    at_time(config_.plan_origin + p.spec.heal,
             [this, &p]() { heal_partition(p); });
   }
 }
 
 void FaultController::churn_tick(ChurnState& churn) {
   if (churn.spec.stop.has_value() &&
-      sim_.now() > config_.plan_origin + *churn.spec.stop) {
+      rt_.now() > config_.plan_origin + *churn.spec.stop) {
     churn.timer.stop();
     return;
   }
@@ -135,9 +141,9 @@ void FaultController::crash(NodeId victim, const ChurnSpec& spec) {
   crashed_[victim.value()] = 1;
   ++stats_.crashes;
   EPICAST_DEBUG("fault: node " << victim.value() << " crashed at "
-                               << to_string(sim_.now()));
+                               << to_string(rt_.now()));
   if (RecoveryProtocol* r = network_.node(victim).recovery()) r->stop();
-  sim_.after(spec.downtime, [this, victim, policy = spec.policy]() {
+  rt_.after(spec.downtime, [this, victim, policy = spec.policy]() {
     restart(victim, policy);
   });
 }
@@ -149,7 +155,7 @@ void FaultController::restart(NodeId node, RestartPolicy policy) {
   if (policy == RestartPolicy::Cold) ++stats_.cold_restarts;
   EPICAST_DEBUG("fault: node " << node.value() << " restarted ("
                                << to_string(policy) << ") at "
-                               << to_string(sim_.now()));
+                               << to_string(rt_.now()));
   if (RecoveryProtocol* r = network_.node(node).recovery()) {
     r->on_restart(policy);
     r->start();
@@ -169,7 +175,7 @@ void FaultController::apply_partition(PartitionState& partition) {
     ++stats_.partitions_applied;
     EPICAST_DEBUG("fault: partition removed link "
                   << victim.a.value() << "-" << victim.b.value() << " at "
-                  << to_string(sim_.now()));
+                  << to_string(rt_.now()));
   }
 }
 

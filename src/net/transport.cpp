@@ -78,15 +78,21 @@ void Transport::send_overlay(NodeId from, NodeId to, MessagePtr msg) {
   // The topology version guards in-flight messages: if the link breaks (or
   // is replaced) while the message is on the wire, it never arrives.
   const std::uint64_t version = topology_.version();
-  sim_.after(tx.delay, [this, from, to, msg = std::move(msg), version]() {
-    if (topology_.version() != version && !topology_.has_link(from, to)) {
-      for (TransportObserver* o : observers_) {
-        o->on_drop_no_link(from, to, *msg);
-      }
-      return;
-    }
-    receiver_for(to).on_overlay_message(from, msg);
-  });
+  Scheduler::Callback deliver =
+      [this, from, to, msg = std::move(msg), version]() {
+        if (topology_.version() != version && !topology_.has_link(from, to)) {
+          for (TransportObserver* o : observers_) {
+            o->on_drop_no_link(from, to, *msg);
+          }
+          return;
+        }
+        receiver_for(to).on_overlay_message(from, msg);
+      };
+  if (router_) {
+    router_(to, tx.delay, std::move(deliver));
+  } else {
+    sim_.after(tx.delay, std::move(deliver));
+  }
 }
 
 void Transport::send_direct(NodeId from, NodeId to, MessagePtr msg) {
@@ -111,9 +117,14 @@ void Transport::send_direct(NodeId from, NodeId to, MessagePtr msg) {
   const Duration latency = Duration::seconds(
       direct_rng_.uniform(config_.direct_latency_min.to_seconds(),
                           config_.direct_latency_max.to_seconds()));
-  sim_.after(latency, [this, from, to, msg = std::move(msg)]() {
+  Scheduler::Callback deliver = [this, from, to, msg = std::move(msg)]() {
     receiver_for(to).on_direct_message(from, msg);
-  });
+  };
+  if (router_) {
+    router_(to, latency, std::move(deliver));
+  } else {
+    sim_.after(latency, std::move(deliver));
+  }
 }
 
 }  // namespace epicast

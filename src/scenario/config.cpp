@@ -41,6 +41,7 @@ void ScenarioConfig::validate() const {
   EPICAST_ASSERT(gossip.buffer_size > 0);
   EPICAST_ASSERT(gossip.request_timeout >= Duration::zero());
   EPICAST_ASSERT(gossip.request_backoff >= 1.0);
+  EPICAST_ASSERT_MSG(shards >= 1, "shard count must be at least 1");
   faults.validate();
 }
 
@@ -92,11 +93,26 @@ std::string ScenarioConfig::describe() const {
      << "recovery horizon [s]             " << recovery_horizon.to_seconds()
      << '\n'
      << "seed                             " << seed << '\n';
+  if (shards > 1) {
+    os << "shards                           " << shards << '\n';
+  }
   return os.str();
 }
 
 bool ScenarioConfig::oracle_default_enabled() {
   return oracle::oracles_enabled_by_default();
+}
+
+std::uint32_t ScenarioConfig::shards_default() {
+  static const std::uint32_t shards = []() -> std::uint32_t {
+    const char* env = std::getenv("EPICAST_SHARDS");
+    if (env == nullptr || *env == '\0') return 1;
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0' || v < 1 || v > 4096) return 1;
+    return static_cast<std::uint32_t>(v);
+  }();
+  return shards;
 }
 
 bool ScenarioConfig::profile_default_enabled() {

@@ -12,7 +12,9 @@
 #include "epicast/net/topology.hpp"
 #include "epicast/net/transport.hpp"
 #include "epicast/pubsub/network.hpp"
+#include "epicast/runtime/shard_runtime.hpp"
 #include "epicast/scenario/workload.hpp"
+#include "epicast/sim/shard_engine.hpp"
 #include "epicast/sim/simulator.hpp"
 
 namespace epicast {
@@ -86,10 +88,56 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   MessageStats stats(cfg.nodes, cfg.sizing_mode);
   transport.add_observer(stats);
 
+  // Sharded conservative engine (--shards/EPICAST_SHARDS). The engine forks
+  // no RNG streams and, because every lane draws its tie-break sequence
+  // from one shared counter, executes events in exactly the serial order —
+  // results are bit-identical for every shard count (the tests/parallel
+  // tier proves it). A link model without positive lookahead, or fewer
+  // nodes than shards, silently falls back to the serial scheduler.
+  const Duration lookahead = ShardEngine::compute_lookahead(
+      cfg.link_propagation, cfg.direct_latency_min);
+  std::uint32_t shards_eff = std::min(cfg.shards, cfg.nodes);
+  if (lookahead <= Duration::zero()) shards_eff = 1;
+  std::unique_ptr<ShardEngine> engine;
+  std::vector<std::unique_ptr<runtime::ShardRuntime>> lane_rts;
+  std::unique_ptr<runtime::ShardRuntime> master_rt;
+  if (shards_eff > 1) {
+    engine =
+        std::make_unique<ShardEngine>(sim, cfg.nodes, shards_eff, lookahead);
+    transport.set_arrival_router(
+        [e = engine.get()](NodeId to, Duration delay, Scheduler::Callback cb) {
+          e->schedule_arrival(to, delay, std::move(cb));
+        });
+    lane_rts.reserve(shards_eff);
+    for (std::uint32_t s = 0; s < shards_eff; ++s) {
+      lane_rts.push_back(std::make_unique<runtime::ShardRuntime>(
+          *engine, s, sim, &transport, /*own_pool=*/true));
+    }
+    master_rt = std::make_unique<runtime::ShardRuntime>(
+        *engine, engine->master_lane(), sim, &transport, /*own_pool=*/false);
+  }
+  const auto run_to = [&](SimTime t) {
+    if (engine) {
+      engine->run_until(t);
+    } else {
+      sim.run_until(t);
+    }
+  };
+
   DispatcherConfig dc;
   dc.default_payload_bytes = cfg.event_payload_bytes;
   dc.record_routes = algorithm_needs_routes(cfg.algorithm);
-  PubSubNetwork network(sim, transport, dc);
+  // Dispatchers live on their shard lane's runtime when the engine is on
+  // (declared after lane_rts so they are destroyed before the shard pools).
+  auto network_ptr =
+      engine ? std::make_unique<PubSubNetwork>(
+                   sim, transport, dc,
+                   PubSubNetwork::RuntimeProvider(
+                       [&](NodeId n) -> runtime::Runtime& {
+                         return *lane_rts[engine->lane_of(n)];
+                       }))
+             : std::make_unique<PubSubNetwork>(sim, transport, dc);
+  PubSubNetwork& network = *network_ptr;
 
   // Conformance oracles: pure observers (no sim events, no RNG draws), so
   // enabling them leaves the run bit-identical. EPICAST_ORACLES=OFF builds
@@ -106,6 +154,12 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
 #endif
 
   Workload workload(sim, network, cfg);
+  if (engine) {
+    workload.set_node_scheduler(
+        [e = engine.get()](NodeId node, SimTime at, Scheduler::Callback cb) {
+          e->schedule_node_at(node, at, std::move(cb));
+        });
+  }
 
   // Phase 1: subscriptions become routing state. Flood bootstrap simulates
   // the §II forwarding floods and verifies them against the global oracle;
@@ -115,9 +169,9 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   workload.issue_subscriptions();
   if (cfg.bootstrap == ScenarioConfig::SubscriptionBootstrap::Oracle) {
     network.rebuild_routes();
-    sim.run_until(cfg.publish_start());
+    run_to(cfg.publish_start());
   } else {
-    sim.run_until(cfg.publish_start());
+    run_to(cfg.publish_start());
     EPICAST_ASSERT_MSG(network.routes_consistent(),
                        "subscription forwarding left inconsistent routes");
   }
@@ -151,6 +205,14 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   const double mean_distance =
       topology.mean_pairwise_distance(cfg.nodes > 10000 ? 256 : 0);
 
+  // Scenario-level components (Reconfigurator, FaultController) run on the
+  // engine's master lane when sharding; serially they keep the network's
+  // SimRuntime. Either way forks come from the same root RNG at the same
+  // positions, so runs stay bit-identical.
+  runtime::Runtime& proto_rt =
+      engine ? static_cast<runtime::Runtime&>(*master_rt)
+             : static_cast<runtime::Runtime&>(network.runtime());
+
   Reconfigurator* churn = nullptr;
   std::unique_ptr<Reconfigurator> churn_owner;
   if (cfg.route_repair == ScenarioConfig::RouteRepair::Protocol) {
@@ -161,10 +223,7 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     rc.interval = *cfg.reconfiguration_interval;
     rc.repair_time = cfg.repair_time;
     rc.start_at = cfg.publish_start() + rc.interval;
-    // Same seam the dispatchers run on — the fork comes from the same root
-    // RNG at the same position, so runs stay bit-identical.
-    churn_owner =
-        std::make_unique<Reconfigurator>(network.runtime(), topology, rc);
+    churn_owner = std::make_unique<Reconfigurator>(proto_rt, topology, rc);
     if (cfg.route_repair == ScenarioConfig::RouteRepair::Oracle) {
       churn_owner->set_repair_listener(
           [&network](const Reconfigurator::Repair&) {
@@ -181,7 +240,7 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   std::unique_ptr<fault::FaultController> faults;
   if (!cfg.faults.empty()) {
     faults = std::make_unique<fault::FaultController>(
-        sim, transport, network, cfg.faults,
+        proto_rt, transport, network, cfg.faults,
         fault::FaultControllerConfig{cfg.publish_start(), cfg.end_time()});
     if (churn != nullptr) {
       // A Reconfigurator repair must not attach a link to a crashed node —
@@ -197,15 +256,23 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
 
   workload.start_publishing(cfg.publish_start(), cfg.end_time());
 
-  // Traffic snapshots bracketing the measurement window.
+  // Traffic snapshots bracketing the measurement window (master lane under
+  // the engine — scenario bookkeeping, not node work).
+  const auto at_master = [&](SimTime t, Scheduler::Callback cb) {
+    if (engine) {
+      engine->schedule_master_at(t, std::move(cb));
+    } else {
+      sim.at(t, std::move(cb));
+    }
+  };
   MessageStats::Snapshot window_begin;
-  sim.at(cfg.window_start(),
-         [&window_begin, &stats]() { window_begin = stats.snapshot(); });
+  at_master(cfg.window_start(),
+            [&window_begin, &stats]() { window_begin = stats.snapshot(); });
   MessageStats::Snapshot window_close;
-  sim.at(cfg.window_end(),
-         [&window_close, &stats]() { window_close = stats.snapshot(); });
+  at_master(cfg.window_end(),
+            [&window_close, &stats]() { window_close = stats.snapshot(); });
 
-  sim.run_until(cfg.end_time());
+  run_to(cfg.end_time());
 
   // -- collect ----------------------------------------------------------------
   ScenarioResult result;
@@ -281,7 +348,16 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   }
   result.hotpath = sim.profiler().snapshot();
   result.pool = sim.pool().stats();
-  result.sim_events_executed = sim.scheduler().executed();
+  for (const auto& rt : lane_rts) {
+    const MessagePool::Stats s = rt->pool().stats();
+    result.pool.allocations += s.allocations;
+    result.pool.deallocations += s.deallocations;
+    result.pool.reuses += s.reuses;
+    result.pool.oversize += s.oversize;
+    result.pool.slab_bytes += s.slab_bytes;
+  }
+  result.sim_events_executed =
+      engine ? engine->executed() : sim.scheduler().executed();
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

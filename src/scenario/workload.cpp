@@ -116,7 +116,7 @@ void Workload::start_publishing(SimTime at, SimTime until) {
     // Poisson processes are in steady state from the window start.
     const Duration first = Duration::seconds(
         node_rngs_[i].exponential(1.0 / cfg_.publish_rate_hz));
-    sim_.at(at + first, [this, node, until]() {
+    schedule_node(node, at + first, [this, node, until]() {
       if (sim_.now() >= until) return;
       const auto content =
           draw_patterns(cfg_.patterns_per_event, node_rngs_[node.value()]);
@@ -129,10 +129,19 @@ void Workload::start_publishing(SimTime at, SimTime until) {
   }
 }
 
+void Workload::schedule_node(NodeId node, SimTime at,
+                             Scheduler::Callback cb) {
+  if (node_sched_) {
+    node_sched_(node, at, std::move(cb));
+  } else {
+    sim_.at(at, std::move(cb));
+  }
+}
+
 void Workload::schedule_next_publish(NodeId node, SimTime until) {
   const Duration gap = Duration::seconds(
       node_rngs_[node.value()].exponential(1.0 / cfg_.publish_rate_hz));
-  sim_.after(gap, [this, node, until]() {
+  schedule_node(node, sim_.now() + gap, [this, node, until]() {
     if (sim_.now() >= until) return;
     const auto content =
         draw_patterns(cfg_.patterns_per_event, node_rngs_[node.value()]);

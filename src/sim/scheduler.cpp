@@ -20,7 +20,20 @@ bool EventHandle::pending() const {
 EventHandle Scheduler::schedule_at(SimTime at, Callback cb) {
   EPICAST_ASSERT_MSG(at >= now_, "cannot schedule into the past");
   EPICAST_ASSERT(static_cast<bool>(cb));
-  const std::uint64_t seq = next_seq_++;
+  const std::uint64_t seq =
+      external_seq_ != nullptr ? (*external_seq_)++ : next_seq_++;
+  return insert_entry(at, seq, std::move(cb));
+}
+
+EventHandle Scheduler::schedule_at_seq(SimTime at, std::uint64_t seq,
+                                       Callback cb) {
+  EPICAST_ASSERT_MSG(at >= now_, "cannot schedule into the past");
+  EPICAST_ASSERT(static_cast<bool>(cb));
+  return insert_entry(at, seq, std::move(cb));
+}
+
+EventHandle Scheduler::insert_entry(SimTime at, std::uint64_t seq,
+                                    Callback cb) {
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -39,6 +52,31 @@ EventHandle Scheduler::schedule_at(SimTime at, Callback cb) {
 EventHandle Scheduler::schedule_after(Duration delay, Callback cb) {
   EPICAST_ASSERT_MSG(!delay.is_negative(), "negative delay");
   return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Scheduler::peek(SimTime& at, std::uint64_t& seq) {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    if (!entry_live(top)) {
+      heap_pop_front();  // cancelled; collect lazily
+      continue;
+    }
+    at = top.at;
+    seq = top.seq;
+    return true;
+  }
+  return false;
+}
+
+Scheduler::Callback Scheduler::take_front() {
+  EPICAST_ASSERT(!heap_.empty());
+  const HeapEntry top = heap_.front();
+  EPICAST_ASSERT_MSG(entry_live(top), "take_front without a successful peek");
+  heap_pop_front();
+  now_ = top.at;
+  Callback cb = release_slot(top.slot);
+  ++executed_;
+  return cb;
 }
 
 void Scheduler::heap_push(HeapEntry e) {

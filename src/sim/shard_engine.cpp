@@ -1,0 +1,151 @@
+#include "epicast/sim/shard_engine.hpp"
+
+#include <utility>
+
+#include "epicast/common/assert.hpp"
+
+namespace epicast {
+
+ShardEngine::ShardEngine(Simulator& sim, std::uint32_t nodes,
+                         std::uint32_t shards, Duration lookahead)
+    : sim_(sim),
+      nodes_(nodes),
+      shards_(shards),
+      block_((nodes + shards - 1) / shards),
+      lookahead_(lookahead),
+      current_lane_(shards) {
+  EPICAST_ASSERT(shards_ >= 1 && nodes_ >= shards_);
+  EPICAST_ASSERT_MSG(lookahead_ > Duration::zero(),
+                     "conservative engine needs positive lookahead");
+  lanes_.reserve(lane_count());
+  for (std::uint32_t i = 0; i < lane_count(); ++i) {
+    lanes_.push_back(std::make_unique<Scheduler>());
+    lanes_.back()->use_external_seq(&next_seq_);
+  }
+  mail_.resize(static_cast<std::size_t>(lane_count()) * lane_count());
+}
+
+Duration ShardEngine::compute_lookahead(Duration link_propagation,
+                                        Duration direct_latency_min) {
+  const Duration direct = direct_latency_min - Duration::nanos(1);
+  return link_propagation < direct ? link_propagation : direct;
+}
+
+std::uint64_t ShardEngine::executed() const {
+  std::uint64_t total = 0;
+  for (const auto& lane : lanes_) total += lane->executed();
+  return total;
+}
+
+EventHandle ShardEngine::schedule_lane(std::uint32_t lane, SimTime at,
+                                       Callback cb) {
+  EPICAST_ASSERT(lane < lane_count());
+  EPICAST_ASSERT_MSG(at >= now_, "cannot schedule into the past");
+  return lanes_[lane]->schedule_at(at, std::move(cb));
+}
+
+MailRef ShardEngine::schedule_arrival(NodeId node, Duration delay,
+                                      Callback cb) {
+  EPICAST_ASSERT(!delay.is_negative());
+  const SimTime at = now_ + delay;
+  // Conservative-sync safety: while a window is open, every arrival an
+  // executing event produces must land at or beyond the window end, or the
+  // lookahead bound fed to the constructor was wrong.
+  EPICAST_ASSERT_MSG(!in_window_ || at >= window_end_,
+                     "arrival inside the open lookahead window");
+  const std::uint32_t to_lane = lane_of(node);
+  Mailbox& box = mailbox(current_lane_, to_lane);
+  const std::uint64_t seq = next_seq_++;
+  box.entries.push_back(MailEntry{at, seq, std::move(cb), false});
+  ++stats_.mailbox_posted;
+  if (to_lane != current_lane_) ++stats_.cross_posted;
+  return MailRef{current_lane_ * lane_count() + to_lane,
+                 static_cast<std::uint32_t>(box.entries.size() - 1),
+                 box.drain_epoch};
+}
+
+bool ShardEngine::cancel(const MailRef& ref) {
+  if (ref.pair == MailRef::kInvalid || ref.pair >= mail_.size()) return false;
+  Mailbox& box = mail_[ref.pair];
+  if (box.drain_epoch != ref.epoch) return false;  // already drained
+  if (ref.index >= box.entries.size()) return false;
+  MailEntry& entry = box.entries[ref.index];
+  if (entry.cancelled) return false;
+  entry.cancelled = true;
+  entry.cb = nullptr;  // free captured state at cancel time, like the slab
+  ++stats_.cancelled;
+  return true;
+}
+
+void ShardEngine::drain_mailboxes() {
+  // Drain order across pairs is irrelevant for correctness: entries carry
+  // the (at, seq) stamped at post time and the lane heaps re-establish the
+  // global order. Fixed iteration keeps the walk itself deterministic.
+  for (std::uint32_t pair = 0; pair < mail_.size(); ++pair) {
+    Mailbox& box = mail_[pair];
+    if (box.entries.empty()) continue;  // nothing to move or invalidate
+    const std::uint32_t to_lane = pair % lane_count();
+    for (MailEntry& entry : box.entries) {
+      if (entry.cancelled) continue;
+      // Destination lane clocks trail the global clock, so the insert
+      // precondition at >= lane.now() holds for every undrained entry.
+      lanes_[to_lane]->schedule_at_seq(entry.at, entry.seq,
+                                       std::move(entry.cb));
+      ++stats_.drained;
+    }
+    box.entries.clear();
+    ++box.drain_epoch;
+  }
+}
+
+bool ShardEngine::global_min(SimTime& at, std::uint64_t& seq,
+                             std::uint32_t& lane) {
+  bool found = false;
+  for (std::uint32_t i = 0; i < lane_count(); ++i) {
+    SimTime lane_at;
+    std::uint64_t lane_seq;
+    if (!lanes_[i]->peek(lane_at, lane_seq)) continue;
+    if (!found || lane_at < at || (lane_at == at && lane_seq < seq)) {
+      at = lane_at;
+      seq = lane_seq;
+      lane = i;
+      found = true;
+    }
+  }
+  return found;
+}
+
+void ShardEngine::run_until(SimTime deadline) {
+  EPICAST_ASSERT(deadline >= now_);
+  for (;;) {
+    drain_mailboxes();
+    SimTime at;
+    std::uint64_t seq;
+    std::uint32_t lane;
+    if (!global_min(at, seq, lane)) break;
+    if (at > deadline) break;
+    // Open a window at the global minimum: idle gaps are jumped in one
+    // step, so an empty-mailbox cyclic shard graph can never stall.
+    window_end_ = at + lookahead_;
+    in_window_ = true;
+    ++stats_.windows;
+    while (global_min(at, seq, lane) && at < window_end_ && at <= deadline) {
+      now_ = at;
+      current_lane_ = lane;
+      // Lockstep the master simulator's clock so components reading
+      // sim.now() (oracles, trackers, workload guards) see the executing
+      // event's time. Its own heap must stay empty — every schedule goes
+      // through the engine — or run_until would fire events out of order.
+      EPICAST_ASSERT(sim_.scheduler().queued() == 0);
+      sim_.run_until(at);
+      Scheduler::Callback cb = lanes_[lane]->take_front();
+      cb();
+    }
+    in_window_ = false;
+  }
+  now_ = deadline;
+  EPICAST_ASSERT(sim_.scheduler().queued() == 0);
+  sim_.run_until(deadline);
+}
+
+}  // namespace epicast

@@ -1,0 +1,79 @@
+// Randomized stress sweep over the serial-vs-sharded equivalence space:
+// each iteration draws a scenario (node count, shard count, algorithm,
+// loss, sizing, optional churn/overlay variation) and asserts the sharded
+// run's result_json is byte-identical to the serial one. CI runs this at
+// EPICAST_STRESS_ITERS=200 under ASan and TSan; the default is sized for
+// the tier-1 budget on small hosts.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "epicast/common/rng.hpp"
+#include "epicast/metrics/result_json.hpp"
+#include "epicast/scenario/runner.hpp"
+
+namespace epicast {
+namespace {
+
+using metrics::result_json;
+
+int stress_iterations() {
+  const char* env = std::getenv("EPICAST_STRESS_ITERS");
+  if (env != nullptr && *env != '\0') {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<int>(v);
+  }
+  return 40;
+}
+
+TEST(ShardStress, RandomScenariosMatchSerialByteForByte) {
+  const int iters = stress_iterations();
+  Rng rng(0xE51CA57);
+  constexpr Algorithm kAlgorithms[] = {
+      Algorithm::NoRecovery,     Algorithm::Push,
+      Algorithm::SubscriberPull, Algorithm::PublisherPull,
+      Algorithm::CombinedPull,   Algorithm::RandomPull,
+  };
+  for (int i = 0; i < iters; ++i) {
+    const Algorithm a = kAlgorithms[rng.next_below(6)];
+    ScenarioConfig cfg = ScenarioConfig::paper_defaults(a);
+    cfg.seed = 1000 + static_cast<std::uint64_t>(i);
+    cfg.nodes = 10 + static_cast<std::uint32_t>(rng.next_below(31));
+    cfg.warmup = Duration::seconds(0.2);
+    cfg.measure = Duration::seconds(0.5 + 0.1 * rng.next_below(4));
+    cfg.recovery_horizon = Duration::seconds(0.5);
+    cfg.link_error_rate = 0.05 * rng.next_below(5);  // {0 .. 0.2}
+    cfg.sizing_mode =
+        rng.next_below(2) == 0 ? SizingMode::Nominal : SizingMode::Wire;
+    if (rng.next_below(4) == 0) {
+      cfg.reconfiguration_interval = Duration::seconds(0.25);
+      cfg.route_repair = rng.next_below(2) == 0
+                             ? ScenarioConfig::RouteRepair::Oracle
+                             : ScenarioConfig::RouteRepair::Protocol;
+    }
+    if (rng.next_below(4) == 0) {
+      // Cyclic overlays require the oracle bootstrap (flooding does not
+      // converge routes on them — the serial path rejects the combination
+      // too).
+      cfg.overlay = OverlayKind::RandomRegular;
+      cfg.overlay_degree = 4;
+      cfg.bootstrap = ScenarioConfig::SubscriptionBootstrap::Oracle;
+    }
+    const std::uint32_t shards =
+        2 + static_cast<std::uint32_t>(rng.next_below(7));  // 2..8
+
+    cfg.shards = 1;
+    const std::string serial = result_json(run_scenario(cfg));
+    cfg.shards = shards;
+    const std::string sharded = result_json(run_scenario(cfg));
+    EXPECT_EQ(sharded, serial)
+        << "iteration " << i << ": algorithm=" << to_string(a)
+        << " nodes=" << cfg.nodes << " shards=" << shards
+        << " loss=" << cfg.link_error_rate << " seed=" << cfg.seed;
+    if (HasFailure()) break;  // one full diff is enough to debug
+  }
+}
+
+}  // namespace
+}  // namespace epicast

@@ -3,6 +3,8 @@
 // configuration flips do not leak randomness between components.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "epicast/common/rng.hpp"
 #include "epicast/scenario/runner.hpp"
 #include "epicast/sim/scheduler.hpp"
@@ -89,20 +91,27 @@ TEST(Determinism, NominalModeMatchesPreWireSeedReference) {
        0x1.b28d493c45febp-1},
   };
   for (const Reference& ref : refs) {
-    ScenarioConfig cfg = quick(ref.algorithm, 404);
-    // Pin explicitly: this guard must hold even when the suite runs under
-    // EPICAST_SIZING=wire (the CI wire job).
-    cfg.sizing_mode = SizingMode::Nominal;
-    const ScenarioResult r = run_scenario(cfg);
-    SCOPED_TRACE(to_string(ref.algorithm));
-    EXPECT_EQ(r.events_published, ref.events_published);
-    EXPECT_EQ(r.expected_pairs, ref.expected_pairs);
-    EXPECT_EQ(r.delivered_pairs, ref.delivered_pairs);
-    EXPECT_EQ(r.recovered_pairs, ref.recovered_pairs);
-    EXPECT_EQ(r.sim_events_executed, ref.sim_events_executed);
-    EXPECT_EQ(r.traffic.gossip_sends(), ref.gossip_sends);
-    EXPECT_EQ(r.traffic.event_sends(), ref.event_sends);
-    EXPECT_DOUBLE_EQ(r.delivery_rate, ref.delivery_rate);
+    // shards=4 runs through the conservative parallel engine, which is
+    // bit-identical to the serial path by contract — the committed pins
+    // must hold unchanged there too.
+    for (const std::uint32_t shards : {1u, 4u}) {
+      ScenarioConfig cfg = quick(ref.algorithm, 404);
+      // Pin explicitly: this guard must hold even when the suite runs under
+      // EPICAST_SIZING=wire (the CI wire job).
+      cfg.sizing_mode = SizingMode::Nominal;
+      cfg.shards = shards;
+      const ScenarioResult r = run_scenario(cfg);
+      SCOPED_TRACE(std::string(to_string(ref.algorithm)) + " shards=" +
+                   std::to_string(shards));
+      EXPECT_EQ(r.events_published, ref.events_published);
+      EXPECT_EQ(r.expected_pairs, ref.expected_pairs);
+      EXPECT_EQ(r.delivered_pairs, ref.delivered_pairs);
+      EXPECT_EQ(r.recovered_pairs, ref.recovered_pairs);
+      EXPECT_EQ(r.sim_events_executed, ref.sim_events_executed);
+      EXPECT_EQ(r.traffic.gossip_sends(), ref.gossip_sends);
+      EXPECT_EQ(r.traffic.event_sends(), ref.event_sends);
+      EXPECT_DOUBLE_EQ(r.delivery_rate, ref.delivery_rate);
+    }
   }
 }
 
@@ -125,21 +134,33 @@ TEST(Determinism, WireModeMatchesSeedReference) {
        0x1.b7bc98f3afa2bp-1},
   };
   for (const Reference& ref : refs) {
-    ScenarioConfig cfg = quick(ref.algorithm, 404);
-    cfg.sizing_mode = SizingMode::Wire;
-    const ScenarioResult r = run_scenario(cfg);
-    SCOPED_TRACE(to_string(ref.algorithm));
-    EXPECT_EQ(r.events_published, 2653u);
-    EXPECT_EQ(r.expected_pairs, 1580u);
-    EXPECT_EQ(r.delivered_pairs, ref.delivered_pairs);
-    EXPECT_EQ(r.recovered_pairs, ref.recovered_pairs);
-    EXPECT_EQ(r.sim_events_executed, ref.sim_events_executed);
-    EXPECT_EQ(r.traffic.gossip_sends(), ref.gossip_sends);
-    EXPECT_EQ(r.traffic.event_sends(), ref.event_sends);
-    EXPECT_EQ(r.traffic.gossip_bytes(), ref.gossip_bytes);
-    EXPECT_EQ(r.traffic.event_bytes(), ref.event_bytes);
-    EXPECT_DOUBLE_EQ(r.delivery_rate, ref.delivery_rate);
+    for (const std::uint32_t shards : {1u, 4u}) {
+      ScenarioConfig cfg = quick(ref.algorithm, 404);
+      cfg.sizing_mode = SizingMode::Wire;
+      cfg.shards = shards;
+      const ScenarioResult r = run_scenario(cfg);
+      SCOPED_TRACE(std::string(to_string(ref.algorithm)) + " shards=" +
+                   std::to_string(shards));
+      EXPECT_EQ(r.events_published, 2653u);
+      EXPECT_EQ(r.expected_pairs, 1580u);
+      EXPECT_EQ(r.delivered_pairs, ref.delivered_pairs);
+      EXPECT_EQ(r.recovered_pairs, ref.recovered_pairs);
+      EXPECT_EQ(r.sim_events_executed, ref.sim_events_executed);
+      EXPECT_EQ(r.traffic.gossip_sends(), ref.gossip_sends);
+      EXPECT_EQ(r.traffic.event_sends(), ref.event_sends);
+      EXPECT_EQ(r.traffic.gossip_bytes(), ref.gossip_bytes);
+      EXPECT_EQ(r.traffic.event_bytes(), ref.event_bytes);
+      EXPECT_DOUBLE_EQ(r.delivery_rate, ref.delivery_rate);
+    }
   }
+}
+
+TEST(Determinism, ShardingIsOptIn) {
+  // The parallel engine only engages when asked: the default config (no
+  // EPICAST_SHARDS in the environment, no --shards flag) is serial, so
+  // every existing pin and published figure runs the serial scheduler.
+  EXPECT_EQ(ScenarioConfig{}.shards, 1u);
+  EXPECT_EQ(ScenarioConfig::paper_defaults(Algorithm::Push).shards, 1u);
 }
 
 TEST(Determinism, EmptyFaultPlanAndRetryDefaultsAreInert) {
