@@ -1,19 +1,23 @@
 // Shard-scaling benchmark: simulation throughput (sim events/sec) of one
-// scale scenario as the conservative parallel engine's shard count grows
-// through {1, 2, 4, 8}, at N = 10³ (and 10⁴ in full mode).
+// scale scenario over the conservative parallel engine's grid of
+// shards × worker threads — shards {1, 2, 4, 8} × threads {1, 2, 4} — at
+// N = 10³ (and 10⁴ in full mode).
 //
-// Two numbers matter per cell:
+// Numbers that matter per cell:
 //   * events/sec — at shards=1 the serial scheduler runs and this is the
-//     committed-throughput gate CI enforces (the sharded rows are
-//     informational until window execution is actually threaded; today the
-//     engine executes the merged order on one thread, so shards > 1 only
-//     measures the synchronization overhead of lanes + mailboxes);
-//   * results_identical — every sharded row must reproduce the serial
-//     result_json byte-for-byte, the bit-identity contract the
-//     tests/parallel tier proves exhaustively.
+//     committed-throughput gate CI enforces; threaded rows show how much
+//     of the window work the pool actually parallelises;
+//   * results_identical — every sharded/threaded row must reproduce the
+//     serial result_json byte-for-byte, the bit-identity contract the
+//     tests/parallel tier proves exhaustively;
+//   * per-window stats (events/window, cross-shard post ratio, barrier
+//     wait) — the quantities that explain a speedup or its absence:
+//     parallelism pays when windows are dense and cross-traffic low.
 //
-// When the host has fewer cores than a row's shard count the JSON notes it
-// (`host_oversubscribed`), so dashboards do not read noise as regression.
+// When the host has fewer cores than a row's thread count the JSON says so
+// (`host_cores`, `host_oversubscribed`) — single-core CI runs the pool
+// oversubscribed on purpose (correctness coverage), and dashboards must
+// not read those rows as perf regressions.
 //
 // Emits BENCH_parallel.json (override with EPICAST_BENCH_JSON /
 // --json=PATH).
@@ -34,6 +38,7 @@ using namespace epicast::bench;
 struct Cell {
   std::uint32_t nodes = 0;
   std::uint32_t shards = 0;
+  std::uint32_t threads = 0;  ///< requested; result.shard.threads = effective
   bool identical = true;
   ScenarioResult result;
 
@@ -57,42 +62,56 @@ ScenarioConfig scenario(std::uint32_t nodes) {
 int main(int argc, char** argv) {
   init(argc, argv);
 
-  print_header("shard scaling", "sim events/sec vs --shards");
+  print_header("shard scaling", "sim events/sec vs --shards x --threads");
 
   const unsigned host_cores = std::thread::hardware_concurrency();
   std::vector<std::uint32_t> sizes = {1000};
   if (!fast_mode()) sizes.push_back(10000);
   const std::uint32_t shard_counts[] = {1, 2, 4, 8};
+  const std::uint32_t thread_counts[] = {1, 2, 4};
 
   std::vector<Cell> cells;
   for (const std::uint32_t nodes : sizes) {
     std::string serial_json;
     for (const std::uint32_t shards : shard_counts) {
-      std::fprintf(stderr, "N=%u shards=%u...\n", nodes, shards);
-      ScenarioConfig cfg = scenario(nodes);
-      cfg.shards = shards;
-      Cell cell;
-      cell.nodes = nodes;
-      cell.shards = shards;
-      cell.result = run_scenario(cfg);
-      const std::string json = metrics::result_json(cell.result);
-      if (shards == 1) {
-        serial_json = json;
-      } else {
-        cell.identical = json == serial_json;
+      for (const std::uint32_t threads : thread_counts) {
+        // threads only vary execution with shard lanes to drain; the
+        // serial scheduler gets its single canonical row.
+        if (shards == 1 && threads != 1) continue;
+        std::fprintf(stderr, "N=%u shards=%u threads=%u...\n", nodes, shards,
+                     threads);
+        ScenarioConfig cfg = scenario(nodes);
+        cfg.shards = shards;
+        cfg.threads = threads;
+        Cell cell;
+        cell.nodes = nodes;
+        cell.shards = shards;
+        cell.threads = threads;
+        cell.result = run_scenario(cfg);
+        const std::string json = metrics::result_json(cell.result);
+        if (shards == 1) {
+          serial_json = json;
+        } else {
+          cell.identical = json == serial_json;
+        }
+        cells.push_back(std::move(cell));
       }
-      cells.push_back(std::move(cell));
     }
   }
 
-  std::printf("\n%8s %8s %14s %12s %10s\n", "nodes", "shards", "sim events",
-              "events/sec", "identical");
+  std::printf("\n%6s %7s %8s %14s %12s %10s %9s %8s %9s\n", "nodes", "shards",
+              "threads", "sim events", "events/sec", "identical", "ev/win",
+              "crossR", "barrier_s");
   bool all_identical = true;
   for (const Cell& c : cells) {
     all_identical = all_identical && c.identical;
-    std::printf("%8u %8u %14" PRIu64 " %12.0f %10s\n", c.nodes, c.shards,
-                c.result.sim_events_executed, c.events_per_sec(),
-                c.shards == 1 ? "-" : (c.identical ? "yes" : "NO"));
+    std::printf("%6u %7u %8u %14" PRIu64 " %12.0f %10s %9.1f %8.3f %9.3f\n",
+                c.nodes, c.shards, c.threads, c.result.sim_events_executed,
+                c.events_per_sec(),
+                c.shards == 1 ? "-" : (c.identical ? "yes" : "NO"),
+                c.result.shard.events_per_window,
+                c.result.shard.cross_post_ratio,
+                c.result.shard.barrier_wait_seconds);
   }
 
   const std::string json_path = BenchEnv::get().json_path.empty()
@@ -109,13 +128,21 @@ int main(int argc, char** argv) {
       const Cell& c = cells[i];
       std::fprintf(
           f,
-          "    {\"nodes\": %u, \"shards\": %u, \"sim_events\": %" PRIu64
+          "    {\"nodes\": %u, \"shards\": %u, \"threads\": %u, "
+          "\"threads_effective\": %u, \"sim_events\": %" PRIu64
           ", \"wall_seconds\": %.6f, \"events_per_sec\": %.0f, "
-          "\"results_identical\": %s, \"host_oversubscribed\": %s}%s\n",
-          c.nodes, c.shards, c.result.sim_events_executed,
-          c.result.wall_seconds, c.events_per_sec(),
-          c.identical ? "true" : "false",
-          (host_cores != 0 && c.shards > host_cores) ? "true" : "false",
+          "\"results_identical\": %s, \"host_oversubscribed\": %s, "
+          "\"windows\": %" PRIu64 ", \"parallel_windows\": %" PRIu64
+          ", \"events_per_window\": %.2f, \"cross_post_ratio\": %.4f, "
+          "\"barrier_wait_seconds\": %.6f}%s\n",
+          c.nodes, c.shards, c.threads, c.result.shard.threads,
+          c.result.sim_events_executed, c.result.wall_seconds,
+          c.events_per_sec(), c.identical ? "true" : "false",
+          (host_cores != 0 && c.result.shard.threads > host_cores) ? "true"
+                                                                   : "false",
+          c.result.shard.windows, c.result.shard.parallel_windows,
+          c.result.shard.events_per_window, c.result.shard.cross_post_ratio,
+          c.result.shard.barrier_wait_seconds,
           i + 1 < cells.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -128,7 +155,7 @@ int main(int argc, char** argv) {
 
   print_note(
       "the shards=1 row is the serial scheduler and the only CI throughput "
-      "gate; sharded rows measure lane/mailbox overhead (window execution "
-      "is single-threaded for now) and must stay bit-identical.");
+      "gate; sharded/threaded rows must stay bit-identical, and their "
+      "speedup is only meaningful when host_oversubscribed is false.");
   return all_identical ? 0 : 2;
 }

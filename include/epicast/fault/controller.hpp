@@ -19,12 +19,16 @@
 //    or violate the degree cap), then fires the heal listener.
 //
 // Determinism: the controller forks one RNG stream per plan process in plan
-// order (churns, bursts, partitions) at construction, and per-link burst
-// channels fork from their process stream in first-traffic order. A run
-// with an empty plan constructs no controller at all and is bit-identical
-// to a fault-free build.
+// order (churns, bursts, partitions) at construction. Each burst process
+// further forks one stream per *sender* node in node order, and per-link
+// burst channels fork from their sender's stream in that sender's
+// first-traffic order — a node's sends all execute on its own engine lane,
+// so threaded lookahead windows consume these streams in exactly the serial
+// order without locking. A run with an empty plan constructs no controller
+// at all and is bit-identical to a fault-free build.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -93,9 +97,14 @@ class FaultController {
   };
   struct BurstState {
     BurstSpec spec;
-    Rng master;  ///< forked once per directed link, in first-traffic order
-    std::unordered_map<std::uint64_t, GilbertElliottChannel> channels;
-    bool active = false;
+    /// One stream per sender node (forked in node order at construction);
+    /// channels[from] forks lazily from senders[from] per destination, in
+    /// the sender's first-traffic order. Partitioned by sender so the send
+    /// path stays lane-local under the threaded engine.
+    std::vector<Rng> senders;
+    std::vector<std::unordered_map<std::uint32_t, GilbertElliottChannel>>
+        channels;
+    bool active = false;  ///< master-written (serial windows), worker-read
   };
   struct PartitionState {
     PartitionSpec spec;
@@ -129,6 +138,11 @@ class FaultController {
   std::vector<std::uint8_t> crashed_;
   std::vector<std::uint32_t> alive_scratch_;
   FaultStats stats_;
+  /// allow() runs on the send path — worker lanes during threaded windows —
+  /// so its drop counters are relaxed atomics, folded into stats() (an
+  /// order-independent sum, hence still deterministic).
+  std::atomic<std::uint64_t> crash_drops_{0};
+  std::atomic<std::uint64_t> burst_drops_{0};
   SimTime last_heal_ = SimTime::zero();
 };
 

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "epicast/common/ids.hpp"
 #include "epicast/common/rng.hpp"
@@ -23,7 +24,12 @@ struct LinkParams {
 
 class LinkModel {
  public:
-  LinkModel(LinkParams params, Rng rng);
+  /// Forks one loss-trial stream per sender node off `base` (in node-id
+  /// order), and keeps the per-direction queue state partitioned by sender
+  /// too. All of a node's sends execute on its own engine lane, so the
+  /// threaded windows draw from these streams in exactly the serial order —
+  /// no lock, no divergence.
+  LinkModel(LinkParams params, Rng base, std::uint32_t nodes);
 
   struct Outcome {
     Duration delay;  ///< queueing + transmission + propagation
@@ -53,10 +59,12 @@ class LinkModel {
  private:
   LinkParams params_;
   double bandwidth_scale_ = 1.0;
-  Rng rng_;
-  /// Key = directed link (from << 32 | to); value = when the sender side of
-  /// that direction becomes free.
-  std::unordered_map<std::uint64_t, SimTime> next_free_;
+  /// One loss-trial stream per sender, forked in node-id order.
+  std::vector<Rng> rngs_;
+  /// Per sender: destination node -> when that direction's sender side
+  /// becomes free. Indexed by the sending node, so each entry is only ever
+  /// touched by that node's lane.
+  std::vector<std::unordered_map<std::uint32_t, SimTime>> next_free_;
 };
 
 }  // namespace epicast

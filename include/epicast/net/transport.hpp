@@ -58,9 +58,13 @@ class Transport {
   void attach(NodeId node, TransportReceiver& receiver);
 
   /// Registers an additional observer (metrics, tracing); all registered
-  /// observers see every send/loss/drop, in registration order.
+  /// observers see every send/loss/drop, in registration order. During
+  /// threaded windows, observers whose concurrent_safe() is false observe
+  /// deferred replays at the window barrier instead of inline calls (same
+  /// per-observer order; see TransportObserver).
   void add_observer(TransportObserver& observer) {
     observers_.push_back(&observer);
+    if (!observer.concurrent_safe()) have_deferred_observers_ = true;
   }
 
   /// Deterministic fault injection (FaultController, tests, failure-injection
@@ -104,14 +108,27 @@ class Transport {
   TransportReceiver& receiver_for(NodeId node) const;
   bool faults_allow(NodeId from, NodeId to, const Message& msg,
                     bool overlay) const;
+  /// Observer fan-out, lane-aware: outside parallel windows every observer
+  /// fires inline in registration order; under a worker lane the
+  /// concurrent-safe ones fire inline and the rest are deferred to the
+  /// window barrier (the MessagePtr keeps the message alive until replay).
+  void notify_send(NodeId from, NodeId to, const MessagePtr& msg,
+                   bool overlay);
+  void notify_loss(NodeId from, NodeId to, const MessagePtr& msg,
+                   bool overlay);
+  void notify_drop_no_link(NodeId from, NodeId to, const MessagePtr& msg);
 
   Simulator& sim_;
   Topology& topology_;
   TransportConfig config_;
   LinkModel link_model_;
-  Rng direct_rng_;
+  /// One direct-channel stream (loss + latency draws) per sender node; a
+  /// node's direct sends all execute on its own engine lane, so threaded
+  /// windows consume these streams in serial order without locking.
+  std::vector<Rng> direct_rngs_;
   std::vector<TransportReceiver*> receivers_;
   std::vector<TransportObserver*> observers_;
+  bool have_deferred_observers_ = false;
   std::vector<FaultFilter> faults_;
   ArrivalRouter router_;
 };

@@ -41,8 +41,12 @@ class ShardRuntime final : public Runtime {
   [[nodiscard]] MessagePool& pool() override {
     return pool_ != nullptr ? *pool_ : sim_.pool();
   }
+  /// Shard lanes charge their lane's private profiler (race-free under the
+  /// worker pool; the runner merges lane snapshots into the run totals);
+  /// the master lane charges the Simulator's.
   [[nodiscard]] HotpathProfiler& profiler() override {
-    return sim_.profiler();
+    return lane_ < engine_->shard_count() ? engine_->lane_profiler(lane_)
+                                          : sim_.profiler();
   }
 
   [[nodiscard]] std::uint32_t lane() const { return lane_; }
@@ -71,6 +75,7 @@ class ShardRuntime final : public Runtime {
   };
 
   Simulator& sim_;
+  ShardEngine* engine_ = nullptr;
   std::uint32_t lane_;
   std::unique_ptr<MessagePool> pool_;  // shard-local pool, if owned
   ShardClock clock_;

@@ -138,6 +138,18 @@ struct ScenarioConfig {
   /// EPICAST_SHARDS as a shard count; 1 when unset or invalid.
   [[nodiscard]] static std::uint32_t shards_default();
 
+  /// Worker threads of the sharded engine (`--threads`). 1 (the default)
+  /// executes windows serially on the calling thread; N > 1 drains shard
+  /// lanes concurrently on a persistent pool, with deferred side effects
+  /// replayed at window barriers so results stay byte-identical to the
+  /// serial run for every thread count. Only meaningful with shards > 1;
+  /// the runner clamps to min(shards, host parallelism). Defaults from
+  /// EPICAST_THREADS.
+  std::uint32_t threads = threads_default();
+
+  /// EPICAST_THREADS as a thread count; 1 when unset or invalid.
+  [[nodiscard]] static std::uint32_t threads_default();
+
   // -- link details -------------------------------------------------------------
   double link_bandwidth_bps = 10e6;         ///< 10 Mbit/s Ethernet (§IV-A)
   Duration link_propagation = Duration::micros(50);

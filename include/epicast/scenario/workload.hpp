@@ -19,6 +19,7 @@
 //     (no floods); the runner then calls PubSubNetwork::rebuild_routes().
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -58,7 +59,9 @@ class Workload {
     node_sched_ = std::move(sched);
   }
 
-  [[nodiscard]] std::uint64_t events_published() const { return published_; }
+  [[nodiscard]] std::uint64_t events_published() const {
+    return published_.load(std::memory_order_relaxed);
+  }
 
   /// The patterns node `n` was subscribed to (valid after
   /// issue_subscriptions).
@@ -82,7 +85,9 @@ class Workload {
   std::vector<std::vector<Pattern>> subscriptions_;
   PublishListener on_publish_;
   NodeScheduler node_sched_;
-  std::uint64_t published_ = 0;
+  /// Relaxed: publish callbacks run on worker lanes during threaded
+  /// windows; the total is an order-independent sum.
+  std::atomic<std::uint64_t> published_{0};
 
   /// CDF of the Zipf pattern-popularity law (empty when uniform).
   std::vector<double> zipf_cdf_;

@@ -1,0 +1,69 @@
+// epicast — per-lane execution context for threaded lookahead windows.
+//
+// While the sharded engine executes a parallel window, each worker thread
+// drains one or more shard lanes. Code running under a worker must not
+// touch the master Simulator's clock or profiler, and side effects whose
+// order the serial engine defines globally (observer callbacks, tracker
+// updates) must not fire immediately — the worker only knows its own
+// lane's order. The LaneContext is the thread-local bridge:
+//
+//   * `now` is the timestamp of the lane event being executed (the
+//     threaded replacement for Simulator::now());
+//   * `profiler` is the lane's private HotpathProfiler shard, merged into
+//     the scenario totals at the end of the run;
+//   * `defer()` buffers a side-effect callback. The engine replays all
+//     lanes' buffers at the window barrier in merged global (time, seq)
+//     order — exactly the serial observation order — on the master thread,
+//     with the master clock advanced to the originating event's time.
+//
+// Outside parallel windows (serial engine, serial windows, replay itself)
+// `current()` is null and every call site falls back to its direct path,
+// so single-threaded behaviour is unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "epicast/sim/callback.hpp"
+#include "epicast/sim/time.hpp"
+
+namespace epicast {
+
+class HotpathProfiler;  // metrics/hotpath_profiler.hpp
+
+struct LaneContext {
+  std::uint32_t lane = 0;
+  SimTime now;
+  HotpathProfiler* profiler = nullptr;
+  /// Deferred side effects of this lane's window prefix, in execution
+  /// order. The engine records how many each event appended and replays
+  /// them grouped under the originating event at the barrier.
+  std::vector<SmallCallback> effects;
+
+  /// Buffers a side effect for barrier replay. The callback runs on the
+  /// master thread with the master clock at the originating event's time;
+  /// it must not schedule lane events or send messages.
+  void defer(SmallCallback cb) { effects.push_back(std::move(cb)); }
+
+  /// The context of the worker executing on this thread, or null when no
+  /// parallel window is open (or this is the master thread).
+  [[nodiscard]] static LaneContext* current() { return slot(); }
+
+  /// `now` of the active lane context, or `fallback` (typically
+  /// Simulator::now()) outside parallel windows.
+  [[nodiscard]] static SimTime now_or(SimTime fallback) {
+    const LaneContext* ctx = slot();
+    return ctx != nullptr ? ctx->now : fallback;
+  }
+
+  /// Binds/unbinds this context to the calling thread (engine internals).
+  static void set_current(LaneContext* ctx) { slot() = ctx; }
+
+ private:
+  static LaneContext*& slot() {
+    static thread_local LaneContext* ctx = nullptr;
+    return ctx;
+  }
+};
+
+}  // namespace epicast

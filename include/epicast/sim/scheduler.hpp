@@ -84,6 +84,34 @@ class Scheduler {
     external_seq_ = counter;
   }
 
+  /// Re-points the external tie-break counter. The threaded engine swaps in
+  /// a per-lane provisional counter for the span of a parallel window (so
+  /// workers never contend on the shared one) and swaps the shared counter
+  /// back at the barrier. Only valid on a scheduler already in external-seq
+  /// mode.
+  void rebind_external_seq(std::uint64_t* counter) {
+    EPICAST_ASSERT(external_seq_ != nullptr && counter != nullptr);
+    external_seq_ = counter;
+  }
+
+  /// Rewrites every pending entry whose seq is >= `threshold` through `fn`
+  /// (provisional seq -> final seq). `fn` must be strictly monotone over
+  /// the seqs present in this heap — the heap's (at, seq) order is then
+  /// unchanged and no re-sift is needed. Entries cancelled after creation
+  /// are mapped too (their stale heap keys must stay well-ordered until
+  /// lazily collected); their slots are untouched because live_seq no
+  /// longer matches.
+  template <typename Fn>
+  void renumber_pending(std::uint64_t threshold, Fn&& fn) {
+    for (HeapEntry& e : heap_) {
+      if (e.seq < threshold) continue;
+      const std::uint64_t renumbered = fn(e.seq);
+      Slot& s = slots_[e.slot];
+      if (s.live_seq == e.seq) s.live_seq = renumbered;
+      e.seq = renumbered;
+    }
+  }
+
   /// Schedules `cb` with a caller-assigned tie-break sequence (mailbox
   /// drains re-inserting entries stamped at send time). `seq` must be unique
   /// across all heaps sharing the counter.

@@ -6,13 +6,6 @@
 #include "epicast/common/logging.hpp"
 
 namespace epicast::fault {
-namespace {
-
-std::uint64_t directed_key(NodeId from, NodeId to) {
-  return (static_cast<std::uint64_t>(from.value()) << 32) | to.value();
-}
-
-}  // namespace
 
 FaultController::FaultController(runtime::Runtime& rt, Transport& transport,
                                  PubSubNetwork& network, FaultPlan plan,
@@ -30,9 +23,19 @@ FaultController::FaultController(runtime::Runtime& rt, Transport& transport,
   for (const ChurnSpec& c : plan_.churns) {
     churns_.push_back(ChurnState{c, rt_.fork_rng(), runtime::PeriodicTimer{}});
   }
+  const std::uint32_t nodes = transport.topology().node_count();
   bursts_.reserve(plan_.bursts.size());
   for (const BurstSpec& b : plan_.bursts) {
-    bursts_.push_back(BurstState{b, rt_.fork_rng(), {}, false});
+    BurstState state{b, {}, {}, false};
+    // Per-sender streams, forked in node order from the process stream: the
+    // chain draws a sender consumes depend only on that sender's traffic.
+    Rng process = rt_.fork_rng();
+    state.senders.reserve(nodes);
+    for (std::uint32_t i = 0; i < nodes; ++i) {
+      state.senders.push_back(process.fork());
+    }
+    state.channels.resize(nodes);
+    bursts_.push_back(std::move(state));
   }
   partitions_.reserve(plan_.partitions.size());
   for (const PartitionSpec& p : plan_.partitions) {
@@ -48,16 +51,16 @@ bool FaultController::allow(NodeId from, NodeId to, const Message& msg,
                             bool overlay) {
   // A crashed node neither sends nor receives, on either channel.
   if (crashed_[from.value()] != 0 || crashed_[to.value()] != 0) {
-    ++stats_.crash_drops;
+    crash_drops_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   if (!overlay) return true;
   bool lost = false;
   for (BurstState& b : bursts_) {
     if (!b.active) continue;
-    auto [it, created] = b.channels.try_emplace(directed_key(from, to),
-                                                b.spec.channel,
-                                                b.master.fork());
+    auto& channels = b.channels[from.value()];
+    auto [it, created] = channels.try_emplace(to.value(), b.spec.channel,
+                                              b.senders[from.value()].fork());
     // Advance every active chain even if an earlier one already lost the
     // message (and even for lossless control traffic): the chain state is a
     // property of the link, not of who happens to be charged for a drop.
@@ -65,7 +68,7 @@ bool FaultController::allow(NodeId from, NodeId to, const Message& msg,
   }
   if (lost && !(transport_.config().control_lossless &&
                 msg.message_class() == MessageClass::Control)) {
-    ++stats_.burst_drops;
+    burst_drops_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   return true;
@@ -91,7 +94,9 @@ void FaultController::start() {
       b.active = true;
       // Reopening windows start from the Good state; reset consumes no
       // randomness.
-      for (auto& [key, channel] : b.channels) channel.reset();
+      for (auto& channels : b.channels) {
+        for (auto& [key, channel] : channels) channel.reset();
+      }
     });
     if (b.spec.stop.has_value()) {
       at_time(config_.plan_origin + *b.spec.stop, [this, &b]() {
@@ -201,9 +206,13 @@ void FaultController::heal_partition(PartitionState& partition) {
 
 FaultStats FaultController::stats() const {
   FaultStats total = stats_;
+  total.crash_drops += crash_drops_.load(std::memory_order_relaxed);
+  total.burst_drops += burst_drops_.load(std::memory_order_relaxed);
   for (const BurstState& b : bursts_) {
-    for (const auto& [key, channel] : b.channels) {
-      total.bursts_entered += channel.stats().bursts_entered;
+    for (const auto& channels : b.channels) {
+      for (const auto& [key, channel] : channels) {
+        total.bursts_entered += channel.stats().bursts_entered;
+      }
     }
   }
   return total;

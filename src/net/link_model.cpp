@@ -5,18 +5,13 @@
 #include "epicast/common/assert.hpp"
 
 namespace epicast {
-namespace {
 
-std::uint64_t directed_key(NodeId from, NodeId to) {
-  return (static_cast<std::uint64_t>(from.value()) << 32) | to.value();
-}
-
-}  // namespace
-
-LinkModel::LinkModel(LinkParams params, Rng rng)
-    : params_(params), rng_(rng) {
+LinkModel::LinkModel(LinkParams params, Rng base, std::uint32_t nodes)
+    : params_(params), next_free_(nodes) {
   EPICAST_ASSERT(params_.bandwidth_bps > 0);
   EPICAST_ASSERT(params_.loss_rate >= 0.0 && params_.loss_rate <= 1.0);
+  rngs_.reserve(nodes);
+  for (std::uint32_t i = 0; i < nodes; ++i) rngs_.push_back(base.fork());
 }
 
 Duration LinkModel::serialization_time(std::size_t bytes) const {
@@ -33,7 +28,8 @@ void LinkModel::set_bandwidth_scale(double scale) {
 LinkModel::Outcome LinkModel::transmit(NodeId from, NodeId to,
                                        std::size_t bytes, SimTime now,
                                        bool lossless) {
-  SimTime& free_at = next_free_[directed_key(from, to)];
+  EPICAST_ASSERT(from.value() < next_free_.size());
+  SimTime& free_at = next_free_[from.value()][to.value()];
   const SimTime start = std::max(free_at, now);
   const SimTime done = start + serialization_time(bytes);
   free_at = done;
@@ -42,11 +38,13 @@ LinkModel::Outcome LinkModel::transmit(NodeId from, NodeId to,
   out.delay = (done + params_.propagation) - now;
   // The loss trial is drawn even for lossless sends so that toggling
   // reliability does not shift the RNG stream of subsequent messages.
-  const bool corrupted = rng_.chance(params_.loss_rate);
+  const bool corrupted = rngs_[from.value()].chance(params_.loss_rate);
   out.lost = corrupted && !lossless;
   return out;
 }
 
-void LinkModel::reset() { next_free_.clear(); }
+void LinkModel::reset() {
+  for (auto& per_sender : next_free_) per_sender.clear();
+}
 
 }  // namespace epicast

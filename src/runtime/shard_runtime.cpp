@@ -23,7 +23,7 @@ struct LaneTimerState final : TimerHandle::State {
 ShardRuntime::ShardRuntime(ShardEngine& engine, std::uint32_t lane,
                            Simulator& sim, epicast::Transport* transport,
                            bool own_pool)
-    : sim_(sim), lane_(lane) {
+    : sim_(sim), engine_(&engine), lane_(lane) {
   if (own_pool) pool_ = std::make_unique<MessagePool>();
   clock_.engine = &engine;
   timers_.engine = &engine;
@@ -37,12 +37,16 @@ Transport& ShardRuntime::transport() {
   return transport_;
 }
 
-SimTime ShardRuntime::ShardClock::now() const { return engine->now(); }
+// During parallel windows the engine's clock is the master's replay clock;
+// code running on a worker lane reads its own lane context's event time.
+SimTime ShardRuntime::ShardClock::now() const {
+  return LaneContext::now_or(engine->now());
+}
 
 TimerHandle ShardRuntime::ShardTimers::after(Duration delay, Callback cb) {
   auto state = std::make_shared<LaneTimerState>();
-  state->handle =
-      engine->schedule_lane(lane, engine->now() + delay, std::move(cb));
+  state->handle = engine->schedule_lane(
+      lane, LaneContext::now_or(engine->now()) + delay, std::move(cb));
   return TimerHandle(std::move(state));
 }
 

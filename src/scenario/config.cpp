@@ -42,6 +42,7 @@ void ScenarioConfig::validate() const {
   EPICAST_ASSERT(gossip.request_timeout >= Duration::zero());
   EPICAST_ASSERT(gossip.request_backoff >= 1.0);
   EPICAST_ASSERT_MSG(shards >= 1, "shard count must be at least 1");
+  EPICAST_ASSERT_MSG(threads >= 1, "thread count must be at least 1");
   faults.validate();
 }
 
@@ -96,6 +97,9 @@ std::string ScenarioConfig::describe() const {
   if (shards > 1) {
     os << "shards                           " << shards << '\n';
   }
+  if (threads > 1) {
+    os << "threads                          " << threads << '\n';
+  }
   return os.str();
 }
 
@@ -113,6 +117,18 @@ std::uint32_t ScenarioConfig::shards_default() {
     return static_cast<std::uint32_t>(v);
   }();
   return shards;
+}
+
+std::uint32_t ScenarioConfig::threads_default() {
+  static const std::uint32_t threads = []() -> std::uint32_t {
+    const char* env = std::getenv("EPICAST_THREADS");
+    if (env == nullptr || *env == '\0') return 1;
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0' || v < 1 || v > 4096) return 1;
+    return static_cast<std::uint32_t>(v);
+  }();
+  return threads;
 }
 
 bool ScenarioConfig::profile_default_enabled() {

@@ -13,7 +13,9 @@
 #include "epicast/net/transport.hpp"
 #include "epicast/pubsub/network.hpp"
 #include "epicast/runtime/shard_runtime.hpp"
+#include "epicast/scenario/sweep.hpp"
 #include "epicast/scenario/workload.hpp"
+#include "epicast/sim/lane_context.hpp"
 #include "epicast/sim/shard_engine.hpp"
 #include "epicast/sim/simulator.hpp"
 
@@ -54,6 +56,33 @@ class ExpectedReceiverCounter {
   std::vector<std::vector<NodeId>> by_pattern_;
   std::vector<std::uint64_t> stamp_;
   std::uint64_t epoch_ = 0;
+};
+
+/// Shared environment of the delivery/publish listeners. The listeners fire
+/// on worker lanes during threaded windows, where everything here is
+/// off-limits (plain counters, master clock, the expected-counter scratch)
+/// — so the listener bodies live behind one pointer and are deferred to the
+/// window barrier, keeping the deferred closure small enough for
+/// SmallCallback's inline buffer.
+struct ListenerEnv {
+  DeliveryTracker* tracker = nullptr;
+  Simulator* sim = nullptr;
+  SimTime* last_recovery_at = nullptr;
+  oracle::OracleSuite* oracles = nullptr;
+  ExpectedReceiverCounter* expected = nullptr;
+
+  void on_delivery(NodeId node, const EventPtr& event, bool recovered) const {
+    if (oracles != nullptr) oracles->notify_delivery(node, event, recovered);
+    if (recovered && *last_recovery_at < sim->now()) {
+      *last_recovery_at = sim->now();
+    }
+    tracker->on_delivery(node, event->id(), sim->now(), recovered);
+  }
+
+  void on_publish(const EventPtr& event) const {
+    if (oracles != nullptr) oracles->notify_publish(event);
+    tracker->on_publish(event->id(), sim->now(), expected->count(*event));
+  }
 };
 
 }  // namespace
@@ -98,16 +127,28 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
       cfg.link_propagation, cfg.direct_latency_min);
   std::uint32_t shards_eff = std::min(cfg.shards, cfg.nodes);
   if (lookahead <= Duration::zero()) shards_eff = 1;
+  // Worker threads only make sense with shard lanes to drain; clamp to the
+  // shard count and the host's parallelism. The host clamp floors at 4 so
+  // single-core hosts (CI sandboxes) still drive the pool — the equivalence
+  // and TSan tiers need real threads, and workers beyond the core count only
+  // add barrier latency, never change results.
+  const auto host = std::max(
+      4u, static_cast<std::uint32_t>(SweepRunner::available_parallelism()));
+  std::uint32_t threads_eff = std::min({cfg.threads, shards_eff, host});
+  if (shards_eff <= 1) threads_eff = 1;
   std::unique_ptr<ShardEngine> engine;
   std::vector<std::unique_ptr<runtime::ShardRuntime>> lane_rts;
   std::unique_ptr<runtime::ShardRuntime> master_rt;
   if (shards_eff > 1) {
-    engine =
-        std::make_unique<ShardEngine>(sim, cfg.nodes, shards_eff, lookahead);
+    engine = std::make_unique<ShardEngine>(sim, cfg.nodes, shards_eff,
+                                           lookahead, threads_eff);
     transport.set_arrival_router(
         [e = engine.get()](NodeId to, Duration delay, Scheduler::Callback cb) {
           e->schedule_arrival(to, delay, std::move(cb));
         });
+    for (std::uint32_t s = 0; s < shards_eff; ++s) {
+      engine->lane_profiler(s).enable_timing(cfg.profile_hotpath);
+    }
     lane_rts.reserve(shards_eff);
     for (std::uint32_t s = 0; s < shards_eff; ++s) {
       lane_rts.push_back(std::make_unique<runtime::ShardRuntime>(
@@ -115,6 +156,16 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     }
     master_rt = std::make_unique<runtime::ShardRuntime>(
         *engine, engine->master_lane(), sim, &transport, /*own_pool=*/false);
+    if (engine->thread_count() > 1) {
+      // Cross-lane MessagePtr hand-offs release pool blocks from foreign
+      // threads; switch every pool to its mutex-guarded free lists.
+      sim.pool().set_thread_safe(true);
+      for (const auto& rt : lane_rts) rt->pool().set_thread_safe(true);
+      // Topology keeps a lazily repacked CSR view; force the repack on the
+      // master before each parallel window so workers only ever read it.
+      engine->set_parallel_prologue(
+          [&topology]() { topology.neighbors(NodeId{0}); });
+    }
   }
   const auto run_to = [&](SimTime t) {
     if (engine) {
@@ -150,6 +201,12 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
         oracle::FailMode::Abort);
     oracle::add_default_oracles(*oracles);
     transport.add_observer(*oracles);
+    if (engine && engine->thread_count() > 1) {
+      // Split dispatch: concurrent-safe oracles check sends synchronously on
+      // the worker (they read only the sender's own state); the rest keep
+      // firing through the suite's deferred observer at window barriers.
+      transport.add_observer(oracles->sync_observer());
+    }
   }
 #endif
 
@@ -185,20 +242,34 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   DeliveryTracker tracker(cfg.bucket_width, cfg.recovery_horizon);
   tracker.set_measure_window(cfg.window_start(), cfg.window_end());
   SimTime last_recovery_at = SimTime::zero();
-  network.set_delivery_listener(
-      [&tracker, &sim, &last_recovery_at, o = oracles.get()](
-          NodeId node, const EventPtr& event, bool recovered) {
-        if (o != nullptr) o->notify_delivery(node, event, recovered);
-        if (recovered && last_recovery_at < sim.now()) {
-          last_recovery_at = sim.now();
-        }
-        tracker.on_delivery(node, event->id(), sim.now(), recovered);
-      });
-
   ExpectedReceiverCounter expected(workload, cfg.nodes, cfg.pattern_universe);
-  workload.set_publish_listener([&](const EventPtr& event) {
-    if (oracles != nullptr) oracles->notify_publish(event);
-    tracker.on_publish(event->id(), sim.now(), expected.count(*event));
+  ListenerEnv env;
+  env.tracker = &tracker;
+  env.sim = &sim;
+  env.last_recovery_at = &last_recovery_at;
+  env.oracles = oracles.get();
+  env.expected = &expected;
+
+  // On a worker lane the tracker/oracle/counter state is shared across
+  // lanes, so the listener bodies are deferred into the lane's effect log
+  // and replayed at the window barrier in global event order — the exact
+  // order the serial run would have called them in.
+  network.set_delivery_listener(
+      [&env](NodeId node, const EventPtr& event, bool recovered) {
+        if (LaneContext* ctx = LaneContext::current()) {
+          ctx->defer([&env, node, event, recovered]() {
+            env.on_delivery(node, event, recovered);
+          });
+        } else {
+          env.on_delivery(node, event, recovered);
+        }
+      });
+  workload.set_publish_listener([&env](const EventPtr& event) {
+    if (LaneContext* ctx = LaneContext::current()) {
+      ctx->defer([&env, event]() { env.on_publish(event); });
+    } else {
+      env.on_publish(event);
+    }
   });
 
   // Exact all-pairs distances are O(N·E); sample BFS sources at scale.
@@ -347,6 +418,26 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     result.oracle_checks = oracles->checks();
   }
   result.hotpath = sim.profiler().snapshot();
+  if (engine) {
+    for (std::uint32_t s = 0; s < engine->shard_count(); ++s) {
+      result.hotpath += engine->lane_profiler(s).snapshot();
+    }
+    const ShardEngine::Stats es = engine->stats();
+    result.shard.shards = engine->shard_count();
+    result.shard.threads = engine->thread_count();
+    result.shard.windows = es.windows;
+    result.shard.parallel_windows = es.parallel_windows;
+    result.shard.events_per_window =
+        es.windows == 0 ? 0.0
+                        : static_cast<double>(es.window_events) /
+                              static_cast<double>(es.windows);
+    result.shard.cross_post_ratio =
+        es.mailbox_posted == 0 ? 0.0
+                               : static_cast<double>(es.cross_posted) /
+                                     static_cast<double>(es.mailbox_posted);
+    result.shard.barrier_wait_seconds =
+        static_cast<double>(es.barrier_wait_ns) * 1e-9;
+  }
   result.pool = sim.pool().stats();
   for (const auto& rt : lane_rts) {
     const MessagePool::Stats s = rt->pool().stats();

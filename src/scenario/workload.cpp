@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "epicast/common/assert.hpp"
+#include "epicast/sim/lane_context.hpp"
 
 namespace epicast {
 namespace {
@@ -117,12 +118,12 @@ void Workload::start_publishing(SimTime at, SimTime until) {
     const Duration first = Duration::seconds(
         node_rngs_[i].exponential(1.0 / cfg_.publish_rate_hz));
     schedule_node(node, at + first, [this, node, until]() {
-      if (sim_.now() >= until) return;
+      if (LaneContext::now_or(sim_.now()) >= until) return;
       const auto content =
           draw_patterns(cfg_.patterns_per_event, node_rngs_[node.value()]);
       const EventPtr event =
           network_.node(node).publish(content, cfg_.event_payload_bytes);
-      ++published_;
+      published_.fetch_add(1, std::memory_order_relaxed);
       if (on_publish_) on_publish_(event);
       schedule_next_publish(node, until);
     });
@@ -141,13 +142,14 @@ void Workload::schedule_node(NodeId node, SimTime at,
 void Workload::schedule_next_publish(NodeId node, SimTime until) {
   const Duration gap = Duration::seconds(
       node_rngs_[node.value()].exponential(1.0 / cfg_.publish_rate_hz));
-  schedule_node(node, sim_.now() + gap, [this, node, until]() {
-    if (sim_.now() >= until) return;
+  schedule_node(node, LaneContext::now_or(sim_.now()) + gap,
+                [this, node, until]() {
+    if (LaneContext::now_or(sim_.now()) >= until) return;
     const auto content =
         draw_patterns(cfg_.patterns_per_event, node_rngs_[node.value()]);
     const EventPtr event =
         network_.node(node).publish(content, cfg_.event_payload_bytes);
-    ++published_;
+    published_.fetch_add(1, std::memory_order_relaxed);
     if (on_publish_) on_publish_(event);
     schedule_next_publish(node, until);
   });

@@ -54,7 +54,7 @@ TEST(Lookahead, LinkModelNeverDeliversInsideTheWindow) {
   // compute_lookahead takes for the overlay channel.
   LinkParams params;  // 10 Mbit/s, 50 µs propagation
   Rng rng(7);
-  LinkModel model(params, Rng(11));
+  LinkModel model(params, Rng(11), /*nodes=*/8);
   const Duration look =
       ShardEngine::compute_lookahead(params.propagation, Duration::millis(2));
   SimTime now;

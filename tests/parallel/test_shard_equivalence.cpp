@@ -1,8 +1,9 @@
 // Serial-vs-sharded equivalence: the conservative engine must reproduce
 // the serial scheduler's results BIT-IDENTICALLY — same result_json bytes,
 // same oracle check count — for every algorithm, sizing mode, loss rate,
-// seed, and shard count. This is the contract that makes `--shards`
-// results publishable interchangeably with serial runs.
+// seed, shard count, and worker-thread count. This is the contract that
+// makes `--shards`/`--threads` results publishable interchangeably with
+// serial runs.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -28,21 +29,29 @@ ScenarioConfig quick(Algorithm a, std::uint64_t seed) {
   return cfg;
 }
 
-/// Runs `cfg` serially, then at each K in {2, 4, 7}, and asserts the
-/// sharded runs are byte-identical to the serial one.
+/// Runs `cfg` serially, then at each shards in {2, 4, 7} × threads in
+/// {1, 2, 4}, and asserts every sharded/threaded run is byte-identical to
+/// the serial one. threads > shards clamps inside the runner, so the
+/// duplicate corner (shards=2, threads=4) still covers the clamp path.
 void expect_equivalent(ScenarioConfig cfg, const std::string& what) {
   cfg.shards = 1;
+  cfg.threads = 1;
   const ScenarioResult serial = run_scenario(cfg);
   const std::string serial_json = result_json(serial);
   for (const std::uint32_t k : {2u, 4u, 7u}) {
-    cfg.shards = k;
-    const ScenarioResult sharded = run_scenario(cfg);
-    EXPECT_EQ(result_json(sharded), serial_json)
-        << what << " diverged at shards=" << k;
-    EXPECT_EQ(sharded.oracle_checks, serial.oracle_checks)
-        << what << " oracle activity differs at shards=" << k;
-    EXPECT_EQ(sharded.sim_events_executed, serial.sim_events_executed)
-        << what << " event count differs at shards=" << k;
+    for (const std::uint32_t t : {1u, 2u, 4u}) {
+      cfg.shards = k;
+      cfg.threads = t;
+      const ScenarioResult sharded = run_scenario(cfg);
+      EXPECT_EQ(result_json(sharded), serial_json)
+          << what << " diverged at shards=" << k << " threads=" << t;
+      EXPECT_EQ(sharded.oracle_checks, serial.oracle_checks)
+          << what << " oracle activity differs at shards=" << k
+          << " threads=" << t;
+      EXPECT_EQ(sharded.sim_events_executed, serial.sim_events_executed)
+          << what << " event count differs at shards=" << k
+          << " threads=" << t;
+    }
   }
 }
 

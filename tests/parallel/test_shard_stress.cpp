@@ -1,7 +1,8 @@
 // Randomized stress sweep over the serial-vs-sharded equivalence space:
-// each iteration draws a scenario (node count, shard count, algorithm,
-// loss, sizing, optional churn/overlay variation) and asserts the sharded
-// run's result_json is byte-identical to the serial one. CI runs this at
+// each iteration draws a scenario (node count, shard count, worker-thread
+// count, algorithm, loss, sizing, optional churn/overlay variation) and
+// asserts the sharded run's result_json is byte-identical to the serial
+// one. CI runs this at
 // EPICAST_STRESS_ITERS=200 under ASan and TSan; the default is sized for
 // the tier-1 budget on small hosts.
 #include <gtest/gtest.h>
@@ -62,15 +63,20 @@ TEST(ShardStress, RandomScenariosMatchSerialByteForByte) {
     }
     const std::uint32_t shards =
         2 + static_cast<std::uint32_t>(rng.next_below(7));  // 2..8
+    const std::uint32_t threads =
+        1 + static_cast<std::uint32_t>(rng.next_below(4));  // 1..4
 
     cfg.shards = 1;
+    cfg.threads = 1;
     const std::string serial = result_json(run_scenario(cfg));
     cfg.shards = shards;
+    cfg.threads = threads;
     const std::string sharded = result_json(run_scenario(cfg));
     EXPECT_EQ(sharded, serial)
         << "iteration " << i << ": algorithm=" << to_string(a)
         << " nodes=" << cfg.nodes << " shards=" << shards
-        << " loss=" << cfg.link_error_rate << " seed=" << cfg.seed;
+        << " threads=" << threads << " loss=" << cfg.link_error_rate
+        << " seed=" << cfg.seed;
     if (HasFailure()) break;  // one full diff is enough to debug
   }
 }

@@ -84,25 +84,33 @@ TEST(Determinism, NominalModeMatchesPreWireSeedReference) {
         recovered_pairs, sim_events_executed, gossip_sends, event_sends;
     double delivery_rate;
   };
+  // Pin bump (worker-pool PR): the link/direct/burst loss and latency
+  // streams moved from one shared RNG to per-sender forks so worker lanes
+  // never contend on a stream. That reorders the draw sequence once, in
+  // serial and sharded paths alike; values re-captured at this commit.
   const Reference refs[] = {
-      {Algorithm::Push, 2653, 1580, 1345, 245, 19490, 2430, 3571,
-       0x1.b3d91d2a2067bp-1},
-      {Algorithm::CombinedPull, 2653, 1580, 1341, 247, 15849, 692, 3613,
-       0x1.b28d493c45febp-1},
+      {Algorithm::Push, 2653, 1580, 1356, 280, 19531, 2451, 3493,
+       0x1.b769a3f839087p-1},
+      {Algorithm::CombinedPull, 2653, 1580, 1321, 256, 15931, 611, 3514,
+       0x1.ac12259701f1cp-1},
   };
   for (const Reference& ref : refs) {
-    // shards=4 runs through the conservative parallel engine, which is
-    // bit-identical to the serial path by contract — the committed pins
-    // must hold unchanged there too.
-    for (const std::uint32_t shards : {1u, 4u}) {
+    // shards=4 runs through the conservative parallel engine and
+    // shards=4/threads=4 through its worker pool — both bit-identical to
+    // the serial path by contract, so the committed pins must hold
+    // unchanged there too.
+    for (const auto& [shards, threads] :
+         {std::pair{1u, 1u}, {4u, 1u}, {4u, 4u}}) {
       ScenarioConfig cfg = quick(ref.algorithm, 404);
       // Pin explicitly: this guard must hold even when the suite runs under
       // EPICAST_SIZING=wire (the CI wire job).
       cfg.sizing_mode = SizingMode::Nominal;
       cfg.shards = shards;
+      cfg.threads = threads;
       const ScenarioResult r = run_scenario(cfg);
       SCOPED_TRACE(std::string(to_string(ref.algorithm)) + " shards=" +
-                   std::to_string(shards));
+                   std::to_string(shards) + " threads=" +
+                   std::to_string(threads));
       EXPECT_EQ(r.events_published, ref.events_published);
       EXPECT_EQ(r.expected_pairs, ref.expected_pairs);
       EXPECT_EQ(r.delivered_pairs, ref.delivered_pairs);
@@ -127,20 +135,25 @@ TEST(Determinism, WireModeMatchesSeedReference) {
         gossip_sends, event_sends, gossip_bytes, event_bytes;
     double delivery_rate;
   };
+  // Re-captured together with the nominal pins above (same per-sender RNG
+  // stream partition, same commit).
   const Reference refs[] = {
-      {Algorithm::Push, 1315, 247, 19360, 2390, 3509, 109156, 782507,
-       0x1.aa2067b23a544p-1},
-      {Algorithm::CombinedPull, 1357, 274, 15952, 721, 3552, 53883, 802070,
-       0x1.b7bc98f3afa2bp-1},
+      {Algorithm::Push, 1356, 301, 19445, 2410, 3484, 109556, 776932,
+       0x1.b769a3f839087p-1},
+      {Algorithm::CombinedPull, 1332, 263, 16026, 674, 3582, 51313, 808817,
+       0x1.afa2ac651a928p-1},
   };
   for (const Reference& ref : refs) {
-    for (const std::uint32_t shards : {1u, 4u}) {
+    for (const auto& [shards, threads] :
+         {std::pair{1u, 1u}, {4u, 1u}, {4u, 4u}}) {
       ScenarioConfig cfg = quick(ref.algorithm, 404);
       cfg.sizing_mode = SizingMode::Wire;
       cfg.shards = shards;
+      cfg.threads = threads;
       const ScenarioResult r = run_scenario(cfg);
       SCOPED_TRACE(std::string(to_string(ref.algorithm)) + " shards=" +
-                   std::to_string(shards));
+                   std::to_string(shards) + " threads=" +
+                   std::to_string(threads));
       EXPECT_EQ(r.events_published, 2653u);
       EXPECT_EQ(r.expected_pairs, 1580u);
       EXPECT_EQ(r.delivered_pairs, ref.delivered_pairs);

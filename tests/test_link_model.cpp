@@ -16,13 +16,13 @@ LinkParams fast_params(double loss = 0.0) {
 }
 
 TEST(LinkModel, SerializationTimeMatchesBandwidth) {
-  LinkModel link(fast_params(), Rng{1});
+  LinkModel link(fast_params(), Rng{1}, /*nodes=*/4);
   EXPECT_EQ(link.serialization_time(1000), Duration::micros(800));
   EXPECT_EQ(link.serialization_time(125), Duration::micros(100));
 }
 
 TEST(LinkModel, IdleLinkDelayIsTxPlusPropagation) {
-  LinkModel link(fast_params(), Rng{1});
+  LinkModel link(fast_params(), Rng{1}, /*nodes=*/4);
   const auto out = link.transmit(NodeId{0}, NodeId{1}, 1000, SimTime::zero(),
                                  /*lossless=*/true);
   EXPECT_EQ(out.delay, Duration::micros(850));
@@ -30,7 +30,7 @@ TEST(LinkModel, IdleLinkDelayIsTxPlusPropagation) {
 }
 
 TEST(LinkModel, BackToBackMessagesQueue) {
-  LinkModel link(fast_params(), Rng{1});
+  LinkModel link(fast_params(), Rng{1}, /*nodes=*/4);
   const SimTime t0 = SimTime::zero();
   const auto first = link.transmit(NodeId{0}, NodeId{1}, 1000, t0, true);
   const auto second = link.transmit(NodeId{0}, NodeId{1}, 1000, t0, true);
@@ -39,7 +39,7 @@ TEST(LinkModel, BackToBackMessagesQueue) {
 }
 
 TEST(LinkModel, DirectionsAreIndependent) {
-  LinkModel link(fast_params(), Rng{1});
+  LinkModel link(fast_params(), Rng{1}, /*nodes=*/4);
   const SimTime t0 = SimTime::zero();
   (void)link.transmit(NodeId{0}, NodeId{1}, 1000, t0, true);
   const auto reverse = link.transmit(NodeId{1}, NodeId{0}, 1000, t0, true);
@@ -47,7 +47,7 @@ TEST(LinkModel, DirectionsAreIndependent) {
 }
 
 TEST(LinkModel, DistinctLinksAreIndependent) {
-  LinkModel link(fast_params(), Rng{1});
+  LinkModel link(fast_params(), Rng{1}, /*nodes=*/4);
   const SimTime t0 = SimTime::zero();
   (void)link.transmit(NodeId{0}, NodeId{1}, 1000, t0, true);
   const auto other = link.transmit(NodeId{0}, NodeId{2}, 1000, t0, true);
@@ -55,7 +55,7 @@ TEST(LinkModel, DistinctLinksAreIndependent) {
 }
 
 TEST(LinkModel, QueueDrainsOverTime) {
-  LinkModel link(fast_params(), Rng{1});
+  LinkModel link(fast_params(), Rng{1}, /*nodes=*/4);
   (void)link.transmit(NodeId{0}, NodeId{1}, 1000, SimTime::zero(), true);
   const auto later = link.transmit(NodeId{0}, NodeId{1}, 1000,
                                    SimTime::seconds(1.0), true);
@@ -63,7 +63,7 @@ TEST(LinkModel, QueueDrainsOverTime) {
 }
 
 TEST(LinkModel, ResetClearsQueues) {
-  LinkModel link(fast_params(), Rng{1});
+  LinkModel link(fast_params(), Rng{1}, /*nodes=*/4);
   (void)link.transmit(NodeId{0}, NodeId{1}, 1000, SimTime::zero(), true);
   link.reset();
   const auto out = link.transmit(NodeId{0}, NodeId{1}, 1000, SimTime::zero(),
@@ -72,7 +72,7 @@ TEST(LinkModel, ResetClearsQueues) {
 }
 
 TEST(LinkModel, LossRateIsRespectedStatistically) {
-  LinkModel link(fast_params(0.1), Rng{7});
+  LinkModel link(fast_params(0.1), Rng{7}, /*nodes=*/4);
   int lost = 0;
   constexpr int kSends = 50'000;
   for (int i = 0; i < kSends; ++i) {
@@ -89,8 +89,8 @@ TEST(LinkModel, LosslessSuppressesLossButKeepsRngAligned) {
   // Two identical models; one sends a lossless message in the middle. The
   // loss outcomes of all *other* messages must match, so toggling control
   // reliability cannot perturb the rest of the run.
-  LinkModel a(fast_params(0.5), Rng{11});
-  LinkModel b(fast_params(0.5), Rng{11});
+  LinkModel a(fast_params(0.5), Rng{11}, /*nodes=*/4);
+  LinkModel b(fast_params(0.5), Rng{11}, /*nodes=*/4);
   std::vector<bool> lost_a, lost_b;
   for (int i = 0; i < 100; ++i) {
     const bool lossless = (i == 50);

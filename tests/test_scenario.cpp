@@ -74,12 +74,18 @@ INSTANTIATE_TEST_SUITE_P(Algorithms, RecoveryImproves,
                                            Algorithm::RandomPull));
 
 TEST(Scenario, CombinedPullBeatsEitherPullAlone) {
-  const double combined =
-      run_scenario(small(Algorithm::CombinedPull)).delivery_rate;
-  const double sub =
-      run_scenario(small(Algorithm::SubscriberPull)).delivery_rate;
-  const double pub =
-      run_scenario(small(Algorithm::PublisherPull)).delivery_rate;
+  // Averaged over a few seeds: at 30 nodes a single run's margin between
+  // combined and publisher-pull is within seed noise.
+  const auto mean_delivery = [](Algorithm a) {
+    double sum = 0.0;
+    for (const std::uint64_t seed : {11u, 12u, 13u}) {
+      sum += run_scenario(small(a, seed)).delivery_rate;
+    }
+    return sum / 3.0;
+  };
+  const double combined = mean_delivery(Algorithm::CombinedPull);
+  const double sub = mean_delivery(Algorithm::SubscriberPull);
+  const double pub = mean_delivery(Algorithm::PublisherPull);
   EXPECT_GT(combined, sub);
   EXPECT_GT(combined, pub);
 }
