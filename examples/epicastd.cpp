@@ -19,7 +19,10 @@
 #include <iostream>
 #include <string>
 
+#include <utility>
+
 #include "epicast/daemon/node.hpp"
+#include "epicast/fault/plan.hpp"
 #include "epicast/runtime/cluster.hpp"
 
 namespace {
@@ -30,11 +33,21 @@ void on_signal(int) { g_stop = 1; }
 
 void usage(std::ostream& os) {
   os << "usage: epicastd --config=FILE --node-id=N [--stats-out=FILE]\n"
+        "                [--journal=FILE] [--restart-policy=warm|cold]\n"
+        "                [--snapshot] [--faults=PLAN]\n"
         "\n"
         "  --config=FILE     cluster description (shared by all nodes)\n"
         "  --node-id=N       which node of the cluster this process is\n"
         "  --stats-out=FILE  where to write the JSON stats dump\n"
         "                    (default: stdout)\n"
+        "  --journal=FILE    append-only crash journal; a relaunch with the\n"
+        "                    same journal replays it and rejoins the run\n"
+        "  --restart-policy= state kept across a crash: warm (default)\n"
+        "                    keeps the recovery cache, cold drops it\n"
+        "  --snapshot        under warm, periodically snapshot the recovery\n"
+        "                    cache to FILE.cache and preload it on restart\n"
+        "  --faults=PLAN     wire fault plan (burst/slow/partition; see\n"
+        "                    fault/plan.hpp) overriding the config's faults\n"
         "\n"
         "The daemon runs the configured settle/run/drain phases and exits;\n"
         "SIGTERM or SIGINT ends the run early, still dumping stats.\n";
@@ -46,6 +59,9 @@ int main(int argc, char** argv) {
   std::string config_path;
   std::string stats_out;
   std::int64_t node_id = -1;
+  epicast::daemon::DaemonOptions opts;
+  std::string faults_spec;
+  bool faults_override = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -59,6 +75,23 @@ int main(int argc, char** argv) {
       node_id = std::stoll(v);
     } else if (const char* v = value_of("--stats-out=")) {
       stats_out = v;
+    } else if (const char* v = value_of("--journal=")) {
+      opts.journal_path = v;
+    } else if (const char* v = value_of("--restart-policy=")) {
+      const std::string policy = v;
+      if (policy == "warm") {
+        opts.restart_policy = epicast::fault::RestartPolicy::Warm;
+      } else if (policy == "cold") {
+        opts.restart_policy = epicast::fault::RestartPolicy::Cold;
+      } else {
+        std::cerr << "epicastd: --restart-policy must be warm or cold\n";
+        return 2;
+      }
+    } else if (arg == "--snapshot") {
+      opts.cache_snapshot = true;
+    } else if (const char* v = value_of("--faults=")) {
+      faults_spec = v;
+      faults_override = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(std::cout);
       return 0;
@@ -78,9 +111,20 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, on_signal);
 
   try {
+    auto config = epicast::runtime::load_cluster_config(config_path);
+    if (faults_override) {
+      std::string error;
+      const auto plan = epicast::fault::parse_plan(faults_spec, &error);
+      if (!plan) {
+        std::cerr << "epicastd: bad --faults plan: " << error << "\n";
+        return 2;
+      }
+      config.faults = *plan;
+      config.validate();
+    }
     epicast::daemon::NodeDaemon daemon(
-        epicast::runtime::load_cluster_config(config_path),
-        epicast::NodeId{static_cast<std::uint32_t>(node_id)});
+        std::move(config),
+        epicast::NodeId{static_cast<std::uint32_t>(node_id)}, opts);
     daemon.run(&g_stop);
 
     const std::string json = daemon.stats_json();

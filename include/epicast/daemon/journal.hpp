@@ -1,0 +1,91 @@
+// epicast — epicastd's crash-durable append-only journal.
+//
+// One journal file per node. Every record is one text line written with a
+// single O_APPEND write(2), so a SIGKILL can lose at most the record being
+// written — never corrupt earlier ones — and the page cache makes the
+// common case free. On boot the daemon replays the file to learn:
+//
+//   * how many times this node has booted (the heartbeat incarnation);
+//   * every event id it published or delivered in earlier incarnations
+//     (restores the dispatcher's duplicate-suppression set, keeping the
+//     unique-delivery oracle true across restarts);
+//   * its publish counters (so new events continue the id sequence);
+//   * its full publish/delivery logs (so the final stats dump is cumulative
+//     over all incarnations — the harness sees one node, not N lifetimes).
+//
+// Record grammar (space-separated, '#' illegal — this is not a config):
+//
+//   B <incarnation> <warm|cold>          one per boot
+//   P <seq> <t_s> <p1,p2,...>            own publish
+//   D <src> <seq> <t_s> <0|1>            delivery (1 = via recovery)
+//
+// A warm-restart cache snapshot rides alongside as `<journal>.cache`:
+// concatenated wire-codec Event frames, rewritten atomically (tmp+rename)
+// by a periodic timer, decoded best-effort on boot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "epicast/fault/restart_policy.hpp"
+#include "epicast/pubsub/event.hpp"
+
+namespace epicast::daemon {
+
+class Journal {
+ public:
+  struct PublishEntry {
+    std::uint64_t seq = 0;  ///< EventId::source_seq
+    double t_s = 0.0;
+    std::vector<std::uint32_t> patterns;
+  };
+  struct DeliveryEntry {
+    std::uint32_t source = 0;
+    std::uint64_t seq = 0;
+    double t_s = 0.0;
+    bool recovered = false;
+  };
+  struct Replay {
+    std::uint64_t boots = 0;  ///< B records seen (0 = fresh journal)
+    std::vector<PublishEntry> publishes;
+    std::vector<DeliveryEntry> deliveries;
+  };
+
+  /// Opens (creating if missing) and replays `path`. Unparseable lines —
+  /// at most the torn tail of a crashed write — are skipped, not fatal.
+  /// Throws std::runtime_error when the file cannot be opened.
+  explicit Journal(std::string path);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  [[nodiscard]] const Replay& replay() const { return replay_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  void log_boot(std::uint64_t incarnation, fault::RestartPolicy policy);
+  void log_publish(const PublishEntry& e);
+  void log_delivery(const DeliveryEntry& e);
+
+ private:
+  void append(const std::string& line);
+
+  std::string path_;
+  int fd_ = -1;
+  Replay replay_;
+};
+
+/// Atomically replaces `path` with `events` as concatenated codec Event
+/// frames. Failures are swallowed: the snapshot is an optimization, losing
+/// one rewrite only costs warm-restart cache freshness.
+void write_cache_snapshot(const std::string& path,
+                          const std::vector<EventPtr>& events);
+
+/// Decodes a snapshot written by write_cache_snapshot. Missing or corrupt
+/// files yield what was decodable (possibly nothing) — best-effort by
+/// design.
+[[nodiscard]] std::vector<EventPtr> read_cache_snapshot(
+    const std::string& path);
+
+}  // namespace epicast::daemon

@@ -19,6 +19,10 @@
 #include <string>
 #include <vector>
 
+#include "epicast/daemon/failure_detector.hpp"
+#include "epicast/daemon/journal.hpp"
+#include "epicast/fault/restart_policy.hpp"
+#include "epicast/metrics/latency_histogram.hpp"
 #include "epicast/oracle/checks.hpp"
 #include "epicast/oracle/oracle.hpp"
 #include "epicast/pubsub/dispatcher.hpp"
@@ -28,13 +32,31 @@
 
 namespace epicast::daemon {
 
+/// Per-process knobs that are not cluster-wide state (and thus not in the
+/// shared ClusterConfig): where this node journals, and how it remembers a
+/// previous life.
+struct DaemonOptions {
+  /// Append-only journal path; empty disables journaling (and with it
+  /// crash-restart recovery — a relaunch then starts from scratch).
+  std::string journal_path;
+  /// State-loss policy applied when the journal shows earlier boots.
+  fault::RestartPolicy restart_policy = fault::RestartPolicy::Warm;
+  /// Under Warm, periodically snapshot the retransmission buffer to
+  /// `<journal>.cache` and preload it on restart.
+  bool cache_snapshot = false;
+};
+
 class NodeDaemon {
  public:
   /// Validates `cluster`, builds the runtime (this is where a non-Wire
   /// sizing mode becomes a hard std::invalid_argument), binds the node's
   /// socket, installs routes, and wires recovery + oracles. The daemon is
-  /// ready to run() afterwards.
-  NodeDaemon(runtime::ClusterConfig cluster, NodeId self);
+  /// ready to run() afterwards. When `opts` names a journal with earlier
+  /// boots in it, the constructor replays it: duplicate-suppression and
+  /// publish counters are restored, the recovery protocol is told
+  /// on_restart(policy), and publish/delivery logs continue cumulatively.
+  NodeDaemon(runtime::ClusterConfig cluster, NodeId self,
+             DaemonOptions opts = {});
 
   NodeDaemon(const NodeDaemon&) = delete;
   NodeDaemon& operator=(const NodeDaemon&) = delete;
@@ -58,6 +80,17 @@ class NodeDaemon {
   }
   [[nodiscard]] const oracle::OracleSuite* oracles() const {
     return oracles_.get();
+  }
+  /// nullptr when heartbeat-interval-ms is 0.
+  [[nodiscard]] FailureDetector* failure_detector() {
+    return failure_detector_.get();
+  }
+  /// This process lifetime's 1-based boot count (journal B records + 1).
+  [[nodiscard]] std::uint64_t incarnation() const { return incarnation_; }
+  /// True when the journal showed earlier boots (this run is a restart).
+  [[nodiscard]] bool restarted() const { return restarted_; }
+  [[nodiscard]] const metrics::LatencyHistogram& latency() const {
+    return latency_;
   }
 
   struct PublishRecord {
@@ -83,13 +116,20 @@ class NodeDaemon {
   void schedule_next_publish();
   void publish_one();
   [[nodiscard]] bool is_publisher() const;
+  void replay_journal();
+  void repair_routes_around(NodeId dead);
+  void restore_links_of(NodeId returned);
+  void write_snapshot();
 
   runtime::ClusterConfig cluster_;
   NodeId self_;
+  DaemonOptions opts_;
   std::unique_ptr<runtime::AsyncRuntime> rt_;
   std::unique_ptr<Dispatcher> dispatcher_;
   std::unique_ptr<oracle::OracleSuite> oracles_;
   oracle::WireRoundTripOracle* wire_oracle_ = nullptr;  // owned by oracles_
+  std::unique_ptr<Journal> journal_;
+  std::unique_ptr<FailureDetector> failure_detector_;
 
   PatternUniverse universe_;
   Rng pub_rng_;
@@ -97,6 +137,11 @@ class NodeDaemon {
   SimTime publish_end_;
   SimTime drain_end_;
   runtime::TimerHandle publish_timer_;
+  runtime::PeriodicTimer snapshot_timer_;
+
+  std::uint64_t incarnation_ = 1;
+  bool restarted_ = false;
+  metrics::LatencyHistogram latency_;
 
   std::vector<PublishRecord> published_;
   std::vector<DeliveryRecord> delivered_;

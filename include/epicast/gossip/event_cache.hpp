@@ -72,6 +72,11 @@ class EventCache {
   /// kept — a crash does not un-happen the traffic that preceded it.
   void clear();
 
+  /// Every cached event in eviction order (next victim first). Warm-restart
+  /// snapshots serialize this; re-inserting the list into an empty cache of
+  /// the same capacity reproduces the eviction order exactly.
+  [[nodiscard]] std::vector<EventPtr> snapshot_events() const;
+
   struct Stats {
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;

@@ -33,6 +33,12 @@ class LossDetector {
   /// Highest sequence number seen for (source, pattern), or SeqNo{0}.
   [[nodiscard]] SeqNo high_watermark(NodeId source, Pattern pattern) const;
 
+  /// Raises the expectation for (source, pattern) to at least `seq` without
+  /// reporting a gap. A warm-restarted daemon seeds its detector from the
+  /// cache snapshot so the first live event after relaunch exposes the
+  /// outage window as a gap instead of silently re-baselining on it.
+  void seed(NodeId source, Pattern pattern, SeqNo seq);
+
   [[nodiscard]] std::uint64_t gaps_detected() const { return gaps_detected_; }
   [[nodiscard]] std::uint64_t streams_tracked() const {
     return static_cast<std::uint64_t>(high_.size());

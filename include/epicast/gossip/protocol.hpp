@@ -8,9 +8,11 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "epicast/gossip/adaptive_interval.hpp"
@@ -36,6 +38,24 @@ class GossipProtocolBase : public RecoveryProtocol {
   /// retry deadlines (restart-epoch guard); peer-health observations are
   /// discarded either way — the node's own outage garbles them.
   void on_restart(fault::RestartPolicy policy) override;
+
+  /// External liveness signals (the daemon's failure detector) feed the
+  /// same peer-health table the retry machinery uses, so a suspect peer is
+  /// steered around during round target selection whichever layer noticed
+  /// it first.
+  void on_peer_alive(NodeId peer) override;
+  void on_peer_suspected(NodeId peer) override;
+
+  /// Warm-restart snapshot restore: inserts `events` into the
+  /// retransmission buffer (normal eviction applies).
+  void preload_cache(const std::vector<EventPtr>& events) override;
+
+  /// Rotating slice of the stream watermarks this node has witnessed (every
+  /// event crossing the dispatcher advances them, cached or not — a mark
+  /// means "this seq exists", not "I can serve it"). Piggybacked on
+  /// heartbeats by the daemon's failure detector.
+  std::size_t stream_marks_into(std::size_t cursor, std::size_t max_entries,
+                                std::vector<StreamMark>& out) const override;
 
   /// Default behaviour: cache the event iff this dispatcher is responsible
   /// for it — it is the publisher or a local subscriber (§IV-A). Pull
@@ -159,6 +179,8 @@ class GossipProtocolBase : public RecoveryProtocol {
 
  private:
   void run_round();
+  /// Advances the witnessed watermark for each of the event's streams.
+  void note_stream_marks(const EventData& event);
   /// Schedules the deadline check for a pending request (retry hardening).
   void track_request(NodeId to, std::vector<EventId> ids,
                      std::uint32_t attempt);
@@ -180,6 +202,11 @@ class GossipProtocolBase : public RecoveryProtocol {
   /// empty unless retry_hardening().
   std::unordered_map<std::uint32_t, std::uint32_t> peer_timeouts_;
   std::uint64_t restart_epoch_ = 0;
+  /// Highest sequence number witnessed per (source, pattern) — the feed
+  /// for stream_marks_into(). Ordered so the rotation cursor is stable;
+  /// cleared on cold restart along with the cache.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t>
+      stream_marks_;
 };
 
 /// The baseline: plain best-effort dispatching, no recovery (§IV's

@@ -33,6 +33,22 @@ class PullProtocolBase : public GossipProtocolBase {
   /// first-contact rule applies anew), pending losses, and stored routes.
   void on_restart(fault::RestartPolicy policy) override;
 
+  /// Warm-restart restore: beyond refilling the cache, seeds the loss
+  /// watermarks from the snapshot's per-(source, pattern) sequence numbers.
+  /// Without this the relaunched process would re-baseline on the first
+  /// live event and the whole outage window would be undetectable.
+  void preload_cache(const std::vector<EventPtr>& events) override;
+
+  /// Anti-entropy via heartbeat watermarks: a neighbour's mark beyond this
+  /// node's expectation for a locally subscribed stream reveals losses the
+  /// gap detector cannot see — the tail of a stream, a lost stream head,
+  /// or an outage window with no successor event. The difference (from the
+  /// current watermark, or from sequence number 1 for a stream never heard
+  /// from — unlike the paper's abstract setting, history is knowable here)
+  /// goes into the Lost buffer for ordinary pull recovery, clamped by
+  /// max_gap_report.
+  void on_stream_marks(const std::vector<StreamMark>& marks) override;
+
   [[nodiscard]] const LostBuffer& lost() const { return lost_; }
   [[nodiscard]] const LossDetector& detector() const { return detector_; }
   [[nodiscard]] const RoutesBuffer& routes() const { return routes_; }

@@ -1,0 +1,53 @@
+// epicast — log-bucketed publish→deliver latency histogram.
+//
+// Daemon-mode latency spans processes: the publisher stamps published_at on
+// the shared CLOCK_MONOTONIC epoch (AsyncRuntimeConfig::clock_epoch_ns) and
+// the subscriber subtracts on delivery. Latencies range from microseconds
+// (one loopback hop) to seconds (an event recovered after a crash-restart),
+// so the buckets are powers of two of nanoseconds: bucket i counts
+// latencies in [2^i, 2^(i+1)) ns (bucket 0 also absorbs 0). 64 buckets
+// cover everything an int64 nanosecond count can hold, the histogram is
+// fixed-size POD, and merging across nodes is element-wise addition — the
+// cluster harness sums the per-node JSON bucket arrays.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace epicast::metrics {
+
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  /// Records one latency sample. Negative values (cross-process clock skew
+  /// on an unshared epoch) clamp to bucket 0 rather than poisoning the
+  /// distribution.
+  void record(std::int64_t latency_ns);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::int64_t max_ns() const { return max_ns_; }
+
+  /// Quantile estimate in seconds: the geometric midpoint of the bucket
+  /// holding the q-th sample (q in [0,1]). 0 when empty.
+  [[nodiscard]] double quantile_seconds(double q) const;
+
+  /// {"count":N,"p50_s":...,"p90_s":...,"p99_s":...,"max_s":...,
+  ///  "buckets":[[i,count],...]} — only non-empty buckets are listed, so a
+  /// quiet node costs a few bytes and the harness merge is sparse.
+  [[nodiscard]] std::string json() const;
+
+  void merge(const LatencyHistogram& other);
+
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::int64_t max_ns_ = 0;
+};
+
+}  // namespace epicast::metrics

@@ -102,6 +102,15 @@ class Dispatcher final : public TransportReceiver {
     on_delivery_ = std::move(listener);
   }
 
+  /// Called for every HeartbeatMessage arriving on the overlay (daemon-mode
+  /// liveness beacons). Heartbeats never reach handle_control: without a
+  /// listener they are simply absorbed.
+  using HeartbeatListener =
+      std::function<void(NodeId from, const HeartbeatMessage&)>;
+  void set_heartbeat_listener(HeartbeatListener listener) {
+    on_heartbeat_ = std::move(listener);
+  }
+
   // -- API used by recovery protocols --------------------------------------
 
   /// True if this dispatcher already received (or published) the event.
@@ -112,6 +121,24 @@ class Dispatcher final : public TransportReceiver {
   /// Injects an event obtained through recovery. Duplicates are ignored.
   /// Returns true if the event was new here.
   bool accept_recovered(const EventPtr& event);
+
+  // -- crash-restart journal replay (daemon mode) ---------------------------
+
+  /// Marks `id` as already received without delivering or forwarding —
+  /// journal replay rebuilds the duplicate-suppression set of a restarted
+  /// daemon so re-gossiped events it delivered in a previous incarnation
+  /// are not delivered twice.
+  void note_seen(const EventId& id) { seen_.insert(id); }
+
+  /// Restores the publish counters of a restarted daemon so its next
+  /// publish continues the id sequence instead of reusing ids the cluster
+  /// has already seen (which note_seen would then suppress everywhere).
+  void restore_sequences(
+      std::uint64_t next_source_seq,
+      const std::unordered_map<Pattern, std::uint64_t>& next_pattern_seq) {
+    next_source_seq_ = next_source_seq;
+    next_pattern_seq_ = next_pattern_seq;
+  }
 
   /// Convenience senders (from this node).
   void send_overlay(NodeId to, MessagePtr msg) {
@@ -205,6 +232,7 @@ class Dispatcher final : public TransportReceiver {
   SubscriptionTable table_;
   std::unique_ptr<RecoveryProtocol> recovery_;
   DeliveryListener on_delivery_;
+  HeartbeatListener on_heartbeat_;
 
   SeenSet seen_;
   /// Duplicate-suppression state of subscription forwarding: per neighbour

@@ -15,6 +15,7 @@
 #include "epicast/fault/restart_policy.hpp"
 #include "epicast/net/message.hpp"
 #include "epicast/pubsub/event.hpp"
+#include "epicast/pubsub/messages.hpp"
 
 namespace epicast {
 
@@ -51,6 +52,39 @@ class RecoveryProtocol {
   /// would; Warm restarts keep everything. The dispatcher's delivery-dedup
   /// state is durable and survives either way.
   virtual void on_restart(fault::RestartPolicy /*policy*/) {}
+
+  /// Liveness signal from the environment (daemon mode: the failure
+  /// detector heard a heartbeat or any traffic from `peer`). Clears
+  /// suspicion bookkeeping so round-target pruning stops avoiding it.
+  virtual void on_peer_alive(NodeId /*peer*/) {}
+
+  /// The environment suspects `peer` is down (daemon mode: missed
+  /// heartbeats). Protocols with peer-health tracking mark it suspect so
+  /// gossip-round target selection steers around it.
+  virtual void on_peer_suspected(NodeId /*peer*/) {}
+
+  /// Seeds the retransmission buffer with events recovered from a
+  /// warm-restart snapshot, before start(). Protocols without a cache
+  /// ignore it.
+  virtual void preload_cache(const std::vector<EventPtr>& /*events*/) {}
+
+  /// Copies up to `max_entries` of this protocol's per-(source, pattern)
+  /// stream watermarks into `out`, starting at rotation position `cursor`,
+  /// and returns the cursor for the next call (daemon mode: the failure
+  /// detector piggybacks the slice on outgoing heartbeats). Protocols that
+  /// track no watermarks leave `out` untouched and return 0.
+  virtual std::size_t stream_marks_into(std::size_t /*cursor*/,
+                                        std::size_t /*max_entries*/,
+                                        std::vector<StreamMark>& /*out*/) const {
+    return 0;
+  }
+
+  /// A neighbour's heartbeat carried stream watermarks: anything it has
+  /// seen beyond this node's own expectation is a loss this node would
+  /// never detect from sequence gaps alone (tail of a stream, outage
+  /// window with no successor). Pull protocols enqueue the difference for
+  /// normal recovery; others ignore it.
+  virtual void on_stream_marks(const std::vector<StreamMark>& /*marks*/) {}
 
   /// A new (never seen before) event was accepted by the dispatcher.
   virtual void on_event(const EventPtr& event, const EventContext& ctx) = 0;

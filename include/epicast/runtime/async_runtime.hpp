@@ -23,12 +23,17 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "epicast/common/message_pool.hpp"
 #include "epicast/common/rng.hpp"
+#include "epicast/fault/gilbert_elliott.hpp"
+#include "epicast/fault/plan.hpp"
 #include "epicast/metrics/hotpath_profiler.hpp"
 #include "epicast/runtime/runtime.hpp"
 #include "epicast/wire/buffer.hpp"
@@ -52,6 +57,30 @@ struct AsyncRuntimeConfig {
   double inbound_drop_rate = 0.0;
   /// SO_RCVBUF requested for every node socket.
   int socket_rcvbuf_bytes = 1 << 20;
+  /// Wire-level fault injection, the live analog of the simulator's
+  /// FaultController: `burst` runs a Gilbert–Elliott chain per directed
+  /// link (non-control frames only, mirroring control_lossless), `slow`
+  /// delays inbound non-control dispatch by frame_bytes / (bandwidth ×
+  /// factor), and `partition` blackholes k scheduled links entirely —
+  /// control included, as a removed link carries nothing. `churn` specs
+  /// are rejected: process death is real in daemon mode (the cluster
+  /// harness --chaos schedule SIGKILLs daemons instead).
+  fault::FaultPlan faults;
+  /// Plan times are seconds relative to this instant on this runtime's
+  /// clock (daemon mode passes the cluster's publish_start).
+  double fault_origin_s = 0.0;
+  /// Seed for fault draws that must agree across every process of the
+  /// cluster (blackhole link choice) — the cluster-wide seed, not the
+  /// per-node one.
+  std::uint64_t fault_seed = 1;
+  /// Synthetic link bandwidth backing `slow` windows.
+  double slow_bandwidth_bytes_per_s = 1.25e6;
+  /// Maps SimTime::zero() to this absolute CLOCK_MONOTONIC instant instead
+  /// of the construction instant, so every process on one host shares one
+  /// timeline — cross-process publish→deliver latency becomes measurable
+  /// and a restarted daemon rejoins the cluster's lifecycle mid-phase.
+  /// Negative (the default) keeps the construction-time epoch.
+  std::int64_t clock_epoch_ns = -1;
 };
 
 /// Where a node's socket binds / where its datagrams are sent.
@@ -165,8 +194,27 @@ class AsyncRuntime final : public Runtime,
     std::uint64_t drops_injected = 0;   ///< synthetic ε drops
     std::uint64_t drops_no_link = 0;    ///< overlay sends without a link
     std::uint64_t timers_fired = 0;
+    // Wire-level fault injection (AsyncRuntimeConfig::faults):
+    std::uint64_t burst_drops = 0;      ///< Gilbert–Elliott window losses
+    std::uint64_t blackhole_drops = 0;  ///< scheduled blackhole losses
+    std::uint64_t slowdown_delays = 0;  ///< frames delayed by slow windows
+    // Liveness layer (fed by the daemon's FailureDetector via note_*):
+    std::uint64_t heartbeats_sent = 0;
+    std::uint64_t heartbeats_received = 0;
+    std::uint64_t peers_suspected = 0;       ///< suspicion onsets
+    std::uint64_t peers_confirmed_dead = 0;  ///< confirmations
+    std::uint64_t restarts_observed = 0;     ///< incarnation jumps seen
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Liveness counters live in the runtime's Stats so one stats dump covers
+  /// the whole transport story; the failure detector drives them from the
+  /// daemon layer through these hooks.
+  void note_heartbeat_sent() { ++stats_.heartbeats_sent; }
+  void note_heartbeat_received() { ++stats_.heartbeats_received; }
+  void note_peer_suspected() { ++stats_.peers_suspected; }
+  void note_peer_confirmed_dead() { ++stats_.peers_confirmed_dead; }
+  void note_restart_observed() { ++stats_.restarts_observed; }
 
   [[nodiscard]] const AsyncRuntimeConfig& config() const { return config_; }
 
@@ -186,6 +234,17 @@ class AsyncRuntime final : public Runtime,
   void fire_due_timers();
   void rearm_timerfd();
   [[nodiscard]] std::int64_t mono_ns() const;
+
+  /// Final leg of inbound dispatch (frame observer + receiver), shared by
+  /// the immediate path and slow-window delayed delivery.
+  void deliver_frame(const InboundFrame& f, const MessagePtr& msg);
+  /// True if a fault process eats this frame (counts + observer notified).
+  [[nodiscard]] bool fault_drops_frame(const InboundFrame& f,
+                                       const Message& msg);
+  /// Slow-window delay for an inbound frame (zero outside windows).
+  [[nodiscard]] Duration slow_delay(std::size_t frame_bytes) const;
+  [[nodiscard]] bool window_active(Duration start,
+                                   const std::optional<Duration>& stop) const;
 
   AsyncRuntimeConfig config_;
   Rng root_rng_;
@@ -220,6 +279,30 @@ class AsyncRuntime final : public Runtime,
   bool stop_ = false;
   const volatile std::sig_atomic_t* stop_flag_ = nullptr;
   Stats stats_;
+
+  /// Wire fault state (one entry per plan process, plan order).
+  struct WireBurst {
+    fault::BurstSpec spec;
+    Rng rng{0};  ///< per-spec stream; channels fork from it lazily
+    /// One Gilbert–Elliott chain per directed link, keyed (from<<32)|to,
+    /// created in first-traffic order.
+    std::unordered_map<std::uint64_t, fault::GilbertElliottChannel> channels;
+  };
+  struct WireBlackhole {
+    fault::PartitionSpec spec;
+    Rng rng{0};  ///< forked from fault_seed — identical in every process
+    /// Undirected victim links, chosen deterministically from fault_seed
+    /// and the static topology snapshot — every daemon of the cluster
+    /// blackholes the same links.
+    std::vector<std::pair<NodeId, NodeId>> victims;
+    bool chosen = false;
+  };
+  void choose_blackhole_victims(WireBlackhole& bh);
+  std::vector<WireBurst> wire_bursts_;
+  std::vector<WireBlackhole> wire_blackholes_;
+  /// Undirected link universe snapshotted at first attach (blackhole
+  /// choices must not depend on later dynamic route repair).
+  std::vector<std::pair<NodeId, NodeId>> static_links_;
 };
 
 }  // namespace epicast::runtime

@@ -32,6 +32,10 @@
 //   sizing wire|nominal           # must be wire for real sockets
 //   queue-capacity <int>          # bounded inbound frame queue
 //   oracles on|off                # runtime conformance oracles
+//   heartbeat-interval-ms <float> # failure-detector beacons (0 = off)
+//   epoch-ns <int>                # shared CLOCK_MONOTONIC epoch (-1 = local)
+//   faults <spec>                 # wire fault plan: burst/slow/partition
+//                                 #   (fault/plan.hpp grammar; churn invalid)
 #pragma once
 
 #include <cstdint>
@@ -40,6 +44,7 @@
 #include <vector>
 
 #include "epicast/common/ids.hpp"
+#include "epicast/fault/plan.hpp"
 #include "epicast/gossip/config.hpp"
 #include "epicast/net/message.hpp"
 #include "epicast/runtime/async_runtime.hpp"
@@ -72,6 +77,28 @@ struct ClusterConfig {
   SizingMode sizing = SizingMode::Wire;
   std::size_t queue_capacity = 4096;
   bool oracles = true;
+
+  /// True once a request-timeout-ms directive appeared. Daemon mode turns
+  /// retry hardening on by default (3× the gossip interval) when the
+  /// config is silent; the simulator default stays off (seed guards pin
+  /// fault-free sim results bit-exactly).
+  bool request_timeout_set = false;
+
+  /// Liveness beacon period of the daemon's failure detector; 0 disables
+  /// heartbeats (and with them suspicion, death confirmation, and route
+  /// repair).
+  double heartbeat_interval_ms = 250.0;
+
+  /// Shared CLOCK_MONOTONIC epoch (see AsyncRuntimeConfig::clock_epoch_ns);
+  /// the cluster harness writes time.monotonic_ns() here so every daemon —
+  /// including ones relaunched mid-run — lives on one timeline. -1 keeps
+  /// per-process construction epochs.
+  std::int64_t clock_epoch_ns = -1;
+
+  /// Wire-level fault plan executed by every daemon's AsyncRuntime
+  /// (`faults <spec>` directive / epicastd --faults override). Churn specs
+  /// are invalid here — the harness --chaos schedule kills real processes.
+  fault::FaultPlan faults;
 
   [[nodiscard]] std::uint32_t node_count() const {
     return static_cast<std::uint32_t>(endpoints.size());

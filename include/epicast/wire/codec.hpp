@@ -44,6 +44,7 @@ enum class FrameKind : std::uint8_t {
   RandomPullDigest = 5,
   RecoveryRequest = 6,
   RecoveryReply = 7,
+  Heartbeat = 8,
 };
 
 [[nodiscard]] const char* to_string(FrameKind k);

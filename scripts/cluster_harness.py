@@ -6,16 +6,29 @@ scenario: it generates a seeded random-tree topology and subscription set,
 writes the shared cluster config file, reserves N free UDP ports, launches
 one epicastd process per node, waits for the settle/run/drain lifecycle to
 finish, then aggregates the per-node JSON stats dumps into cluster-wide
-delivery and overhead numbers.
+delivery, overhead and latency numbers.
 
 Delivery accounting mirrors the simulator's DeliveryTracker: for every
 publish record (source s, seq q, patterns P), the expected receivers are the
 nodes n != s whose subscription set intersects P; the event counts as
 delivered at n when n's stats dump records a delivery of (s, q). The
 process exits non-zero when eventual delivery falls below
---min-eventual-delivery, when any node records a duplicate delivery, or
-when any daemon exits unsuccessfully (an aborted conformance oracle shows
-up here).
+--min-eventual-delivery, when any node records a duplicate delivery, when
+any daemon exits unsuccessfully (an aborted conformance oracle shows up
+here), or when a daemon dies without the chaos schedule asking for it.
+
+Chaos mode (--chaos) injects real process failures mid-run:
+
+    --chaos 'kill(node=3,at=1.0,restart=1.5,policy=warm);kill(node=7,at=2.0)'
+
+SIGKILLs node 3 one second after publishing starts and relaunches it 1.5 s
+later with the same journal, which the restarted daemon replays to rebuild
+its duplicate-suppression state before rejoining the run. Times are
+relative to the start of the publish window, like the fault-plan grammar.
+All daemons share one CLOCK_MONOTONIC epoch (epoch-ns in the generated
+config), so a relaunched process rejoins the lifecycle mid-phase instead of
+restarting it. Wire-level faults (bursty loss, slowdowns, blackholes) are
+passed through with --faults using the fault-plan grammar.
 
 With --compare-sim=PATH/TO/epicast_sim the same workload shape is also run
 in simulation and the two eventual-delivery numbers are required to agree
@@ -31,28 +44,75 @@ Example (from a build directory):
 
 import argparse
 import json
+import math
 import os
 import random
+import re
 import signal
 import socket
 import subprocess
 import sys
 import tempfile
+import time
 
 
-def free_udp_ports(n):
-    """Reserve n distinct UDP ports, holding all sockets open until every
-    port is chosen so the set is collision-free."""
+def reserve_udp_ports(n):
+    """Reserve n distinct UDP ports. Returns (ports, sockets): the sockets
+    stay bound (SO_REUSEADDR) until the moment each daemon is launched, so
+    another process cannot grab a port between reservation and launch —
+    release_port() closes the placeholder just before the Popen."""
     socks = []
-    try:
-        for _ in range(n):
-            s = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
-            s.bind(("127.0.0.1", 0))
-            socks.append(s)
-        return [s.getsockname()[1] for s in socks]
-    finally:
-        for s in socks:
-            s.close()
+    for _ in range(n):
+        s = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        s.bind(("127.0.0.1", 0))
+        socks.append(s)
+    return [s.getsockname()[1] for s in socks], socks
+
+
+def release_port(socks, node):
+    if socks[node] is not None:
+        socks[node].close()
+        socks[node] = None
+
+
+def parse_chaos(spec):
+    """Parse a chaos schedule: ';'-separated kill(...) clauses.
+
+        kill(node=3,at=1.0[,restart=1.0][,policy=warm|cold])
+
+    `at` is seconds after the publish window opens; `restart` is how long
+    the node stays dead before relaunch (the relaunch is mandatory — the
+    stats dump of the final incarnation is what the aggregator reads)."""
+    events = []
+    for part in filter(None, (p.strip() for p in spec.split(";"))):
+        m = re.fullmatch(r"kill\(([^()]*)\)", part)
+        if not m:
+            raise ValueError(f"bad chaos clause '{part}' "
+                             "(expected kill(node=,at=,restart=,policy=))")
+        kv = {}
+        for item in filter(None, (s.strip() for s in m.group(1).split(","))):
+            key, eq, value = item.partition("=")
+            if not eq:
+                raise ValueError(f"bad chaos parameter '{item}'")
+            kv[key.strip()] = value.strip()
+        unknown = set(kv) - {"node", "at", "restart", "policy"}
+        if unknown:
+            raise ValueError(f"unknown chaos parameter(s) {sorted(unknown)}")
+        if "node" not in kv or "at" not in kv:
+            raise ValueError(f"chaos clause '{part}' needs node= and at=")
+        ev = {
+            "node": int(kv["node"]),
+            "at": float(kv["at"]),
+            "restart": float(kv.get("restart", 1.0)),
+            "policy": kv.get("policy", "warm"),
+        }
+        if ev["at"] < 0 or ev["restart"] < 0:
+            raise ValueError("chaos times must be >= 0")
+        if ev["policy"] not in ("warm", "cold"):
+            raise ValueError("chaos policy must be warm or cold")
+        events.append(ev)
+    return events
 
 
 def build_topology(args, rng):
@@ -66,7 +126,7 @@ def build_topology(args, rng):
     return links, subs
 
 
-def write_config(path, args, ports, links, subs):
+def write_config(path, args, ports, links, subs, epoch_ns):
     lines = ["# generated by cluster_harness.py"]
     for i, port in enumerate(ports):
         lines.append(f"node {i} 127.0.0.1 {port}")
@@ -87,60 +147,205 @@ def write_config(path, args, ports, links, subs):
         f"seed {args.seed}",
         "sizing wire",
         f"oracles {'on' if args.oracles else 'off'}",
+        # One shared CLOCK_MONOTONIC epoch: every daemon (including one
+        # relaunched mid-run) anchors its settle/run/drain phases here.
+        f"epoch-ns {epoch_ns}",
     ]
     if args.gossip_interval_ms is not None:
         lines.append(f"gossip-interval-ms {args.gossip_interval_ms}")
     if args.beta is not None:
         lines.append(f"beta {args.beta}")
+    if args.heartbeat_interval_ms is not None:
+        lines.append(f"heartbeat-interval-ms {args.heartbeat_interval_ms}")
+    if args.faults is not None:
+        lines.append(f"faults {args.faults}")
     with open(path, "w") as f:
         f.write("\n".join(lines) + "\n")
 
 
-def launch_cluster(args, config_path, out_dir):
-    procs = []
-    for i in range(args.nodes):
-        stats = os.path.join(out_dir, f"node{i}.json")
-        log = open(os.path.join(out_dir, f"node{i}.log"), "w")
-        procs.append(
-            (
-                subprocess.Popen(
-                    [
-                        args.epicastd,
-                        f"--config={config_path}",
-                        f"--node-id={i}",
-                        f"--stats-out={stats}",
-                    ],
-                    stdout=log,
-                    stderr=log,
-                ),
-                stats,
-                log,
-            )
-        )
-    return procs
+def write_manifest(out_dir, args, ports, chaos, epoch_ns):
+    """Everything needed to replay or debug this run, stamped by --seed."""
+    manifest = {
+        "seed": args.seed,
+        "argv": sys.argv[1:],
+        "nodes": args.nodes,
+        "algorithm": args.algorithm,
+        "ports": ports,
+        "epoch_ns": epoch_ns,
+        "chaos": chaos,
+        "faults": args.faults,
+        "config": "cluster.conf",
+    }
+    path = os.path.join(out_dir, "manifest.json")
+    with open(path, "w") as f:
+        json.dump(manifest, f, indent=2)
+        f.write("\n")
+    return path
 
 
-def wait_cluster(args, procs):
-    """Wait for the lifecycle to finish; escalate to SIGTERM/SIGKILL on
-    overrun. Returns the list of exit codes."""
-    deadline = args.settle + args.run + args.drain + 20.0
-    codes = []
-    for proc, _, log in procs:
-        try:
-            codes.append(proc.wait(timeout=deadline))
-        except subprocess.TimeoutExpired:
-            proc.send_signal(signal.SIGTERM)
+class Cluster:
+    """Launch state: one daemon per node, relaunchable under chaos."""
+
+    def __init__(self, args, config_path, out_dir, socks, journaled):
+        self.args = args
+        self.config_path = config_path
+        self.out_dir = out_dir
+        self.socks = socks
+        self.journaled = journaled
+        self.procs = {}  # node -> Popen (current incarnation)
+        self.logs = {}   # node -> open log file
+        self.stats = {i: os.path.join(out_dir, f"node{i}.json")
+                      for i in range(args.nodes)}
+
+    def launch(self, node, policy="warm"):
+        cmd = [
+            self.args.epicastd,
+            f"--config={self.config_path}",
+            f"--node-id={node}",
+            f"--stats-out={self.stats[node]}",
+        ]
+        if self.journaled:
+            cmd.append(
+                f"--journal={os.path.join(self.out_dir, f'node{node}.journal')}")
+            cmd.append(f"--restart-policy={policy}")
+            if self.args.snapshot and policy == "warm":
+                cmd.append("--snapshot")
+        if node not in self.logs:
+            self.logs[node] = open(
+                os.path.join(self.out_dir, f"node{node}.log"), "a")
+        release_port(self.socks, node)  # just-in-time: minimal race window
+        self.procs[node] = subprocess.Popen(
+            cmd, stdout=self.logs[node], stderr=self.logs[node])
+
+    def launch_all(self):
+        for node in range(self.args.nodes):
+            self.launch(node)
+
+    def kill(self, node):
+        self.procs[node].kill()
+        self.procs[node].wait()
+
+    def terminate_all(self):
+        for proc in self.procs.values():
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        for proc in self.procs.values():
             try:
-                codes.append(proc.wait(timeout=10.0))
+                proc.wait(timeout=10.0)
             except subprocess.TimeoutExpired:
                 proc.kill()
-                codes.append(proc.wait())
-        log.close()
-    return codes
+                proc.wait()
+
+    def close_logs(self):
+        for log in self.logs.values():
+            log.close()
+
+
+def run_lifecycle(args, cluster, chaos, epoch_ns):
+    """Drive the cluster to completion, firing the chaos schedule on the
+    shared monotonic clock. Returns (exit_codes, unscheduled_crashes)."""
+    # Chaos times are relative to the publish window; the daemons anchor
+    # their phases at epoch_ns on the same CLOCK_MONOTONIC we read here.
+    def now():
+        return (time.monotonic_ns() - epoch_ns) / 1e9
+
+    actions = []  # (t, "kill"|"relaunch", event)
+    for ev in chaos:
+        actions.append((args.settle + ev["at"], "kill", ev))
+    actions.sort(key=lambda a: a[0])
+
+    deadline = args.settle + args.run + args.drain + 20.0
+    sanctioned = set()  # nodes whose current incarnation we killed
+    crashes = []        # (node, code) deaths the schedule did not order
+    exit_codes = {}
+    overrun = False
+
+    while True:
+        t = now()
+        while actions and actions[0][0] <= t:
+            _, what, ev = actions.pop(0)
+            node = ev["node"]
+            if what == "kill":
+                print(f"chaos: t={t:.2f}s SIGKILL node {node} "
+                      f"(restart +{ev['restart']}s, {ev['policy']})")
+                sanctioned.add(node)
+                cluster.kill(node)
+                actions.append((args.settle + ev["at"] + ev["restart"],
+                                "relaunch", ev))
+                actions.sort(key=lambda a: a[0])
+            else:
+                print(f"chaos: t={t:.2f}s relaunch node {node} "
+                      f"({ev['policy']})")
+                sanctioned.discard(node)
+                exit_codes.pop(node, None)
+                cluster.launch(node, policy=ev["policy"])
+
+        for node, proc in cluster.procs.items():
+            code = proc.poll()
+            if code is None or node in exit_codes:
+                continue
+            exit_codes[node] = code
+            if node not in sanctioned and code != 0:
+                crashes.append((node, code))
+
+        live = [n for n, p in cluster.procs.items()
+                if p.poll() is None or n in sanctioned]
+        if not actions and not live:
+            break
+        if t > deadline:
+            overrun = True
+            print("FAIL: lifecycle overran its deadline, terminating",
+                  file=sys.stderr)
+            cluster.terminate_all()
+            for node, proc in cluster.procs.items():
+                exit_codes.setdefault(node, proc.poll())
+            break
+        time.sleep(0.05)
+
+    cluster.close_logs()
+    if overrun:
+        crashes.append((-1, "deadline"))
+    return exit_codes, crashes
+
+
+def merge_latency(dumps):
+    """Element-wise merge of the per-node publish→deliver histograms
+    (log-bucketed: bucket i covers [2^i, 2^(i+1)) ns), then cluster-wide
+    quantiles at the geometric bucket midpoint 2^i·√2 ns."""
+    buckets = {}
+    count = 0
+    max_s = 0.0
+    for dump in dumps:
+        lat = dump.get("latency")
+        if not lat:
+            continue
+        count += lat.get("count", 0)
+        max_s = max(max_s, lat.get("max_s", 0.0))
+        for i, n in lat.get("buckets", []):
+            buckets[i] = buckets.get(i, 0) + n
+
+    def quantile(q):
+        if count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * count))
+        seen = 0
+        for i in sorted(buckets):
+            seen += buckets[i]
+            if seen >= rank:
+                return (2.0 ** i) * math.sqrt(2.0) * 1e-9
+        return max_s
+
+    return {
+        "count": count,
+        "p50_s": quantile(0.5),
+        "p90_s": quantile(0.9),
+        "p99_s": quantile(0.99),
+        "max_s": max_s,
+    }
 
 
 def aggregate(args, stats_paths, subs):
-    """Cluster-wide delivery/overhead numbers from the per-node dumps."""
+    """Cluster-wide delivery/overhead/latency numbers from the dumps."""
     dumps = []
     for path in stats_paths:
         with open(path) as f:
@@ -184,6 +389,7 @@ def aggregate(args, stats_paths, subs):
         for key, value in dump["transport"].items():
             transport[key] = transport.get(key, 0) + value
     oracle_checks = sum(d.get("oracle_checks", 0) for d in dumps)
+    restarts = sum(1 for d in dumps if d.get("restarted"))
 
     delivery = pairs_delivered / pairs_expected if pairs_expected else 1.0
     return {
@@ -195,6 +401,8 @@ def aggregate(args, stats_paths, subs):
         "eventual_delivery_rate": delivery,
         "duplicate_deliveries": duplicates,
         "oracle_checks": oracle_checks,
+        "nodes_restarted": restarts,
+        "latency": merge_latency(dumps),
         "transport": transport,
     }
 
@@ -240,6 +448,15 @@ def main():
     ap.add_argument("--payload-bytes", type=int, default=1000)
     ap.add_argument("--gossip-interval-ms", type=float, default=None)
     ap.add_argument("--beta", type=int, default=None)
+    ap.add_argument("--heartbeat-interval-ms", type=float, default=None,
+                    help="failure-detector beacon period (0 disables)")
+    ap.add_argument("--faults", default=None,
+                    help="wire fault plan, e.g. 'burst(p=0.05,r=0.25)'")
+    ap.add_argument("--chaos", default=None,
+                    help="kill schedule, e.g. "
+                         "'kill(node=3,at=1.0,restart=1.5,policy=warm)'")
+    ap.add_argument("--snapshot", action="store_true",
+                    help="warm restarts preload a periodic cache snapshot")
     ap.add_argument("--no-oracles", dest="oracles", action="store_false")
     ap.add_argument("--min-eventual-delivery", type=float, default=0.0)
     ap.add_argument("--compare-sim", default=None,
@@ -254,32 +471,51 @@ def main():
         ap.error("--nodes must be >= 2")
     if args.pi > args.universe:
         ap.error("--pi cannot exceed --universe")
+    try:
+        chaos = parse_chaos(args.chaos) if args.chaos else []
+    except ValueError as e:
+        ap.error(str(e))
+    for ev in chaos:
+        if not 0 <= ev["node"] < args.nodes:
+            ap.error(f"chaos kills node {ev['node']} outside [0, "
+                     f"{args.nodes})")
 
     out_dir = args.out_dir or tempfile.mkdtemp(prefix="epicast-cluster-")
     os.makedirs(out_dir, exist_ok=True)
 
     rng = random.Random(args.seed)
     links, subs = build_topology(args, rng)
-    ports = free_udp_ports(args.nodes)
+    ports, socks = reserve_udp_ports(args.nodes)
+    epoch_ns = time.monotonic_ns()
     config_path = os.path.join(out_dir, "cluster.conf")
-    write_config(config_path, args, ports, links, subs)
+    write_config(config_path, args, ports, links, subs, epoch_ns)
+    write_manifest(out_dir, args, ports, chaos, epoch_ns)
 
     print(f"cluster: {args.nodes} nodes, {args.algorithm}, "
-          f"drop-rate {args.drop_rate}, out-dir {out_dir}")
-    procs = launch_cluster(args, config_path, out_dir)
-    codes = wait_cluster(args, procs)
+          f"drop-rate {args.drop_rate}, "
+          f"{len(chaos)} chaos kill(s), out-dir {out_dir}")
+    cluster = Cluster(args, config_path, out_dir, socks,
+                      journaled=bool(chaos))
+    cluster.launch_all()
+    exit_codes, crashes = run_lifecycle(args, cluster, chaos, epoch_ns)
 
-    failed = [i for i, c in enumerate(codes) if c != 0]
-    if failed:
-        for i in failed:
-            log = os.path.join(out_dir, f"node{i}.log")
+    failed = [n for n, c in sorted(exit_codes.items()) if c != 0]
+    if failed or crashes:
+        for n in failed:
+            log = os.path.join(out_dir, f"node{n}.log")
             with open(log) as f:
                 tail = f.read()[-1000:]
-            print(f"node {i} exited {codes[i]}:\n{tail}", file=sys.stderr)
-        print(f"FAIL: nodes {failed} exited non-zero", file=sys.stderr)
+            print(f"node {n} exited {exit_codes[n]}:\n{tail}",
+                  file=sys.stderr)
+        for node, code in crashes:
+            print(f"FAIL: unscheduled daemon death (node {node}, "
+                  f"code {code})", file=sys.stderr)
+        if failed:
+            print(f"FAIL: nodes {failed} exited non-zero", file=sys.stderr)
         return 1
 
-    summary = aggregate(args, [p for _, p, _ in procs], subs)
+    summary = aggregate(args, [cluster.stats[i] for i in range(args.nodes)],
+                        subs)
     print(json.dumps(summary, indent=2))
 
     ok = True
@@ -289,6 +525,11 @@ def main():
         ok = False
     if args.oracles and summary["oracle_checks"] == 0:
         print("FAIL: oracles enabled but no checks recorded",
+              file=sys.stderr)
+        ok = False
+    if chaos and summary["nodes_restarted"] < len({e["node"] for e in chaos}):
+        print(f"FAIL: {summary['nodes_restarted']} restarted stats dumps "
+              f"for {len({e['node'] for e in chaos})} chaos-killed node(s)",
               file=sys.stderr)
         ok = False
     if summary["eventual_delivery_rate"] < args.min_eventual_delivery:

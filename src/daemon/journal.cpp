@@ -1,0 +1,176 @@
+#include "epicast/daemon/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "epicast/pubsub/messages.hpp"
+#include "epicast/wire/buffer.hpp"
+#include "epicast/wire/codec.hpp"
+
+namespace epicast::daemon {
+
+namespace {
+
+bool parse_publish(std::istringstream& in, Journal::PublishEntry& out) {
+  std::string patterns;
+  if (!(in >> out.seq >> out.t_s >> patterns)) return false;
+  std::size_t pos = 0;
+  while (pos < patterns.size()) {
+    std::size_t end = patterns.find(',', pos);
+    if (end == std::string::npos) end = patterns.size();
+    try {
+      out.patterns.push_back(
+          static_cast<std::uint32_t>(std::stoul(patterns.substr(pos, end - pos))));
+    } catch (const std::exception&) {
+      return false;
+    }
+    pos = end + 1;
+  }
+  return !out.patterns.empty();
+}
+
+bool parse_delivery(std::istringstream& in, Journal::DeliveryEntry& out) {
+  int recovered = 0;
+  if (!(in >> out.source >> out.seq >> out.t_s >> recovered)) return false;
+  out.recovered = recovered != 0;
+  return true;
+}
+
+}  // namespace
+
+Journal::Journal(std::string path) : path_(std::move(path)) {
+  // Replay before opening for append, so a replayed record can never be one
+  // this incarnation wrote.
+  std::ifstream in(path_);
+  if (in) {
+    std::string line;
+    while (std::getline(in, line)) {
+      std::istringstream is(line);
+      char tag = 0;
+      if (!(is >> tag)) continue;
+      switch (tag) {
+        case 'B': {
+          ++replay_.boots;
+          break;
+        }
+        case 'P': {
+          PublishEntry e;
+          if (parse_publish(is, e)) replay_.publishes.push_back(std::move(e));
+          break;
+        }
+        case 'D': {
+          DeliveryEntry e;
+          if (parse_delivery(is, e)) replay_.deliveries.push_back(e);
+          break;
+        }
+        default:
+          break;  // torn tail of a crashed write — skip
+      }
+    }
+  }
+
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("cannot open journal " + path_ + ": " +
+                             std::strerror(errno));
+  }
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Journal::append(const std::string& line) {
+  // One write(2) per record: O_APPEND makes it atomic with respect to any
+  // other appender, and a SIGKILL between records loses nothing.
+  ssize_t off = 0;
+  const auto* data = line.data();
+  auto left = static_cast<ssize_t>(line.size());
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, data + off, static_cast<std::size_t>(left));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // journaling is best-effort; the run itself must not die
+    }
+    off += n;
+    left -= n;
+  }
+}
+
+void Journal::log_boot(std::uint64_t incarnation,
+                       fault::RestartPolicy policy) {
+  std::ostringstream os;
+  os << "B " << incarnation << " " << fault::to_string(policy) << "\n";
+  append(os.str());
+}
+
+void Journal::log_publish(const PublishEntry& e) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "P " << e.seq << " " << e.t_s << " ";
+  for (std::size_t i = 0; i < e.patterns.size(); ++i) {
+    os << (i == 0 ? "" : ",") << e.patterns[i];
+  }
+  os << "\n";
+  append(os.str());
+}
+
+void Journal::log_delivery(const DeliveryEntry& e) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "D " << e.source << " " << e.seq << " " << e.t_s << " "
+     << (e.recovered ? 1 : 0) << "\n";
+  append(os.str());
+}
+
+void write_cache_snapshot(const std::string& path,
+                          const std::vector<EventPtr>& events) {
+  wire::WireBuffer buf;
+  for (const EventPtr& e : events) {
+    const EventMessage msg(e, /*route=*/{});
+    wire::Codec::encode(msg, buf);
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+    if (!out) return;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) std::remove(tmp.c_str());
+}
+
+std::vector<EventPtr> read_cache_snapshot(const std::string& path) {
+  std::vector<EventPtr> out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return out;
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  std::size_t pos = 0;
+  while (pos + 4 <= bytes.size()) {
+    const std::uint32_t len = static_cast<std::uint32_t>(bytes[pos]) |
+                              (static_cast<std::uint32_t>(bytes[pos + 1]) << 8) |
+                              (static_cast<std::uint32_t>(bytes[pos + 2]) << 16) |
+                              (static_cast<std::uint32_t>(bytes[pos + 3]) << 24);
+    const std::size_t total = 4u + len;
+    if (len > wire::Codec::kMaxFrameLen || pos + total > bytes.size()) break;
+    const wire::Decoded d = wire::Codec::decode(
+        std::span<const std::uint8_t>(bytes.data() + pos, total));
+    pos += total;
+    if (!d.ok()) break;
+    if (const auto* em = dynamic_cast<const EventMessage*>(d.message().get())) {
+      out.push_back(em->event());
+    }
+  }
+  return out;
+}
+
+}  // namespace epicast::daemon

@@ -154,6 +154,15 @@ void EventCache::clear() {
   by_id_.reserve(capacity_);
 }
 
+std::vector<EventPtr> EventCache::snapshot_events() const {
+  std::vector<EventPtr> out;
+  out.reserve(by_id_.size());
+  for (std::uint32_t i = head_; i != kNil; i = nodes_[i].next) {
+    out.push_back(nodes_[i].event);
+  }
+  return out;
+}
+
 bool EventCache::contains(const EventId& id) const {
   return by_id_.contains(id);
 }

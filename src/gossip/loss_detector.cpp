@@ -1,5 +1,7 @@
 #include "epicast/gossip/loss_detector.hpp"
 
+#include <algorithm>
+
 #include "epicast/common/assert.hpp"
 
 namespace epicast {
@@ -35,6 +37,11 @@ std::vector<SeqNo> LossDetector::observe(NodeId source, Pattern pattern,
   gaps_detected_ += missing.size();
   high = seq.value();
   return missing;
+}
+
+void LossDetector::seed(NodeId source, Pattern pattern, SeqNo seq) {
+  auto [it, first_contact] = high_.try_emplace(Key{source, pattern}, 0);
+  it->second = std::max(it->second, seq.value());
 }
 
 SeqNo LossDetector::high_watermark(NodeId source, Pattern pattern) const {

@@ -1,5 +1,7 @@
 #include "epicast/gossip/protocol.hpp"
 
+#include <algorithm>
+#include <iterator>
 #include <utility>
 
 #include "epicast/common/assert.hpp"
@@ -66,6 +68,7 @@ void GossipProtocolBase::on_restart(fault::RestartPolicy policy) {
   if (policy == fault::RestartPolicy::Cold) {
     cache_.clear();
     digest_marks_.fill({});
+    stream_marks_.clear();
     ++restart_epoch_;
   }
 }
@@ -103,6 +106,47 @@ void GossipProtocolBase::note_peer_timeout(NodeId peer) {
   ++peer_timeouts_[peer.value()];
 }
 
+void GossipProtocolBase::on_peer_alive(NodeId peer) { note_peer_alive(peer); }
+
+void GossipProtocolBase::on_peer_suspected(NodeId peer) {
+  // Jump straight to the suspicion threshold: the failure detector already
+  // applied its own strike policy before telling us.
+  std::uint32_t& strikes = peer_timeouts_[peer.value()];
+  strikes = std::max(strikes, kSuspectAfterTimeouts);
+}
+
+void GossipProtocolBase::preload_cache(const std::vector<EventPtr>& events) {
+  for (const EventPtr& e : events) {
+    cache_.insert(e);
+    note_stream_marks(*e);
+  }
+}
+
+void GossipProtocolBase::note_stream_marks(const EventData& event) {
+  for (const PatternSeq& ps : event.patterns()) {
+    std::uint64_t& high =
+        stream_marks_[{event.source().value(), ps.pattern.value()}];
+    high = std::max(high, ps.seq.value());
+  }
+}
+
+std::size_t GossipProtocolBase::stream_marks_into(
+    std::size_t cursor, std::size_t max_entries,
+    std::vector<StreamMark>& out) const {
+  const std::size_t n = stream_marks_.size();
+  if (n == 0 || max_entries == 0) return 0;
+  cursor %= n;
+  auto it = stream_marks_.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(cursor));
+  for (std::size_t i = 0; i < std::min(max_entries, n); ++i) {
+    out.push_back(StreamMark{NodeId{it->first.first},
+                             Pattern{it->first.second}, SeqNo{it->second}});
+    if (++it == stream_marks_.end()) it = stream_marks_.begin();
+    ++cursor;
+  }
+  return cursor % n;
+}
+
 void GossipProtocolBase::prune_suspects(std::vector<NodeId>& targets) const {
   bool any_healthy = false;
   for (NodeId n : targets) {
@@ -127,6 +171,7 @@ void GossipProtocolBase::run_round() {
 
 void GossipProtocolBase::on_event(const EventPtr& event,
                                   const EventContext& ctx) {
+  note_stream_marks(*event);
   if (!responsible_for(*event, ctx.local_publish)) return;
   // Publishers always cache their own events (publisher-based pull relies
   // on the source as the recovery backstop, §III-B); subscribers are

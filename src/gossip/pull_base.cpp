@@ -37,6 +37,38 @@ void PullProtocolBase::on_event(const EventPtr& event,
   }
 }
 
+void PullProtocolBase::preload_cache(const std::vector<EventPtr>& events) {
+  GossipProtocolBase::preload_cache(events);
+  for (const EventPtr& e : events) {
+    for (const PatternSeq& ps : e->patterns()) {
+      detector_.seed(e->source(), ps.pattern, ps.seq);
+    }
+  }
+}
+
+void PullProtocolBase::on_stream_marks(const std::vector<StreamMark>& marks) {
+  for (const StreamMark& m : marks) {
+    if (!d_.table().has_local(m.pattern)) continue;
+    const std::uint64_t high =
+        detector_.high_watermark(m.source, m.pattern).value();
+    if (m.seq.value() <= high) continue;
+    // Everything in (high, mark] exists somewhere and never arrived here —
+    // including the mark itself (unlike a live observation). The gap
+    // detector's first-contact rule does not apply: sequence numbers start
+    // at 1 by construction, so a mark for a stream never heard from (its
+    // head was lost, or this node cold-restarted) pins down the missing
+    // range exactly. Clamp like the gap detector so a long outage cannot
+    // flood the Lost buffer.
+    std::uint64_t from = high + 1;
+    const std::uint64_t to = m.seq.value();  // inclusive
+    if (to - high > cfg_.max_gap_report) from = to - cfg_.max_gap_report + 1;
+    for (std::uint64_t s = from; s <= to; ++s) {
+      lost_.add(LostEntryInfo{m.source, m.pattern, SeqNo{s}}, d_.now());
+    }
+    detector_.seed(m.source, m.pattern, m.seq);
+  }
+}
+
 void PullProtocolBase::on_restart(fault::RestartPolicy policy) {
   GossipProtocolBase::on_restart(policy);
   if (policy == fault::RestartPolicy::Cold) {

@@ -1,0 +1,66 @@
+#include "epicast/metrics/latency_histogram.hpp"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace epicast::metrics {
+
+namespace {
+
+// Geometric midpoint of bucket i ([2^i, 2^(i+1)) ns) in seconds.
+double bucket_mid_seconds(std::size_t i) {
+  return std::ldexp(1.0, static_cast<int>(i)) * 1.4142135623730951 * 1e-9;
+}
+
+}  // namespace
+
+void LatencyHistogram::record(std::int64_t latency_ns) {
+  if (latency_ns < 0) latency_ns = 0;
+  const auto u = static_cast<std::uint64_t>(latency_ns);
+  const std::size_t bucket = u == 0 ? 0 : 63 - std::countl_zero(u);
+  ++buckets_[bucket];
+  ++count_;
+  if (latency_ns > max_ns_) max_ns_ = latency_ns;
+}
+
+double LatencyHistogram::quantile_seconds(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // 1-based rank of the q-th sample; cumulative walk over the buckets.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank && buckets_[i] > 0) return bucket_mid_seconds(i);
+  }
+  return bucket_mid_seconds(kBuckets - 1);
+}
+
+std::string LatencyHistogram::json() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"count\": " << count_ << ", \"p50_s\": " << quantile_seconds(0.5)
+     << ", \"p90_s\": " << quantile_seconds(0.9)
+     << ", \"p99_s\": " << quantile_seconds(0.99)
+     << ", \"max_s\": " << static_cast<double>(max_ns_) * 1e-9
+     << ", \"buckets\": [";
+  bool first = true;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    os << (first ? "" : ", ") << "[" << i << ", " << buckets_[i] << "]";
+    first = false;
+  }
+  os << "]}";
+  return os.str();
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  if (other.max_ns_ > max_ns_) max_ns_ = other.max_ns_;
+}
+
+}  // namespace epicast::metrics

@@ -281,6 +281,13 @@ void Dispatcher::on_overlay_message(NodeId from, const MessagePtr& msg) {
       handle_event(from, static_cast<const EventMessage&>(*msg));
       return;
     case MessageClass::Control:
+      // Two control messages share the class: heartbeats (daemon-mode
+      // liveness, routed to the failure detector) and subscription
+      // forwarding. Discriminate by type before the narrowing cast.
+      if (const auto* hb = dynamic_cast<const HeartbeatMessage*>(msg.get())) {
+        if (on_heartbeat_) on_heartbeat_(from, *hb);
+        return;
+      }
       handle_control(from, static_cast<const SubscribeMessage&>(*msg));
       return;
     case MessageClass::GossipDigest:

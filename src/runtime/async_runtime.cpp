@@ -88,8 +88,36 @@ AsyncRuntime::AsyncRuntime(AsyncRuntimeConfig config)
   if (config_.inbound_queue_capacity == 0) {
     throw std::invalid_argument("inbound_queue_capacity must be > 0");
   }
+  if (!config_.faults.churns.empty()) {
+    // Churn means process death. In daemon mode processes really die: the
+    // cluster harness --chaos schedule SIGKILLs and relaunches epicastd.
+    // Emulating churn inside a live runtime would be a lie twice over.
+    throw std::invalid_argument(
+        "AsyncRuntime fault plans cannot contain churn(...): daemon-mode "
+        "process death is real — use the cluster harness --chaos schedule "
+        "(SIGKILL + relaunch) instead of a synthetic churn process");
+  }
+  config_.faults.validate();
+  if (!(config_.slow_bandwidth_bytes_per_s > 0.0)) {
+    throw std::invalid_argument("slow_bandwidth_bytes_per_s must be > 0");
+  }
+  {
+    // One fork per fault process, in plan order, off the *cluster-wide*
+    // seed: every daemon derives the same blackhole victim stream, while
+    // burst channels (whose losses are local anyway) stay deterministic
+    // per process.
+    Rng fault_rng(config_.fault_seed);
+    wire_bursts_.reserve(config_.faults.bursts.size());
+    for (const fault::BurstSpec& b : config_.faults.bursts) {
+      wire_bursts_.push_back(WireBurst{b, fault_rng.fork(), {}});
+    }
+    wire_blackholes_.reserve(config_.faults.partitions.size());
+    for (const fault::PartitionSpec& p : config_.faults.partitions) {
+      wire_blackholes_.push_back(WireBlackhole{p, fault_rng.fork(), {}, false});
+    }
+  }
 
-  start_ns_ = mono_ns();
+  start_ns_ = config_.clock_epoch_ns >= 0 ? config_.clock_epoch_ns : mono_ns();
   recv_buf_.resize(kMaxDatagram);
 
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
@@ -262,6 +290,17 @@ void AsyncRuntime::attach(NodeId node, TransportReceiver& receiver) {
     throw_errno("epoll_ctl(node socket)");
   }
   local_[node.value()] = std::move(ln);
+
+  if (static_links_.empty()) {
+    // Snapshot the configured topology before anything dynamic (route
+    // repair) mutates it: blackhole victim choice must agree across
+    // processes, and repair timing never will.
+    for (std::uint32_t a = 0; a < links_.size(); ++a) {
+      for (NodeId b : links_[a]) {
+        if (b.value() > a) static_links_.emplace_back(NodeId{a}, b);
+      }
+    }
+  }
 }
 
 void AsyncRuntime::send_overlay(NodeId from, NodeId to, MessagePtr msg) {
@@ -383,6 +422,125 @@ void AsyncRuntime::drain_socket(LocalNode& node) {
   }
 }
 
+bool AsyncRuntime::window_active(Duration start,
+                                 const std::optional<Duration>& stop) const {
+  const Duration origin = Duration::seconds(config_.fault_origin_s);
+  const SimTime t = now();
+  if (t < SimTime::zero() + origin + start) return false;
+  if (stop && t >= SimTime::zero() + origin + *stop) return false;
+  return true;
+}
+
+void AsyncRuntime::choose_blackhole_victims(WireBlackhole& bh) {
+  bh.chosen = true;
+  if (static_links_.empty()) {
+    // No attach happened (or links came late): fall back to the live table.
+    for (std::uint32_t a = 0; a < links_.size(); ++a) {
+      for (NodeId b : links_[a]) {
+        if (b.value() > a) static_links_.emplace_back(NodeId{a}, b);
+      }
+    }
+  }
+  // Partial Fisher–Yates over a copy: k distinct links, draw order fixed,
+  // so every process picks the same victims from the same seed.
+  std::vector<std::pair<NodeId, NodeId>> pool = static_links_;
+  const std::size_t want =
+      std::min<std::size_t>(bh.spec.links, pool.size());
+  for (std::size_t i = 0; i < want; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(bh.rng.next_below(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+    bh.victims.push_back(pool[i]);
+  }
+}
+
+bool AsyncRuntime::fault_drops_frame(const InboundFrame& f,
+                                     const Message& msg) {
+  const bool control = msg.message_class() == MessageClass::Control;
+
+  // Scheduled blackholes first: a dead link carries *nothing*, control
+  // included — this is what starves the failure detector and exercises the
+  // suspect machinery end to end.
+  for (WireBlackhole& bh : wire_blackholes_) {
+    if (!window_active(bh.spec.at, bh.spec.heal)) continue;
+    if (!bh.chosen) choose_blackhole_victims(bh);
+    const std::pair<NodeId, NodeId> key =
+        f.from.value() < f.to.value() ? std::make_pair(f.from, f.to)
+                                      : std::make_pair(f.to, f.from);
+    for (const auto& victim : bh.victims) {
+      if (victim == key) {
+        ++stats_.blackhole_drops;
+        for (TransportObserver* o : observers_) {
+          o->on_loss(f.from, f.to, msg, f.overlay);
+        }
+        return true;
+      }
+    }
+  }
+
+  // Gilbert–Elliott windows: the chain advances for every frame on the
+  // directed link (the burst weather doesn't care what's in the packets)
+  // but only non-control frames are actually lost, mirroring
+  // control_lossless in the simulated transport.
+  for (WireBurst& wb : wire_bursts_) {
+    if (!window_active(wb.spec.start, wb.spec.stop)) continue;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(f.from.value()) << 32) | f.to.value();
+    auto it = wb.channels.find(key);
+    if (it == wb.channels.end()) {
+      it = wb.channels
+               .emplace(key, fault::GilbertElliottChannel(wb.spec.channel,
+                                                          wb.rng.fork()))
+               .first;
+    }
+    if (it->second.transmit_lost() && !control) {
+      ++stats_.burst_drops;
+      for (TransportObserver* o : observers_) {
+        o->on_loss(f.from, f.to, msg, f.overlay);
+      }
+      return true;
+    }
+  }
+
+  if (config_.inbound_drop_rate > 0.0 && !control &&
+      drop_rng_.chance(config_.inbound_drop_rate)) {
+    // Synthetic ε: localhost UDP is effectively lossless, so the paper's
+    // link error rate is re-introduced receive-side. Control traffic is
+    // exempt, mirroring TransportConfig::control_lossless.
+    ++stats_.drops_injected;
+    for (TransportObserver* o : observers_) {
+      o->on_loss(f.from, f.to, msg, f.overlay);
+    }
+    return true;
+  }
+  return false;
+}
+
+Duration AsyncRuntime::slow_delay(std::size_t frame_bytes) const {
+  double factor = 1.0;
+  for (const fault::SlowSpec& s : config_.faults.slows) {
+    if (window_active(s.start, s.stop)) factor = std::min(factor, s.factor);
+  }
+  if (factor >= 1.0) return Duration::zero();
+  // Inside a slow window the frame takes bytes/(bandwidth·factor) instead
+  // of effectively zero on loopback; charge the whole serialization time.
+  const double bw =
+      config_.slow_bandwidth_bytes_per_s * std::max(factor, 1e-6);
+  return Duration::seconds(static_cast<double>(frame_bytes) / bw);
+}
+
+void AsyncRuntime::deliver_frame(const InboundFrame& f, const MessagePtr& msg) {
+  if (frame_obs_) frame_obs_(f.from, f.to, f.overlay, f.frame, msg);
+
+  LocalNode* dest = local_[f.to.value()].get();
+  if (dest == nullptr || dest->receiver == nullptr) return;
+  if (f.overlay) {
+    dest->receiver->on_overlay_message(f.from, msg);
+  } else {
+    dest->receiver->on_direct_message(f.from, msg);
+  }
+}
+
 void AsyncRuntime::process_inbound() {
   while (!inbound_.empty()) {
     InboundFrame f = std::move(inbound_.front());
@@ -395,28 +553,22 @@ void AsyncRuntime::process_inbound() {
     }
     const MessagePtr& msg = decoded.message();
 
-    if (config_.inbound_drop_rate > 0.0 &&
-        msg->message_class() != MessageClass::Control &&
-        drop_rng_.chance(config_.inbound_drop_rate)) {
-      // Synthetic ε: localhost UDP is effectively lossless, so the paper's
-      // link error rate is re-introduced receive-side. Control traffic is
-      // exempt, mirroring TransportConfig::control_lossless.
-      ++stats_.drops_injected;
-      for (TransportObserver* o : observers_) {
-        o->on_loss(f.from, f.to, *msg, f.overlay);
+    if (fault_drops_frame(f, *msg)) continue;
+
+    if (msg->message_class() != MessageClass::Control) {
+      const Duration delay = slow_delay(f.frame.size() + kDgramHeaderBytes);
+      if (delay > Duration::zero()) {
+        // Re-dispatch through the timer wheel; control frames stay prompt
+        // so a slow window degrades throughput without faking peer death.
+        ++stats_.slowdown_delays;
+        auto held = std::make_shared<InboundFrame>(std::move(f));
+        MessagePtr held_msg = msg;
+        after(delay, [this, held, held_msg] { deliver_frame(*held, held_msg); });
+        continue;
       }
-      continue;
     }
 
-    if (frame_obs_) frame_obs_(f.from, f.to, f.overlay, f.frame, msg);
-
-    LocalNode* dest = local_[f.to.value()].get();
-    if (dest == nullptr || dest->receiver == nullptr) continue;
-    if (f.overlay) {
-      dest->receiver->on_overlay_message(f.from, msg);
-    } else {
-      dest->receiver->on_direct_message(f.from, msg);
-    }
+    deliver_frame(f, msg);
   }
 }
 

@@ -106,6 +106,15 @@ void ClusterConfig::validate() const {
       gossip.source_probability < 0.0 || gossip.source_probability > 1.0) {
     throw std::invalid_argument("pforward/psource must be in [0, 1]");
   }
+  if (heartbeat_interval_ms < 0.0) {
+    throw std::invalid_argument("heartbeat-interval-ms must be >= 0");
+  }
+  if (!faults.churns.empty()) {
+    throw std::invalid_argument(
+        "cluster fault plans cannot contain churn(...): daemon processes "
+        "really die — use the cluster harness --chaos schedule instead");
+  }
+  faults.validate();
 }
 
 ClusterConfig parse_cluster_config(const std::string& text) {
@@ -177,6 +186,27 @@ ClusterConfig parse_cluster_config(const std::string& text) {
       want(1);
       cfg.gossip.request_timeout =
           Duration::millis(parse_f64(toks[0], line_no));
+      cfg.request_timeout_set = true;
+    } else if (key == "heartbeat-interval-ms") {
+      want(1);
+      cfg.heartbeat_interval_ms = parse_f64(toks[0], line_no);
+    } else if (key == "epoch-ns") {
+      want(1);
+      try {
+        cfg.clock_epoch_ns = std::stoll(toks[0]);
+      } catch (const std::exception&) {
+        fail_line(line_no, "expected an integer, got '" + toks[0] + "'");
+      }
+    } else if (key == "faults") {
+      // The spec may contain no spaces (the plan grammar is ';'-separated)
+      // but tolerate accidental splits by re-joining the tokens.
+      if (toks.empty()) fail_line(line_no, "'faults' takes a plan spec");
+      std::string spec;
+      for (const std::string& t : toks) spec += t;
+      std::string error;
+      const auto plan = fault::parse_plan(spec, &error);
+      if (!plan) fail_line(line_no, "bad fault plan: " + error);
+      cfg.faults = *plan;
     } else if (key == "pattern-universe") {
       want(1);
       cfg.pattern_universe =

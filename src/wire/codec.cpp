@@ -234,6 +234,17 @@ void encode_payload(const Message& msg, FrameKind kind, WireBuffer& out) {
       for (const EventPtr& ev : m.events()) put_event(out, *ev);
       return;
     }
+    case FrameKind::Heartbeat: {
+      const auto& m = static_cast<const HeartbeatMessage&>(msg);
+      out.put_varint(m.incarnation());
+      out.put_varint(m.marks().size());
+      for (const StreamMark& sm : m.marks()) {
+        put_node(out, sm.source);
+        put_pattern(out, sm.pattern);
+        out.put_varint(sm.seq.value());
+      }
+      return;
+    }
   }
   EPICAST_UNREACHABLE("unknown frame kind");
 }
@@ -277,6 +288,16 @@ std::size_t payload_size(const Message& msg, FrameKind kind) {
       std::size_t n = node_size(m.gossiper()) +
                       varint_size(m.events().size());
       for (const EventPtr& ev : m.events()) n += event_size(*ev);
+      return n;
+    }
+    case FrameKind::Heartbeat: {
+      const auto& m = static_cast<const HeartbeatMessage&>(msg);
+      std::size_t n =
+          varint_size(m.incarnation()) + varint_size(m.marks().size());
+      for (const StreamMark& sm : m.marks()) {
+        n += node_size(sm.source) + pattern_size(sm.pattern) +
+             varint_size(sm.seq.value());
+      }
       return n;
     }
   }
@@ -360,6 +381,20 @@ MessagePtr decode_payload(FrameKind kind, WireReader& in,
       return std::make_shared<RecoveryReplyMessage>(gossiper, frame_bytes,
                                                     std::move(events));
     }
+    case FrameKind::Heartbeat: {
+      const std::uint64_t incarnation = in.varint();
+      const std::size_t n = in.count(/*min_element_bytes=*/3);
+      std::vector<StreamMark> marks;
+      marks.reserve(n);
+      for (std::size_t i = 0; i < n && in.ok(); ++i) {
+        const NodeId source = read_node(in);
+        const Pattern pattern = read_pattern(in);
+        marks.push_back(StreamMark{source, pattern, SeqNo{in.varint()}});
+      }
+      if (!in.ok()) return nullptr;
+      return std::make_shared<HeartbeatMessage>(incarnation,
+                                                std::move(marks));
+    }
   }
   return nullptr;  // unreachable: callers validated the kind byte
 }
@@ -376,6 +411,7 @@ const char* to_string(FrameKind k) {
     case FrameKind::RandomPullDigest: return "random-pull-digest";
     case FrameKind::RecoveryRequest: return "recovery-request";
     case FrameKind::RecoveryReply: return "recovery-reply";
+    case FrameKind::Heartbeat: return "heartbeat";
   }
   return "?";
 }
@@ -404,6 +440,9 @@ std::optional<FrameKind> Codec::try_kind_of(const Message& msg) {
   }
   if (dynamic_cast<const SubscribeMessage*>(&msg) != nullptr) {
     return FrameKind::Subscribe;
+  }
+  if (dynamic_cast<const HeartbeatMessage*>(&msg) != nullptr) {
+    return FrameKind::Heartbeat;
   }
   if (const auto* g = dynamic_cast<const GossipMessage*>(&msg)) {
     switch (g->kind()) {
@@ -459,7 +498,7 @@ Decoded Codec::decode(std::span<const std::uint8_t> frame) {
   const std::uint8_t version = in.u8();
   if (version != kVersion) return DecodeError::UnknownVersion;
   const std::uint8_t kind_byte = in.u8();
-  if (kind_byte > static_cast<std::uint8_t>(FrameKind::RecoveryReply)) {
+  if (kind_byte > static_cast<std::uint8_t>(FrameKind::Heartbeat)) {
     return DecodeError::UnknownKind;
   }
   const auto kind = static_cast<FrameKind>(kind_byte);

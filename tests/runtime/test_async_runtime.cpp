@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "epicast/daemon/node.hpp"
+#include "epicast/fault/plan.hpp"
 #include "epicast/oracle/checks.hpp"
 #include "epicast/oracle/oracle.hpp"
 #include "epicast/pubsub/event.hpp"
@@ -186,6 +187,144 @@ TEST(AsyncRuntimeOracles, WireRoundTripOracleVerifiesCapturedFrames) {
   last_frame.back() ^= 0xff;
   wire_ptr->verify_bytes(NodeId{0}, last_frame);
   EXPECT_FALSE(suite.violations().empty());
+}
+
+// -- wire-level fault injection (tentpole) ------------------------------------
+
+struct CountSink final : TransportReceiver {
+  int events = 0;
+  int control = 0;
+  void on_overlay_message(NodeId, const MessagePtr& msg) override {
+    (msg->message_class() == MessageClass::Control ? control : events)++;
+  }
+  void on_direct_message(NodeId, const MessagePtr&) override {}
+};
+
+runtime::AsyncRuntimeConfig faulty_config(const std::string& plan) {
+  runtime::AsyncRuntimeConfig c = wire_config();
+  std::string error;
+  const auto parsed = fault::parse_plan(plan, &error);
+  EXPECT_TRUE(parsed) << error;
+  c.faults = *parsed;
+  return c;
+}
+
+void two_node_pair(runtime::AsyncRuntime& rt, CountSink sinks[2]) {
+  rt.set_peer(NodeId{0}, runtime::PeerEndpoint{"127.0.0.1", 0});
+  rt.set_peer(NodeId{1}, runtime::PeerEndpoint{"127.0.0.1", 0});
+  rt.add_link(NodeId{0}, NodeId{1});
+  rt.attach(NodeId{0}, sinks[0]);
+  rt.attach(NodeId{1}, sinks[1]);
+}
+
+TEST(AsyncRuntimeFaults, BurstLossDropsEventsButNeverControl) {
+  // p_enter=1, loss_bad=1: the chain enters Bad on the first transition
+  // (transition-then-loss) and r=1e-9 keeps it there — every non-control
+  // frame is lost, exactly like a fade that outlasts the test.
+  runtime::AsyncRuntime rt(faulty_config("burst(p=1,r=0.000000001)"));
+  CountSink sinks[2];
+  two_node_pair(rt, sinks);
+
+  for (int i = 0; i < 5; ++i) {
+    rt.send_overlay(NodeId{0}, NodeId{1},
+                    std::make_shared<EventMessage>(
+                        make_event(0, static_cast<std::uint64_t>(i)),
+                        std::vector<NodeId>{}));
+    rt.send_overlay(NodeId{0}, NodeId{1},
+                    std::make_shared<SubscribeMessage>(Pattern{1}, true));
+  }
+  for (int i = 0; i < 20; ++i) rt.poll(Duration::millis(5));
+
+  EXPECT_EQ(sinks[1].events, 0);
+  EXPECT_EQ(sinks[1].control, 5);  // GE models the lossy data path only
+  EXPECT_EQ(rt.stats().burst_drops, 5u);
+  EXPECT_EQ(rt.stats().drops_injected, 0u);  // distinct from Bernoulli ε
+}
+
+TEST(AsyncRuntimeFaults, BurstWindowNotYetOpenDropsNothing) {
+  runtime::AsyncRuntime rt(
+      faulty_config("burst(p=1,r=0.000000001,start=3600)"));
+  CountSink sinks[2];
+  two_node_pair(rt, sinks);
+
+  rt.send_overlay(NodeId{0}, NodeId{1},
+                  std::make_shared<EventMessage>(make_event(0, 1),
+                                                 std::vector<NodeId>{}));
+  for (int i = 0; i < 20; ++i) rt.poll(Duration::millis(5));
+
+  EXPECT_EQ(sinks[1].events, 1);
+  EXPECT_EQ(rt.stats().burst_drops, 0u);
+}
+
+TEST(AsyncRuntimeFaults, BlackholeSilencesTheLinkIncludingControl) {
+  // One link, partition(links=1): the victim choice has no freedom — the
+  // 0–1 link is black for [at, heal), and unlike loss models a dead link
+  // carries nothing, control included.
+  runtime::AsyncRuntime rt(faulty_config("partition(links=1,at=0,heal=3600)"));
+  CountSink sinks[2];
+  two_node_pair(rt, sinks);
+
+  rt.send_overlay(NodeId{0}, NodeId{1},
+                  std::make_shared<EventMessage>(make_event(0, 1),
+                                                 std::vector<NodeId>{}));
+  rt.send_overlay(NodeId{0}, NodeId{1},
+                  std::make_shared<SubscribeMessage>(Pattern{1}, true));
+  for (int i = 0; i < 20; ++i) rt.poll(Duration::millis(5));
+
+  EXPECT_EQ(sinks[1].events, 0);
+  EXPECT_EQ(sinks[1].control, 0);
+  EXPECT_EQ(rt.stats().blackhole_drops, 2u);
+}
+
+TEST(AsyncRuntimeFaults, SlowdownDelaysButStillDelivers) {
+  runtime::AsyncRuntimeConfig c = faulty_config("slow(factor=0.01)");
+  c.slow_bandwidth_bytes_per_s = 1.25e6;
+  runtime::AsyncRuntime rt(c);
+  CountSink sinks[2];
+  two_node_pair(rt, sinks);
+
+  rt.send_overlay(NodeId{0}, NodeId{1},
+                  std::make_shared<EventMessage>(make_event(0, 1),
+                                                 std::vector<NodeId>{}));
+  for (int i = 0; i < 40; ++i) {
+    rt.poll(Duration::millis(5));
+    if (sinks[1].events > 0) break;
+  }
+
+  // ~150 wire bytes at 1.25e6·0.01 B/s ≈ 12 ms of injected serialisation
+  // delay: the frame arrives, later, through an after() timer.
+  EXPECT_EQ(sinks[1].events, 1);
+  EXPECT_GE(rt.stats().slowdown_delays, 1u);
+}
+
+TEST(AsyncRuntimeFaults, ChurnSpecsAreRejected) {
+  // Process death is real in daemon mode — the harness --chaos schedule
+  // owns it; a runtime-simulated churn would be a lie.
+  runtime::AsyncRuntimeConfig c =
+      faulty_config("churn(period=1,down=0.3)");
+  try {
+    runtime::AsyncRuntime rt(c);
+    FAIL() << "AsyncRuntime accepted a churn spec";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("chaos"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(AsyncRuntimeFaults, LivenessHooksFeedTheStats) {
+  runtime::AsyncRuntime rt(wire_config());
+  rt.note_heartbeat_sent();
+  rt.note_heartbeat_sent();
+  rt.note_heartbeat_received();
+  rt.note_peer_suspected();
+  rt.note_peer_confirmed_dead();
+  rt.note_restart_observed();
+  const auto& st = rt.stats();
+  EXPECT_EQ(st.heartbeats_sent, 2u);
+  EXPECT_EQ(st.heartbeats_received, 1u);
+  EXPECT_EQ(st.peers_suspected, 1u);
+  EXPECT_EQ(st.peers_confirmed_dead, 1u);
+  EXPECT_EQ(st.restarts_observed, 1u);
 }
 
 // -- transport stats ----------------------------------------------------------

@@ -132,6 +132,41 @@ TEST(ClusterConfig, ValidationCatchesInconsistencies) {
   expect_error(kMinimal + "pforward 1.5\n", "pforward");
 }
 
+TEST(ClusterConfig, ParsesLiveClusterDirectives) {
+  const ClusterConfig cfg = parse_cluster_config(
+      kMinimal +
+      "heartbeat-interval-ms 125\n"
+      "epoch-ns 123456789012345\n"
+      "request-timeout-ms 80\n"
+      "faults burst(p=0.05,r=0.25);slow(factor=0.5,start=1,stop=2)\n");
+  EXPECT_DOUBLE_EQ(cfg.heartbeat_interval_ms, 125.0);
+  EXPECT_EQ(cfg.clock_epoch_ns, 123456789012345);
+  EXPECT_TRUE(cfg.request_timeout_set);
+  ASSERT_EQ(cfg.faults.bursts.size(), 1u);
+  EXPECT_DOUBLE_EQ(cfg.faults.bursts[0].channel.p_enter, 0.05);
+  ASSERT_EQ(cfg.faults.slows.size(), 1u);
+  EXPECT_DOUBLE_EQ(cfg.faults.slows[0].factor, 0.5);
+}
+
+TEST(ClusterConfig, DefaultsLeaveLiveKnobsNeutral) {
+  const ClusterConfig cfg = parse_cluster_config(kMinimal);
+  // A config that does not mention request-timeout-ms leaves the flag
+  // unset, so daemon mode may apply its retry-hardening default without
+  // overriding an operator's explicit choice.
+  EXPECT_FALSE(cfg.request_timeout_set);
+  EXPECT_TRUE(cfg.faults.empty());
+  EXPECT_EQ(cfg.clock_epoch_ns, -1);
+}
+
+TEST(ClusterConfig, LiveDirectiveErrorsAreCaught) {
+  expect_error(kMinimal + "heartbeat-interval-ms -1\n", "heartbeat");
+  expect_error(kMinimal + "epoch-ns xyz\n", "integer");
+  expect_error(kMinimal + "faults nonsense(\n", "fault plan");
+  // Churn means simulated process death — real daemons die for real; the
+  // harness --chaos schedule owns that.
+  expect_error(kMinimal + "faults churn(period=1,down=0.5)\n", "chaos");
+}
+
 TEST(ClusterConfig, LoadReportsUnreadablePath) {
   EXPECT_THROW(load_cluster_config("/nonexistent/cluster.conf"),
                std::runtime_error);

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <set>
 #include <string>
@@ -188,6 +189,157 @@ TEST(NodeDaemon, StatsJsonCarriesTheAgreedKeys) {
           << "missing " << key << " in " << json.substr(0, 200);
     }
   }
+}
+
+// -- live subscription handling (tentpole: restart re-announce path) ----------
+
+TEST(NodeDaemon, LiveSubscribeAndUnsubscribeOverTheWire) {
+  // Three daemons, polled from this thread instead of run(): node 2 has no
+  // configured subscription, subscribes mid-run (a real SubscribeMessage
+  // flood over UDP), receives an event published at node 0, unsubscribes,
+  // and stops receiving — the exact machinery a restarted daemon uses to
+  // re-announce itself.
+  runtime::ClusterConfig cfg =
+      line_cluster(3, /*drop_rate=*/0.0, /*rate_hz=*/0.0,
+                   /*run_s=*/5.0, /*drain_s=*/1.0);
+  cfg.subscriptions = {{NodeId{1}, Pattern{0}}};  // node 2 starts cold
+  std::vector<std::unique_ptr<daemon::NodeDaemon>> daemons;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    daemons.push_back(std::make_unique<daemon::NodeDaemon>(cfg, NodeId{i}));
+  }
+  auto poll_all = [&](int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      for (auto& d : daemons) d->runtime().poll(Duration::millis(2));
+    }
+  };
+
+  daemons[0]->dispatcher().publish({Pattern{0}});
+  poll_all(20);
+  EXPECT_EQ(daemons[2]->delivered().size(), 0u);
+
+  daemons[2]->dispatcher().subscribe(Pattern{0});
+  poll_all(20);  // sub flood: 2 → 1 → 0
+  daemons[0]->dispatcher().publish({Pattern{0}});
+  poll_all(20);
+  ASSERT_EQ(daemons[2]->delivered().size(), 1u);
+  EXPECT_EQ(daemons[2]->delivered()[0].source, 0u);
+
+  daemons[2]->dispatcher().unsubscribe(Pattern{0});
+  poll_all(20);
+  daemons[0]->dispatcher().publish({Pattern{0}});
+  poll_all(20);
+  EXPECT_EQ(daemons[2]->delivered().size(), 1u)
+      << "delivery after live unsubscribe";
+
+  // The latency histogram saw the one delivery.
+  EXPECT_EQ(daemons[2]->latency().count(), 1u);
+}
+
+// -- failure detection (tentpole) ---------------------------------------------
+
+TEST(NodeDaemon, HeartbeatsFlowAndAreCounted) {
+  runtime::ClusterConfig cfg =
+      line_cluster(2, /*drop_rate=*/0.0, /*rate_hz=*/5.0,
+                   /*run_s=*/0.8, /*drain_s=*/0.3);
+  cfg.heartbeat_interval_ms = 50.0;
+  std::vector<std::unique_ptr<daemon::NodeDaemon>> daemons;
+  daemons.push_back(std::make_unique<daemon::NodeDaemon>(cfg, NodeId{0}));
+  daemons.push_back(std::make_unique<daemon::NodeDaemon>(cfg, NodeId{1}));
+  run_cluster(daemons);
+
+  for (auto& d : daemons) {
+    ASSERT_NE(d->failure_detector(), nullptr);
+    const auto& st = d->runtime().stats();
+    EXPECT_GT(st.heartbeats_sent, 0u);
+    EXPECT_GT(st.heartbeats_received, 0u);
+    // Both peers lived: no suspicion, no deaths, no restarts observed.
+    EXPECT_EQ(st.peers_suspected, 0u);
+    EXPECT_EQ(st.peers_confirmed_dead, 0u);
+    EXPECT_EQ(st.restarts_observed, 0u);
+    const std::string json = d->stats_json();
+    for (const char* key :
+         {"\"heartbeats_sent\"", "\"heartbeats_received\"",
+          "\"peers_suspected\"", "\"peers_confirmed_dead\"",
+          "\"restarts_observed\"", "\"burst_drops\"", "\"blackhole_drops\"",
+          "\"slowdown_delays\"", "\"incarnation\"", "\"restarted\"",
+          "\"latency\""}) {
+      EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+    }
+  }
+}
+
+TEST(NodeDaemon, HeartbeatZeroDisablesTheDetector) {
+  runtime::ClusterConfig cfg =
+      line_cluster(2, /*drop_rate=*/0.0, /*rate_hz=*/5.0,
+                   /*run_s=*/0.4, /*drain_s=*/0.2);
+  cfg.heartbeat_interval_ms = 0.0;
+  daemon::NodeDaemon d(cfg, NodeId{0});
+  EXPECT_EQ(d.failure_detector(), nullptr);
+}
+
+TEST(NodeDaemon, SilentPeerIsSuspectedThenConfirmedDead) {
+  // Node 1 never runs: node 0's detector must walk the full escalation —
+  // suspect after 3 missed beats, dead after 8 — against real silence.
+  runtime::ClusterConfig cfg =
+      line_cluster(2, /*drop_rate=*/0.0, /*rate_hz=*/0.0,
+                   /*run_s=*/1.5, /*drain_s=*/0.2);
+  cfg.heartbeat_interval_ms = 50.0;
+  std::vector<std::unique_ptr<daemon::NodeDaemon>> daemons;
+  daemons.push_back(std::make_unique<daemon::NodeDaemon>(cfg, NodeId{0}));
+  run_cluster(daemons);
+
+  const auto& st = daemons[0]->runtime().stats();
+  EXPECT_GE(st.peers_suspected, 1u);
+  EXPECT_GE(st.peers_confirmed_dead, 1u);
+  EXPECT_TRUE(daemons[0]->failure_detector()->confirmed_dead(NodeId{1}));
+}
+
+// -- crash-restart recovery (tentpole) ----------------------------------------
+
+TEST(NodeDaemon, JournalReplayRestoresStateAcrossRestart) {
+  const std::string journal =
+      testing::TempDir() + "epicast_daemon_journal_" +
+      std::to_string(::getpid());
+  std::remove(journal.c_str());
+
+  runtime::ClusterConfig cfg =
+      line_cluster(2, /*drop_rate=*/0.0, /*rate_hz=*/30.0,
+                   /*run_s=*/0.6, /*drain_s=*/0.3);
+  daemon::DaemonOptions opts;
+  opts.journal_path = journal;
+
+  std::size_t first_life_published = 0;
+  std::size_t first_life_delivered = 0;
+  {
+    std::vector<std::unique_ptr<daemon::NodeDaemon>> daemons;
+    daemons.push_back(
+        std::make_unique<daemon::NodeDaemon>(cfg, NodeId{0}, opts));
+    daemons.push_back(std::make_unique<daemon::NodeDaemon>(cfg, NodeId{1}));
+    run_cluster(daemons);
+    EXPECT_EQ(daemons[0]->incarnation(), 1u);
+    EXPECT_FALSE(daemons[0]->restarted());
+    first_life_published = daemons[0]->published().size();
+    first_life_delivered = daemons[0]->delivered().size();
+    ASSERT_GT(first_life_published, 0u);
+  }
+
+  // Second incarnation: same journal, fresh process state. The replay must
+  // restore the cumulative logs, the boot count, and the id sequence — the
+  // next publish continues where the first life stopped.
+  daemon::NodeDaemon reborn(cfg, NodeId{0}, opts);
+  EXPECT_EQ(reborn.incarnation(), 2u);
+  EXPECT_TRUE(reborn.restarted());
+  EXPECT_EQ(reborn.published().size(), first_life_published);
+  EXPECT_EQ(reborn.delivered().size(), first_life_delivered);
+  const EventPtr next = reborn.dispatcher().publish({Pattern{0}});
+  EXPECT_EQ(next->id().source_seq, first_life_published);
+  // Replayed ids are marked seen: a re-gossiped copy of a first-life event
+  // is a duplicate, not a second delivery (the unique-delivery oracle
+  // stays true across the crash).
+  EXPECT_TRUE(reborn.dispatcher().has_seen(EventId{NodeId{0}, 0}));
+
+  std::remove(journal.c_str());
+  std::remove((journal + ".cache").c_str());
 }
 
 TEST(NodeDaemon, StopFlagEndsTheRunEarly) {

@@ -51,6 +51,99 @@ TEST(PullDetection, GapPopulatesLostBuffer) {
   EXPECT_TRUE(pull(h, 0)->lost().empty());
 }
 
+TEST(PullDetection, PreloadedSnapshotSeedsTheWatermarks) {
+  // A warm-restarted daemon refills its cache from the snapshot; the pull
+  // layer must also lift its loss watermarks to the snapshot's sequence
+  // numbers so the outage window reads as a gap, not a fresh baseline.
+  GossipHarness h(3, Algorithm::SubscriberPull);
+  h.subscribe_and_settle({{0, 1}, {2, 1}});
+  const EventPtr snap = std::make_shared<EventData>(
+      EventId{NodeId{0}, 0},
+      std::vector<PatternSeq>{{Pattern{1}, SeqNo{6}}}, 64, SimTime::zero());
+  pull(h, 2)->preload_cache({snap});
+  EXPECT_EQ(pull(h, 2)->detector().high_watermark(NodeId{0}, Pattern{1}),
+            SeqNo{6});
+  EXPECT_TRUE(pull(h, 2)->cache().contains(snap->id()));
+}
+
+TEST(PullDetection, StreamMarksRevealLossesGapsCannotSee) {
+  // The tail of a stream: the last event is lost, and no successor will
+  // ever reveal the gap. A neighbour's heartbeat watermark must.
+  GossipHarness h(3, Algorithm::SubscriberPull);
+  h.subscribe_and_settle({{0, 1}, {2, 1}});
+  auto& pub = h.net().node(NodeId{0});
+  (void)pub.publish({Pattern{1}});  // seq 1: baselines everyone
+  h.run_for(0.1);
+  EXPECT_EQ(pull(h, 2)->detector().high_watermark(NodeId{0}, Pattern{1}),
+            SeqNo{1});
+  // Node 2 hears (via heartbeat piggyback) that seqs up to 3 exist.
+  pull(h, 2)->on_stream_marks({{NodeId{0}, Pattern{1}, SeqNo{3}}});
+  EXPECT_TRUE(pull(h, 2)->lost().contains(
+      LostEntryInfo{NodeId{0}, Pattern{1}, SeqNo{2}}));
+  EXPECT_TRUE(pull(h, 2)->lost().contains(
+      LostEntryInfo{NodeId{0}, Pattern{1}, SeqNo{3}}));
+  EXPECT_EQ(pull(h, 2)->detector().high_watermark(NodeId{0}, Pattern{1}),
+            SeqNo{3});
+  // A stale or equal mark changes nothing.
+  pull(h, 2)->on_stream_marks({{NodeId{0}, Pattern{1}, SeqNo{2}}});
+  EXPECT_EQ(pull(h, 2)->lost().size(), 2u);
+}
+
+TEST(PullDetection, StreamMarksBackfillUnknownStreamsFromOne) {
+  GossipHarness h(3, Algorithm::SubscriberPull);
+  h.subscribe_and_settle({{0, 1}, {2, 1}});
+  // Node 2 has never heard from source 1 on pattern 1 — the stream's head
+  // was lost. Sequence numbers start at 1 by construction, so a mark pins
+  // down the missing range exactly; no unknowable history here.
+  pull(h, 2)->on_stream_marks({{NodeId{1}, Pattern{1}, SeqNo{2}}});
+  EXPECT_EQ(pull(h, 2)->lost().size(), 2u);
+  EXPECT_TRUE(pull(h, 2)->lost().contains(
+      LostEntryInfo{NodeId{1}, Pattern{1}, SeqNo{1}}));
+  EXPECT_EQ(pull(h, 2)->detector().high_watermark(NodeId{1}, Pattern{1}),
+            SeqNo{2});
+  // Marks for patterns without a local subscription are ignored outright.
+  pull(h, 2)->on_stream_marks({{NodeId{0}, Pattern{2}, SeqNo{5}}});
+  EXPECT_EQ(pull(h, 2)->detector().high_watermark(NodeId{0}, Pattern{2}),
+            SeqNo{0});
+}
+
+TEST(PullDetection, StreamMarkBackfillIsClampedLikeTheGapDetector) {
+  GossipHarness h(3, Algorithm::SubscriberPull);
+  h.subscribe_and_settle({{0, 1}, {2, 1}});
+  const std::uint64_t clamp = pull(h, 2)->config().max_gap_report;
+  pull(h, 2)->on_stream_marks(
+      {{NodeId{1}, Pattern{1}, SeqNo{clamp + 100}}});
+  EXPECT_EQ(pull(h, 2)->lost().size(), clamp);
+  EXPECT_FALSE(pull(h, 2)->lost().contains(
+      LostEntryInfo{NodeId{1}, Pattern{1}, SeqNo{100}}));
+  EXPECT_TRUE(pull(h, 2)->lost().contains(
+      LostEntryInfo{NodeId{1}, Pattern{1}, SeqNo{101}}));
+}
+
+TEST(PullDetection, StreamMarksRotateThroughTheWitnessedTable) {
+  GossipHarness h(3, Algorithm::SubscriberPull);
+  h.subscribe_and_settle({{0, 1}, {0, 2}, {2, 1}, {2, 2}});
+  auto& pub = h.net().node(NodeId{0});
+  (void)pub.publish({Pattern{1}});
+  (void)pub.publish({Pattern{2}});
+  h.run_for(0.1);
+  // Node 1 forwarded both events; its witnessed table covers both streams
+  // even though it subscribes to neither (a mark is knowledge, not stock).
+  std::vector<StreamMark> out;
+  std::size_t cursor = pull(h, 1)->stream_marks_into(0, 1, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(cursor, 1u);
+  cursor = pull(h, 1)->stream_marks_into(cursor, 1, out);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(cursor, 0u);  // wrapped
+  EXPECT_NE(out[0].pattern, out[1].pattern);
+  EXPECT_EQ(out[0].source, NodeId{0});
+  // Asking for more than exists yields each entry exactly once.
+  out.clear();
+  (void)pull(h, 1)->stream_marks_into(0, 99, out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
 TEST(PullDetection, NonSubscribersDoNotDetect) {
   GossipHarness h(3, Algorithm::SubscriberPull);
   h.subscribe_and_settle({{0, 1}, {2, 1}});

@@ -1,0 +1,136 @@
+// The crash journal: append-only one-line records, replay on reopen, torn
+// tails skipped, and the warm-restart cache snapshot round-trip through the
+// wire codec.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "epicast/daemon/journal.hpp"
+#include "epicast/fault/restart_policy.hpp"
+#include "epicast/pubsub/event.hpp"
+
+namespace epicast::daemon {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "epicast_" + name + "_" +
+         std::to_string(::getpid());
+}
+
+TEST(Journal, FreshFileReplaysEmpty) {
+  const std::string path = temp_path("journal_fresh");
+  std::remove(path.c_str());
+  Journal j(path);
+  EXPECT_EQ(j.replay().boots, 0u);
+  EXPECT_TRUE(j.replay().publishes.empty());
+  EXPECT_TRUE(j.replay().deliveries.empty());
+  std::remove(path.c_str());
+}
+
+TEST(Journal, RecordsSurviveReopen) {
+  const std::string path = temp_path("journal_reopen");
+  std::remove(path.c_str());
+  {
+    Journal j(path);
+    j.log_boot(1, fault::RestartPolicy::Warm);
+    j.log_publish({7, 1.25, {2, 5}});
+    j.log_delivery({3, 9, 1.5, true});
+    j.log_delivery({4, 1, 1.75, false});
+  }
+  Journal j(path);
+  EXPECT_EQ(j.replay().boots, 1u);
+  ASSERT_EQ(j.replay().publishes.size(), 1u);
+  EXPECT_EQ(j.replay().publishes[0].seq, 7u);
+  EXPECT_DOUBLE_EQ(j.replay().publishes[0].t_s, 1.25);
+  EXPECT_EQ(j.replay().publishes[0].patterns,
+            (std::vector<std::uint32_t>{2, 5}));
+  ASSERT_EQ(j.replay().deliveries.size(), 2u);
+  EXPECT_EQ(j.replay().deliveries[0].source, 3u);
+  EXPECT_EQ(j.replay().deliveries[0].seq, 9u);
+  EXPECT_TRUE(j.replay().deliveries[0].recovered);
+  EXPECT_FALSE(j.replay().deliveries[1].recovered);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, BootCountAccumulatesAcrossIncarnations) {
+  const std::string path = temp_path("journal_boots");
+  std::remove(path.c_str());
+  for (std::uint64_t boot = 0; boot < 3; ++boot) {
+    Journal j(path);
+    EXPECT_EQ(j.replay().boots, boot);
+    j.log_boot(boot + 1, fault::RestartPolicy::Cold);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Journal, TornTailIsSkippedNotFatal) {
+  const std::string path = temp_path("journal_torn");
+  std::remove(path.c_str());
+  {
+    Journal j(path);
+    j.log_boot(1, fault::RestartPolicy::Warm);
+    j.log_publish({1, 0.5, {0}});
+  }
+  // A SIGKILL mid-write leaves a truncated last line; replay must keep
+  // every complete record and drop only the tail.
+  {
+    std::ofstream f(path, std::ios::app);
+    f << "D 2 11 3.0";  // missing the recovered flag and the newline
+  }
+  Journal j(path);
+  EXPECT_EQ(j.replay().boots, 1u);
+  EXPECT_EQ(j.replay().publishes.size(), 1u);
+  EXPECT_TRUE(j.replay().deliveries.empty());
+  std::remove(path.c_str());
+}
+
+TEST(CacheSnapshot, RoundTripsEventsThroughTheCodec) {
+  const std::string path = temp_path("journal_cache");
+  std::remove(path.c_str());
+  std::vector<EventPtr> events;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    events.push_back(std::make_shared<EventData>(
+        EventId{NodeId{2}, i},
+        std::vector<PatternSeq>{{Pattern{static_cast<std::uint32_t>(i % 3)},
+                                 SeqNo{i + 1}}},
+        64, SimTime::zero()));
+  }
+  write_cache_snapshot(path, events);
+  const std::vector<EventPtr> back = read_cache_snapshot(path);
+  ASSERT_EQ(back.size(), events.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i]->id(), events[i]->id());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CacheSnapshot, MissingFileYieldsNothing) {
+  EXPECT_TRUE(read_cache_snapshot(temp_path("journal_nope")).empty());
+}
+
+TEST(CacheSnapshot, CorruptTailYieldsThePrefix) {
+  const std::string path = temp_path("journal_corrupt");
+  std::remove(path.c_str());
+  std::vector<EventPtr> events = {std::make_shared<EventData>(
+      EventId{NodeId{1}, 5},
+      std::vector<PatternSeq>{{Pattern{0}, SeqNo{1}}}, 64, SimTime::zero())};
+  write_cache_snapshot(path, events);
+  {
+    std::ofstream f(path, std::ios::app | std::ios::binary);
+    f << "\xff\xff\xff";  // truncated frame header
+  }
+  const std::vector<EventPtr> back = read_cache_snapshot(path);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0]->id(), events[0]->id());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace epicast::daemon

@@ -1,0 +1,85 @@
+// Publish→deliver latency histogram: 64 power-of-two nanosecond buckets,
+// quantiles at the geometric bucket midpoint, sparse JSON, and the
+// element-wise merge the cluster harness uses to aggregate per-node
+// histograms into cluster-wide percentiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "epicast/metrics/latency_histogram.hpp"
+
+namespace epicast::metrics {
+namespace {
+
+TEST(LatencyHistogram, StartsEmpty) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max_ns(), 0);
+  EXPECT_DOUBLE_EQ(h.quantile_seconds(0.5), 0.0);
+  EXPECT_NE(h.json().find("\"count\": 0"), std::string::npos);
+}
+
+TEST(LatencyHistogram, BucketsArePowersOfTwo) {
+  LatencyHistogram h;
+  h.record(1);        // bucket 0: [1, 2)
+  h.record(1023);     // bucket 9: [512, 1024)
+  h.record(1024);     // bucket 10: [1024, 2048)
+  ASSERT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[9], 1u);
+  EXPECT_EQ(h.buckets()[10], 1u);
+  EXPECT_EQ(h.max_ns(), 1024);
+}
+
+TEST(LatencyHistogram, NegativeAndZeroClampToTheFirstBucket) {
+  // A delivery clocked "before" its publish (clock skew between the
+  // monotonic reads) must not crash or wrap — it lands in bucket 0.
+  LatencyHistogram h;
+  h.record(0);
+  h.record(-5);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+}
+
+TEST(LatencyHistogram, QuantilesSitAtTheGeometricMidpoint) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.record(1 << 20);  // ~1 ms, bucket 20
+  h.record(std::int64_t{1} << 30);                 // ~1.07 s, bucket 30
+  const double mid20 = std::ldexp(1.0, 20) * std::sqrt(2.0) * 1e-9;
+  const double mid30 = std::ldexp(1.0, 30) * std::sqrt(2.0) * 1e-9;
+  EXPECT_DOUBLE_EQ(h.quantile_seconds(0.5), mid20);
+  EXPECT_DOUBLE_EQ(h.quantile_seconds(0.99), mid20);
+  EXPECT_DOUBLE_EQ(h.quantile_seconds(1.0), mid30);
+}
+
+TEST(LatencyHistogram, JsonIsSparse) {
+  LatencyHistogram h;
+  h.record(1 << 12);
+  h.record(1 << 12);
+  const std::string json = h.json();
+  EXPECT_NE(json.find("[12, 2]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"p90_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"max_s\""), std::string::npos);
+  // Only the occupied bucket appears.
+  EXPECT_EQ(json.find("[11,"), std::string::npos);
+}
+
+TEST(LatencyHistogram, MergeIsElementWise) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.record(1 << 8);
+  b.record(1 << 8);
+  b.record(1 << 16);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.buckets()[8], 2u);
+  EXPECT_EQ(a.buckets()[16], 1u);
+  EXPECT_EQ(a.max_ns(), 1 << 16);
+}
+
+}  // namespace
+}  // namespace epicast::metrics

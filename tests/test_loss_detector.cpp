@@ -69,6 +69,27 @@ TEST(LossDetector, RecoveredGapThenNextEventIsClean) {
   EXPECT_TRUE(d.observe(NodeId{0}, Pattern{1}, SeqNo{4}).empty());
 }
 
+TEST(LossDetector, SeedRaisesTheWatermarkWithoutReportingAGap) {
+  LossDetector d(64);
+  d.seed(NodeId{0}, Pattern{1}, SeqNo{5});
+  EXPECT_EQ(d.high_watermark(NodeId{0}, Pattern{1}), SeqNo{5});
+  EXPECT_EQ(d.gaps_detected(), 0u);
+  // The first live observation after the seed exposes the outage window —
+  // this is how a warm-restarted daemon learns what it slept through.
+  const std::vector<SeqNo> missing = d.observe(NodeId{0}, Pattern{1}, SeqNo{8});
+  ASSERT_EQ(missing.size(), 2u);
+  EXPECT_EQ(missing.front(), SeqNo{6});
+  EXPECT_EQ(missing.back(), SeqNo{7});
+}
+
+TEST(LossDetector, SeedNeverLowersAnExistingWatermark) {
+  LossDetector d(64);
+  (void)d.observe(NodeId{0}, Pattern{1}, SeqNo{9});
+  d.seed(NodeId{0}, Pattern{1}, SeqNo{4});  // stale snapshot entry
+  EXPECT_EQ(d.high_watermark(NodeId{0}, Pattern{1}), SeqNo{9});
+  EXPECT_TRUE(d.observe(NodeId{0}, Pattern{1}, SeqNo{10}).empty());
+}
+
 TEST(LossDetectorDeath, SequenceNumbersStartAtOne) {
   LossDetector d(64);
   EXPECT_DEATH((void)d.observe(NodeId{0}, Pattern{1}, SeqNo{0}), "start at 1");

@@ -96,6 +96,52 @@ TEST(WireRoundTrip, SubscribeMessage) {
   }
 }
 
+// Satellite pin: the exact bytes of a SubscribeMessage frame. The live
+// subscribe path (a restarted daemon re-announcing its subscriptions over
+// the wire) depends on this framing staying stable across versions.
+TEST(WireRoundTrip, SubscribeMessageFramingIsPinned) {
+  const SubscribeMessage sub(Pattern{5}, /*subscribe=*/true);
+  const std::vector<std::uint8_t> expected = {
+      0x04, 0x00, 0x00, 0x00,  // len = 4 (ver + kind + pattern + flag)
+      0x01,                    // version
+      0x01,                    // kind = Subscribe
+      0x05,                    // pattern 5 (varint)
+      0x01,                    // subscribe flag
+  };
+  EXPECT_EQ(encode_one(sub), expected);
+
+  const SubscribeMessage unsub(Pattern{5}, /*subscribe=*/false);
+  std::vector<std::uint8_t> expected_unsub = expected;
+  expected_unsub.back() = 0x00;
+  EXPECT_EQ(encode_one(unsub), expected_unsub);
+}
+
+TEST(WireRoundTrip, Heartbeat) {
+  for (const std::uint64_t incarnation : {std::uint64_t{1}, std::uint64_t{7},
+                                          std::uint64_t{1} << 40}) {
+    const HeartbeatMessage msg(incarnation);
+    const MessagePtr out = round_trip(msg);
+    ASSERT_NE(out, nullptr);
+    const auto& m = static_cast<const HeartbeatMessage&>(*out);
+    EXPECT_EQ(m.incarnation(), incarnation);
+    EXPECT_TRUE(m.marks().empty());
+    EXPECT_EQ(m.message_class(), MessageClass::Control);
+  }
+}
+
+TEST(WireRoundTrip, HeartbeatCarriesStreamMarks) {
+  const std::vector<StreamMark> marks = {
+      {NodeId{3}, Pattern{0}, SeqNo{42}},
+      {NodeId{200}, Pattern{15}, SeqNo{std::uint64_t{1} << 33}},
+  };
+  const HeartbeatMessage msg(/*incarnation=*/2, marks);
+  const MessagePtr out = round_trip(msg);
+  ASSERT_NE(out, nullptr);
+  const auto& m = static_cast<const HeartbeatMessage&>(*out);
+  EXPECT_EQ(m.incarnation(), 2u);
+  EXPECT_EQ(m.marks(), marks);
+}
+
 TEST(WireRoundTrip, PushDigest) {
   const PushDigestMessage msg(
       NodeId{12}, /*nominal_bytes=*/100, Pattern{33},
@@ -300,7 +346,7 @@ TEST(WireMalformed, UnknownVersionAndKindAreTyped) {
     f[4] = v;
     EXPECT_EQ(Codec::decode(f).error(), DecodeError::UnknownVersion);
   }
-  for (const std::uint8_t k : {std::uint8_t{8}, std::uint8_t{42},
+  for (const std::uint8_t k : {std::uint8_t{9}, std::uint8_t{42},
                                std::uint8_t{200}, std::uint8_t{255}}) {
     std::vector<std::uint8_t> f = frame;
     f[5] = k;
